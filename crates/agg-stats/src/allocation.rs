@@ -1,0 +1,365 @@
+//! Optimal distribution of the per-round query budget across drill-down
+//! *age groups* — Corollaries 4.1 and 4.3 of the paper.
+//!
+//! At round `R_j`, drill-downs are grouped by the round `R_x` in which they
+//! were last updated. Updating `c_x` drill-downs of group `x` yields a
+//! group estimate with variance
+//!
+//! ```text
+//! v_x(c_x) = α_x / c_x + β_x
+//! ```
+//!
+//! where `α_x` is the per-drill-down variance of the change term and `β_x`
+//! the irreducible variance inherited from the group's historic base
+//! estimate (equations 38–40). Fresh drill-downs have `β = 0`. The round
+//! estimate combines groups by inverse variance (Corollary 4.2), so the
+//! allocator maximises `Σ_x 1/v_x(c_x)` subject to `Σ_x g_x·c_x ≤ G` and
+//! `0 ≤ c_x ≤ cap_x`.
+//!
+//! ## Implementation note (deviation from the paper)
+//!
+//! Equation (41) as printed in the paper is dimensionally inconsistent; we
+//! instead solve the KKT conditions of the (concave) program directly with
+//! a water-filling search over the Lagrange multiplier λ:
+//!
+//! * `β_x > 0`:  `c_x(λ) = clamp((√(α_x/(λ g_x)) − α_x)/β_x, 0, cap_x)`
+//! * `β_x = 0`:  bang-bang at value rate `1/(α_x g_x)`
+//!
+//! Total spend is non-increasing in λ, so a bisection finds the budget-
+//! binding multiplier. On the two-group instance of Corollary 4.1 this
+//! reproduces equation (34) exactly (tested), and on the mixed case it
+//! reproduces equation (43).
+
+/// Parameters of one age group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupParams {
+    /// Per-drill-down variance of the group's change/estimate term (`α_x`).
+    pub alpha: f64,
+    /// Irreducible variance from the historic base estimate (`β_x`); 0 for
+    /// fresh drill-downs.
+    pub beta: f64,
+    /// Expected query cost per drill-down (`g_x`), > 0.
+    pub cost: f64,
+    /// Drill-downs available in this group (`h_x`); `f64::INFINITY` for the
+    /// fresh group.
+    pub cap: f64,
+}
+
+impl GroupParams {
+    /// Convenience constructor.
+    pub fn new(alpha: f64, beta: f64, cost: f64, cap: f64) -> Self {
+        Self { alpha, beta, cost, cap }
+    }
+}
+
+/// Floor applied to `α` so a lucky pilot sample that saw zero change cannot
+/// claim an exact (zero-variance) update path.
+pub const ALPHA_FLOOR: f64 = 1e-12;
+
+/// Combined estimation variance for an allocation (equation 37):
+/// `1 / Σ_{c_x>0} 1/(α_x/c_x + β_x)`; infinite if nothing is allocated.
+pub fn combined_variance(groups: &[GroupParams], alloc: &[f64]) -> f64 {
+    let mut inv = 0.0;
+    for (g, &c) in groups.iter().zip(alloc) {
+        if c > 0.0 {
+            inv += 1.0 / (g.alpha.max(ALPHA_FLOOR) / c + g.beta);
+        }
+    }
+    if inv == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / inv
+    }
+}
+
+/// Allocates the budget `g_total` across groups, returning fractional
+/// drill-down counts `c_x` (callers round / pool as Algorithm 2 does).
+///
+/// Groups with non-positive cost or cap receive 0.
+pub fn allocate(groups: &[GroupParams], g_total: f64) -> Vec<f64> {
+    let n = groups.len();
+    let mut alloc = vec![0.0; n];
+    if g_total <= 0.0 || n == 0 {
+        return alloc;
+    }
+    // Effective caps: can't exceed budget / cost either.
+    let caps: Vec<f64> = groups
+        .iter()
+        .map(|g| {
+            if g.cost <= 0.0 || g.cap <= 0.0 {
+                0.0
+            } else {
+                g.cap.min(g_total / g.cost)
+            }
+        })
+        .collect();
+
+    let alloc_at = |lambda: f64, alloc: &mut [f64]| {
+        for (i, g) in groups.iter().enumerate() {
+            if caps[i] == 0.0 {
+                alloc[i] = 0.0;
+                continue;
+            }
+            let alpha = g.alpha.max(ALPHA_FLOOR);
+            alloc[i] = if g.beta > 0.0 {
+                let c = ((alpha / (lambda * g.cost)).sqrt() - alpha) / g.beta;
+                c.clamp(0.0, caps[i])
+            } else {
+                // Bang-bang: worth funding iff marginal value exceeds λ.
+                if 1.0 / (alpha * g.cost) >= lambda {
+                    caps[i]
+                } else {
+                    0.0
+                }
+            };
+        }
+    };
+    let spend = |alloc: &[f64]| -> f64 {
+        alloc
+            .iter()
+            .zip(groups)
+            .map(|(&c, g)| c * g.cost)
+            .sum::<f64>()
+    };
+
+    // λ → 0⁺ maximises spend. If even that fits the budget, take it.
+    let mut lo = 1e-300;
+    alloc_at(lo, &mut alloc);
+    if spend(&alloc) <= g_total {
+        return alloc;
+    }
+    // Find an upper λ with zero spend.
+    let mut hi = groups
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| caps[*i] > 0.0)
+        .map(|(_, g)| 1.0 / (g.alpha.max(ALPHA_FLOOR) * g.cost))
+        .fold(0.0f64, f64::max)
+        * 4.0
+        + 1.0;
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt(); // log-scale bisection: λ spans decades
+        alloc_at(mid, &mut alloc);
+        if spend(&alloc) > g_total {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi / lo < 1.0 + 1e-12 {
+            break;
+        }
+    }
+    alloc_at(hi, &mut alloc);
+    // hi under-spends slightly; top up the best β=0 group with leftovers
+    // (they absorb fractional budget without changing the KKT structure).
+    let leftover = g_total - spend(&alloc);
+    if leftover > 0.0 {
+        if let Some((i, g)) = groups
+            .iter()
+            .enumerate()
+            .filter(|(i, g)| g.beta == 0.0 && caps[*i] > alloc[*i])
+            .min_by(|(_, a), (_, b)| {
+                (a.alpha * a.cost)
+                    .partial_cmp(&(b.alpha * b.cost))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        {
+            alloc[i] = (alloc[i] + leftover / g.cost).min(caps[i]);
+        }
+    }
+    alloc
+}
+
+/// Closed-form `h_1` of Corollary 4.1 (equation 34): the number of
+/// round-1 drill-downs to update in round 2.
+///
+/// * `h` — drill-downs performed in round 1;
+/// * `g_c`, `g_d` — query cost per updated / new drill-down;
+/// * `sigma_c2` — per-drill-down variance of the change estimate (`σ_c²`);
+/// * `sigma_d2` — per-drill-down variance of a new drill-down (`σ_d²`);
+/// * `sigma_12` — per-drill-down variance of the round-1 estimate (`σ_1²`);
+/// * `g_total` — the round budget `G`.
+pub fn corollary_4_1(
+    h: f64,
+    g_c: f64,
+    g_d: f64,
+    sigma_c2: f64,
+    sigma_d2: f64,
+    sigma_12: f64,
+    g_total: f64,
+) -> f64 {
+    let sigma_c2 = sigma_c2.max(ALPHA_FLOOR);
+    let inner = (g_d * sigma_d2 * sigma_c2 / g_c).sqrt() - sigma_c2;
+    let candidate = h * inner / sigma_12;
+    candidate.max(0.0).min((g_total / g_c).min(h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spend(groups: &[GroupParams], alloc: &[f64]) -> f64 {
+        alloc.iter().zip(groups).map(|(&c, g)| c * g.cost).sum()
+    }
+
+    #[test]
+    fn respects_budget_and_caps() {
+        let groups = [
+            GroupParams::new(4.0, 0.5, 2.0, 10.0),
+            GroupParams::new(9.0, 0.0, 3.0, f64::INFINITY),
+            GroupParams::new(1.0, 0.2, 1.0, 3.0),
+        ];
+        let g_total = 30.0;
+        let alloc = allocate(&groups, g_total);
+        assert!(spend(&groups, &alloc) <= g_total + 1e-6);
+        for (c, g) in alloc.iter().zip(&groups) {
+            assert!(*c >= 0.0 && *c <= g.cap + 1e-9);
+        }
+        // Budget should be (nearly) fully used: a β=0 group absorbs slack.
+        assert!(spend(&groups, &alloc) > g_total - 1e-3);
+    }
+
+    #[test]
+    fn all_beta_zero_winner_takes_all() {
+        // Corollary 4.3's first case: fund only the group minimising α·g.
+        let groups = [
+            GroupParams::new(2.0, 0.0, 3.0, f64::INFINITY), // α·g = 6
+            GroupParams::new(1.0, 0.0, 4.0, f64::INFINITY), // α·g = 4 ← winner
+            GroupParams::new(5.0, 0.0, 1.0, f64::INFINITY), // α·g = 5
+        ];
+        let alloc = allocate(&groups, 40.0);
+        assert!(alloc[1] > 0.0);
+        assert!((alloc[1] - 10.0).abs() < 1e-6, "c = G/g = 10, got {}", alloc[1]);
+        assert_eq!(alloc[0], 0.0);
+        assert_eq!(alloc[2], 0.0);
+    }
+
+    #[test]
+    fn matches_corollary_4_1_closed_form() {
+        // Two groups: updates (α=σc², β=σ1²/h, cost gc, cap h) and fresh
+        // (α=σd², β=0, cost gd, cap ∞).
+        let (h, g_c, g_d) = (50.0, 2.0, 5.0);
+        let (sigma_c2, sigma_d2, sigma_12) = (3.0, 40.0, 35.0);
+        let g_total = 200.0;
+        let groups = [
+            GroupParams::new(sigma_c2, sigma_12 / h, g_c, h),
+            GroupParams::new(sigma_d2, 0.0, g_d, f64::INFINITY),
+        ];
+        let alloc = allocate(&groups, g_total);
+        let h1 = corollary_4_1(h, g_c, g_d, sigma_c2, sigma_d2, sigma_12, g_total);
+        assert!(h1 > 0.0 && h1 < h, "fixture should land interior, h1={h1}");
+        assert!(
+            (alloc[0] - h1).abs() < 1e-3 * h1.max(1.0),
+            "waterfilling {} vs closed form {h1}",
+            alloc[0]
+        );
+        assert!((spend(&groups, &alloc) - g_total).abs() < 1e-3);
+    }
+
+    #[test]
+    fn no_change_means_no_updates() {
+        // σc² ≈ 0 (database unchanged): everything goes to fresh
+        // drill-downs — the Corollary 4.1 discussion in §4.2.
+        let groups = [
+            GroupParams::new(0.0, 1.0, 2.0, 100.0),
+            GroupParams::new(50.0, 0.0, 5.0, f64::INFINITY),
+        ];
+        let alloc = allocate(&groups, 100.0);
+        assert!(alloc[0] < 1e-3, "near-zero updates, got {}", alloc[0]);
+        assert!((alloc[1] - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn drastic_change_updates_everything_possible() {
+        // σc² ≈ σd² ≈ σ1² and gd > gc: updating dominates (§4.2:
+        // "exactly like what REISSUE-ESTIMATOR would do").
+        let s = 25.0;
+        let h = 30.0;
+        let groups = [
+            GroupParams::new(s, s / h, 2.0, h),
+            GroupParams::new(s, 0.0, 6.0, f64::INFINITY),
+        ];
+        let alloc = allocate(&groups, 200.0);
+        // h1 = min(G/gc, h, h(√(gd/gc)−1)) = min(100, 30, 30·0.732) = 21.96
+        let expect = h * ((6.0f64 / 2.0).sqrt() - 1.0);
+        assert!(
+            (alloc[0] - expect).abs() < 0.1,
+            "expected ≈{expect}, got {}",
+            alloc[0]
+        );
+    }
+
+    #[test]
+    fn allocation_is_locally_optimal() {
+        // Move ε of budget between any funded pair: variance must not drop.
+        let groups = [
+            GroupParams::new(4.0, 0.3, 2.0, 40.0),
+            GroupParams::new(12.0, 0.0, 4.0, f64::INFINITY),
+            GroupParams::new(2.0, 0.8, 1.5, 25.0),
+        ];
+        let g_total = 120.0;
+        let alloc = allocate(&groups, g_total);
+        let base = combined_variance(&groups, &alloc);
+        let eps = 0.05;
+        for i in 0..groups.len() {
+            for j in 0..groups.len() {
+                if i == j {
+                    continue;
+                }
+                let mut perturbed = alloc.clone();
+                let dc_i = eps / groups[i].cost;
+                let dc_j = eps / groups[j].cost;
+                if perturbed[i] < dc_i || perturbed[j] + dc_j > groups[j].cap {
+                    continue;
+                }
+                perturbed[i] -= dc_i;
+                perturbed[j] += dc_j;
+                let v = combined_variance(&groups, &perturbed);
+                assert!(
+                    v >= base - 1e-7 * base,
+                    "moving budget {i}→{j} improved variance: {base} → {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(allocate(&[], 10.0).is_empty());
+        let g = [GroupParams::new(1.0, 0.0, 1.0, f64::INFINITY)];
+        assert_eq!(allocate(&g, 0.0), vec![0.0]);
+        assert_eq!(allocate(&g, -5.0), vec![0.0]);
+        // Zero-cost and zero-cap groups get nothing.
+        let g = [
+            GroupParams::new(1.0, 0.0, 0.0, f64::INFINITY),
+            GroupParams::new(1.0, 0.0, 1.0, 0.0),
+            GroupParams::new(1.0, 0.0, 1.0, f64::INFINITY),
+        ];
+        let alloc = allocate(&g, 10.0);
+        assert_eq!(alloc[0], 0.0);
+        assert_eq!(alloc[1], 0.0);
+        assert!((alloc[2] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_budget_still_respected() {
+        let groups = [
+            GroupParams::new(4.0, 0.5, 7.0, 10.0),
+            GroupParams::new(9.0, 0.0, 11.0, f64::INFINITY),
+        ];
+        let alloc = allocate(&groups, 5.0);
+        assert!(spend(&groups, &alloc) <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn corollary_4_1_clamps() {
+        // Negative inner term → 0.
+        let h1 = corollary_4_1(10.0, 1.0, 1.0, 100.0, 0.01, 1.0, 50.0);
+        assert_eq!(h1, 0.0);
+        // Huge inner term → min(G/gc, h).
+        let h1 = corollary_4_1(10.0, 1.0, 100.0, 10.0, 1000.0, 0.001, 50.0);
+        assert_eq!(h1, 10.0);
+        let h1 = corollary_4_1(1000.0, 1.0, 100.0, 10.0, 1000.0, 0.001, 50.0);
+        assert_eq!(h1, 50.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Accuracy metrics used throughout the paper's evaluation (§6.1):
+//! relative error, MSE decomposition, and per-round series summaries
+//! across repeated trials.
+
+use crate::moments::RunningMoments;
+
+/// `|θ̃ − θ| / |θ|`, the paper's accuracy measure. When the ground truth is
+/// zero, returns 0 for an exact estimate and ∞ otherwise (the convention
+/// that keeps the metric monotone; the paper's workloads never hit θ = 0).
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        return if estimate == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (estimate - truth).abs() / truth.abs()
+}
+
+/// Decomposition `MSE = bias² + variance` (equation 1) computed from a set
+/// of independent estimates of a known ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MseDecomposition {
+    /// `E[θ̃] − θ`.
+    pub bias: f64,
+    /// Variance of the estimates (population).
+    pub variance: f64,
+    /// `bias² + variance`.
+    pub mse: f64,
+}
+
+/// Computes the MSE decomposition of `estimates` against `truth`.
+/// Returns `None` for an empty slice.
+pub fn mse_decomposition(estimates: &[f64], truth: f64) -> Option<MseDecomposition> {
+    let m = RunningMoments::from_slice(estimates);
+    let mean = m.mean()?;
+    let variance = m.population_variance()?;
+    let bias = mean - truth;
+    Some(MseDecomposition { bias, variance, mse: bias * bias + variance })
+}
+
+/// Accumulates one metric across trials for each point of a series (e.g.
+/// relative error per round, across 20 seeded trials).
+#[derive(Debug, Clone, Default)]
+pub struct SeriesSummary {
+    points: Vec<RunningMoments>,
+}
+
+impl SeriesSummary {
+    /// An empty summary with `len` points.
+    pub fn new(len: usize) -> Self {
+        Self { points: vec![RunningMoments::new(); len] }
+    }
+
+    /// Number of points in the series.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Records one trial's value at `point`.
+    pub fn record(&mut self, point: usize, value: f64) {
+        self.points[point].push(value);
+    }
+
+    /// Records a whole trial (one value per point; length must match).
+    pub fn record_trial(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.points.len(), "trial length mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self.points[i].push(v);
+        }
+    }
+
+    /// Mean at `point` (NaN if nothing recorded — keeps CSV columns
+    /// aligned).
+    pub fn mean(&self, point: usize) -> f64 {
+        self.points[point].mean().unwrap_or(f64::NAN)
+    }
+
+    /// Sample standard deviation at `point` (0 with < 2 trials).
+    pub fn std(&self, point: usize) -> f64 {
+        self.points[point]
+            .sample_variance()
+            .map(f64::sqrt)
+            .unwrap_or(0.0)
+    }
+
+    /// Means of all points.
+    pub fn means(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.mean(i)).collect()
+    }
+
+    /// Sample standard deviations of all points.
+    pub fn stds(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.std(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(110.0, 100.0), 0.1);
+        assert_eq!(relative_error(90.0, 100.0), 0.1);
+        assert_eq!(relative_error(-50.0, -100.0), 0.5);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn mse_decomposes() {
+        // Estimates 9, 11 of truth 8: mean 10, bias 2, variance 1.
+        let d = mse_decomposition(&[9.0, 11.0], 8.0).unwrap();
+        assert!((d.bias - 2.0).abs() < 1e-12);
+        assert!((d.variance - 1.0).abs() < 1e-12);
+        assert!((d.mse - 5.0).abs() < 1e-12);
+        assert!(mse_decomposition(&[], 1.0).is_none());
+    }
+
+    #[test]
+    fn series_summary_accumulates_trials() {
+        let mut s = SeriesSummary::new(3);
+        s.record_trial(&[1.0, 2.0, 3.0]);
+        s.record_trial(&[3.0, 2.0, 1.0]);
+        assert_eq!(s.means(), vec![2.0, 2.0, 2.0]);
+        assert!((s.std(0) - (2.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.std(1), 0.0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn unrecorded_points_are_nan() {
+        let mut s = SeriesSummary::new(2);
+        s.record(0, 1.0);
+        assert_eq!(s.mean(0), 1.0);
+        assert!(s.mean(1).is_nan());
+        assert_eq!(s.std(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial length mismatch")]
+    fn mismatched_trial_panics() {
+        let mut s = SeriesSummary::new(2);
+        s.record_trial(&[1.0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Numerically stable running moments (Welford's algorithm).
+
+/// Streaming mean/variance accumulator.
+///
+/// Uses Welford's online update, so it is stable even when values are large
+/// and close together (e.g. Horvitz–Thompson estimates in the 1e5 range
+/// differing by a few units).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an accumulator from a slice.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut m = Self::new();
+        for &v in values {
+            m.push(v);
+        }
+        m
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; `None` if no observations.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Bessel-corrected sample variance (divides by `n−1`); `None` for
+    /// fewer than two observations. This is the correction the paper
+    /// invokes (§4.2, ref \[23\]) to de-bias the plug-in variance estimates.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Population variance (divides by `n`); `None` if empty.
+    pub fn population_variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Variance of the sample mean: `sample_variance / n`.
+    pub fn variance_of_mean(&self) -> Option<f64> {
+        self.sample_variance().map(|v| v / self.n as f64)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut m = RunningMoments::new();
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.sample_variance(), None);
+        m.push(5.0);
+        assert_eq!(m.mean(), Some(5.0));
+        assert_eq!(m.sample_variance(), None);
+        assert_eq!(m.population_variance(), Some(0.0));
+    }
+
+    #[test]
+    fn matches_two_pass_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let m = RunningMoments::from_slice(&xs);
+        assert!(close(m.mean().unwrap(), 5.0));
+        assert!(close(m.population_variance().unwrap(), 4.0));
+        assert!(close(m.sample_variance().unwrap(), 32.0 / 7.0));
+        assert!(close(m.variance_of_mean().unwrap(), 32.0 / 7.0 / 8.0));
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        let base = 1e12;
+        let xs: Vec<f64> = (0..100).map(|i| base + (i % 5) as f64).collect();
+        let m = RunningMoments::from_slice(&xs);
+        // Exact variance of the pattern 0,1,2,3,4 repeated: 2.0 (population).
+        assert!((m.population_variance().unwrap() - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn merge_equals_bulk() {
+        let xs = [1.0, 2.0, 3.0, 10.0, -4.0];
+        let ys = [7.0, 0.5];
+        let mut a = RunningMoments::from_slice(&xs);
+        let b = RunningMoments::from_slice(&ys);
+        a.merge(&b);
+        let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let bulk = RunningMoments::from_slice(&all);
+        assert_eq!(a.count(), bulk.count());
+        assert!(close(a.mean().unwrap(), bulk.mean().unwrap()));
+        assert!(close(a.sample_variance().unwrap(), bulk.sample_variance().unwrap()));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningMoments::from_slice(&[1.0, 2.0]);
+        let before = a;
+        a.merge(&RunningMoments::new());
+        assert_eq!(a, before);
+        let mut e = RunningMoments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}

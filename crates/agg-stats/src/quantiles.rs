@@ -1,0 +1,201 @@
+//! Streaming quantile estimation (the P² algorithm of Jain & Chlamtac,
+//! 1985): constant-memory percentile tracking for experiment reporting.
+//!
+//! The harness summarises per-trial error distributions; means hide the
+//! heavy tails that drive estimator behaviour here, so EXPERIMENTS.md
+//! also reports medians/p90 — computed by this accumulator without
+//! buffering the observations.
+
+/// P² estimator for a single quantile `p ∈ (0, 1)`.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (the 5 tracked order statistics).
+    q: [f64; 5],
+    /// Marker positions (1-based ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Position increments.
+    dn: [f64; 5],
+    count: usize,
+    /// Initial observations until the markers are seeded.
+    seed: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-quantile.
+    ///
+    /// # Panics
+    /// If `p` is not strictly between 0 and 1.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1)");
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            seed: Vec::with_capacity(5),
+        }
+    }
+
+    /// The median tracker.
+    pub fn median() -> Self {
+        Self::new(0.5)
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.seed.len() < 5 {
+            self.seed.push(x);
+            if self.seed.len() == 5 {
+                self.seed.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.q.copy_from_slice(&self.seed);
+            }
+            return;
+        }
+        // Find the cell k with q[k] ≤ x < q[k+1], adjusting extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.q[i] <= x && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+        // Adjust interior markers by parabolic (or linear) interpolation.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current quantile estimate; `None` before any observation. With
+    /// fewer than 5 observations, the exact order statistic is returned.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.seed.len() < 5 {
+            let mut s = self.seed.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let idx = ((self.p * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
+            return Some(s[idx]);
+        }
+        Some(self.q[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut q = P2Quantile::median();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..20_000 {
+            q.push(rng.random::<f64>());
+        }
+        let m = q.estimate().unwrap();
+        assert!((m - 0.5).abs() < 0.02, "median {m}");
+        assert_eq!(q.count(), 20_000);
+    }
+
+    #[test]
+    fn p90_of_skewed_stream() {
+        // Exponential-ish: -ln(U). True p90 = -ln(0.1) ≈ 2.3026.
+        let mut q = P2Quantile::new(0.9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..50_000 {
+            let u: f64 = rng.random();
+            q.push(-u.max(1e-12).ln());
+        }
+        let e = q.estimate().unwrap();
+        assert!((e - 2.3026).abs() < 0.12, "p90 {e}");
+    }
+
+    #[test]
+    fn small_streams_fall_back_to_order_statistics() {
+        let mut q = P2Quantile::median();
+        assert_eq!(q.estimate(), None);
+        q.push(3.0);
+        assert_eq!(q.estimate(), Some(3.0));
+        q.push(1.0);
+        q.push(2.0);
+        // Median of {1,2,3} = 2.
+        assert_eq!(q.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn constant_stream_is_exact() {
+        let mut q = P2Quantile::new(0.75);
+        for _ in 0..1_000 {
+            q.push(42.0);
+        }
+        assert_eq!(q.estimate(), Some(42.0));
+    }
+
+    #[test]
+    fn monotone_under_sorted_input() {
+        let mut q = P2Quantile::median();
+        for i in 0..10_000 {
+            q.push(i as f64);
+        }
+        let m = q.estimate().unwrap();
+        assert!((m - 5_000.0).abs() < 150.0, "median of 0..10000 ≈ {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn invalid_quantile_rejected() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the budget allocator (Corollaries 4.1/4.3) and the
+//! inverse-variance combiner (Theorem 4.2 / Corollary 4.2).
+
+use agg_stats::allocation::{allocate, combined_variance, GroupParams};
+use agg_stats::moments::RunningMoments;
+use agg_stats::weighted::{combine, Component};
+use proptest::prelude::*;
+
+fn group_strategy() -> impl Strategy<Value = GroupParams> {
+    (
+        0.01..100.0f64,             // alpha
+        prop_oneof![Just(0.0), 0.01..10.0f64], // beta (often zero)
+        1.0..10.0f64,               // cost
+        prop_oneof![(0.0..60.0f64).boxed(), Just(f64::INFINITY).boxed()], // cap
+    )
+        .prop_map(|(alpha, beta, cost, cap)| GroupParams::new(alpha, beta, cost, cap))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn allocation_respects_budget_and_caps(
+        groups in prop::collection::vec(group_strategy(), 1..6),
+        budget in 0.0..500.0f64,
+    ) {
+        let alloc = allocate(&groups, budget);
+        prop_assert_eq!(alloc.len(), groups.len());
+        let spend: f64 = alloc.iter().zip(&groups).map(|(c, g)| c * g.cost).sum();
+        prop_assert!(spend <= budget + 1e-6, "spend {} > budget {}", spend, budget);
+        for (c, g) in alloc.iter().zip(&groups) {
+            prop_assert!(*c >= 0.0);
+            prop_assert!(*c <= g.cap + 1e-9, "c {} > cap {}", c, g.cap);
+        }
+    }
+
+    #[test]
+    fn allocation_is_locally_optimal(
+        groups in prop::collection::vec(group_strategy(), 2..5),
+        budget in 50.0..400.0f64,
+    ) {
+        let alloc = allocate(&groups, budget);
+        let base = combined_variance(&groups, &alloc);
+        if !base.is_finite() {
+            return Ok(());
+        }
+        // Moving a small amount of budget between any funded pair must not
+        // improve the combined variance (first-order KKT check).
+        let eps_budget = 0.01;
+        for i in 0..groups.len() {
+            for j in 0..groups.len() {
+                if i == j { continue; }
+                let dc_i = eps_budget / groups[i].cost;
+                let dc_j = eps_budget / groups[j].cost;
+                if alloc[i] < dc_i || alloc[j] + dc_j > groups[j].cap {
+                    continue;
+                }
+                let mut p = alloc.clone();
+                p[i] -= dc_i;
+                p[j] += dc_j;
+                let v = combined_variance(&groups, &p);
+                prop_assert!(
+                    v >= base * (1.0 - 1e-4) - 1e-9,
+                    "perturbation {}→{} improved variance {} → {}", i, j, base, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_budget_never_hurts(
+        groups in prop::collection::vec(group_strategy(), 1..5),
+        budget in 10.0..200.0f64,
+        extra in 1.0..100.0f64,
+    ) {
+        let v1 = combined_variance(&groups, &allocate(&groups, budget));
+        let v2 = combined_variance(&groups, &allocate(&groups, budget + extra));
+        // Allow tiny numerical slack from the bisection.
+        prop_assert!(
+            v2 <= v1 * (1.0 + 1e-3) + 1e-9,
+            "more budget worsened variance: {} → {}", v1, v2
+        );
+    }
+
+    #[test]
+    fn combiner_never_worse_than_best_component(
+        comps in prop::collection::vec(
+            ((-1e6..1e6f64), 0.01..1e6f64).prop_map(|(e, v)| Component::new(e, v)),
+            1..8
+        ),
+    ) {
+        let c = combine(&comps).unwrap();
+        let best = comps.iter().map(|c| c.variance).fold(f64::INFINITY, f64::min);
+        prop_assert!(c.variance <= best + 1e-9);
+        // Estimate lies within the component hull.
+        let lo = comps.iter().map(|c| c.estimate).fold(f64::INFINITY, f64::min);
+        let hi = comps.iter().map(|c| c.estimate).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(c.estimate >= lo - 1e-9 && c.estimate <= hi + 1e-9);
+    }
+
+    #[test]
+    fn welford_matches_two_pass(
+        xs in prop::collection::vec(-1e6..1e6f64, 2..60),
+    ) {
+        let m = RunningMoments::from_slice(&xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((m.mean().unwrap() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!(
+            (m.sample_variance().unwrap() - var).abs() < 1e-6 * (1.0 + var.abs())
+        );
+    }
+
+    #[test]
+    fn welford_merge_is_associative_enough(
+        xs in prop::collection::vec(-1e3..1e3f64, 1..30),
+        ys in prop::collection::vec(-1e3..1e3f64, 1..30),
+    ) {
+        let mut a = RunningMoments::from_slice(&xs);
+        a.merge(&RunningMoments::from_slice(&ys));
+        let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let bulk = RunningMoments::from_slice(&all);
+        prop_assert!((a.mean().unwrap() - bulk.mean().unwrap()).abs() < 1e-9);
+        prop_assert!(
+            (a.population_variance().unwrap() - bulk.population_variance().unwrap()).abs()
+                < 1e-7
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Statistics-toolkit benchmarks: the water-filling allocator, the
+//! inverse-variance combiner, and the moment accumulator.
+
+use agg_stats::allocation::{allocate, GroupParams};
+use agg_stats::moments::RunningMoments;
+use agg_stats::weighted::{combine, Component};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn groups(n: usize) -> Vec<GroupParams> {
+    (0..n)
+        .map(|i| {
+            GroupParams::new(
+                1.0 + i as f64,
+                if i % 3 == 0 { 0.0 } else { 0.1 * i as f64 },
+                2.0 + (i % 5) as f64,
+                if i % 4 == 0 { f64::INFINITY } else { 20.0 + i as f64 },
+            )
+        })
+        .collect()
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    for n in [2usize, 8, 32] {
+        let gs = groups(n);
+        group.bench_function(format!("allocate_{n}_groups"), |b| {
+            b.iter(|| black_box(allocate(black_box(&gs), 500.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combine");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    let comps: Vec<Component> = (0..100)
+        .map(|i| Component::new(100.0 + i as f64, 1.0 + (i % 7) as f64))
+        .collect();
+    group.bench_function("combine_100", |b| {
+        b.iter(|| black_box(combine(black_box(&comps))))
+    });
+    group.finish();
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moments");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    group.bench_function("welford_push_1k", |b| {
+        b.iter(|| {
+            let mut m = RunningMoments::new();
+            for i in 0..1_000 {
+                m.push(black_box(i as f64 * 1.7));
+            }
+            black_box(m.sample_variance())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation, bench_combine, bench_moments);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Drill-down machinery benchmarks: fresh drills vs resumed (reissued)
+//! drills — the query-cost asymmetry the whole paper exploits, measured
+//! in wall-clock on the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hidden_db::ranking::ScoringPolicy;
+use hidden_db::session::SearchSession;
+use query_tree::{drill_from_root, resume_from, QueryTree, ReissuePolicy, Signature};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use workloads::{load_database, AutosGenerator};
+
+fn bench_drills(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drilldown");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+
+    let mut gen = AutosGenerator::with_attrs(16);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut db = load_database(&mut gen, &mut rng, 20_000, 100, ScoringPolicy::default());
+    let tree = QueryTree::full(&db.schema().clone());
+
+    // Pre-sample signatures and terminal depths.
+    let sigs: Vec<Signature> = (0..256).map(|_| Signature::sample(&tree, &mut rng)).collect();
+    let mut depths = Vec::with_capacity(sigs.len());
+    for sig in &sigs {
+        let mut s = SearchSession::unlimited(&mut db);
+        depths.push(drill_from_root(&tree, sig, &mut s).unwrap().depth);
+    }
+    // Warm the per-version cache so both benches measure the steady state
+    // an estimator sees mid-round.
+    let mut i = 0usize;
+    group.bench_function("fresh_drill_warm_cache", |b| {
+        b.iter(|| {
+            let sig = &sigs[i % sigs.len()];
+            i += 1;
+            let mut s = SearchSession::unlimited(&mut db);
+            black_box(drill_from_root(&tree, sig, &mut s).unwrap());
+        })
+    });
+    let mut j = 0usize;
+    group.bench_function("resume_unchanged_strict", |b| {
+        b.iter(|| {
+            let idx = j % sigs.len();
+            j += 1;
+            let mut s = SearchSession::unlimited(&mut db);
+            black_box(
+                resume_from(&tree, &sigs[idx], depths[idx], ReissuePolicy::Strict, &mut s)
+                    .unwrap(),
+            );
+        })
+    });
+    let mut l = 0usize;
+    group.bench_function("resume_unchanged_trusting", |b| {
+        b.iter(|| {
+            let idx = l % sigs.len();
+            l += 1;
+            let mut s = SearchSession::unlimited(&mut db);
+            black_box(
+                resume_from(&tree, &sigs[idx], depths[idx], ReissuePolicy::Trusting, &mut s)
+                    .unwrap(),
+            );
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_drills, bench_crawl);
+criterion_main!(benches);
+
+// ---------------------------------------------------------------------
+// Crawling baseline (the §1 strawman): cost of exactness vs estimation.
+// ---------------------------------------------------------------------
+
+fn bench_crawl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crawl_baseline");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+    let mut gen = AutosGenerator::with_attrs(12);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut db = load_database(&mut gen, &mut rng, 8_000, 100, ScoringPolicy::default());
+    let tree = QueryTree::full(&db.schema().clone());
+    group.bench_function("full_crawl_8k", |b| {
+        b.iter(|| {
+            let mut s = SearchSession::unlimited(&mut db);
+            black_box(query_tree::crawl::crawl(&tree, &mut s))
+        })
+    });
+    group.finish();
+}

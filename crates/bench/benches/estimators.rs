@@ -1,0 +1,123 @@
+//! Whole-round estimator benchmarks, plus the Strict/Trusting reissue
+//! policy ablation called out in DESIGN.md.
+
+use aggtrack_core::{AggregateSpec, Estimator, ReissueEstimator, RestartEstimator, RsEstimator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hidden_db::ranking::ScoringPolicy;
+use hidden_db::session::SearchSession;
+use query_tree::{QueryTree, ReissuePolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use workloads::{load_database, AutosGenerator};
+
+fn fixture() -> (hidden_db::HiddenDatabase, QueryTree) {
+    let mut gen = AutosGenerator::with_attrs(12);
+    let mut rng = StdRng::seed_from_u64(4);
+    let db = load_database(&mut gen, &mut rng, 8_000, 100, ScoringPolicy::default());
+    let tree = QueryTree::full(&db.schema().clone());
+    (db, tree)
+}
+
+const G: u64 = 200;
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_round");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(400));
+    let (db, tree) = fixture();
+
+    group.bench_function("restart_round", |b| {
+        b.iter_batched(
+            || {
+                (
+                    db.clone(),
+                    RestartEstimator::new(AggregateSpec::count_star(), tree.clone(), 1),
+                )
+            },
+            |(mut db, mut est)| {
+                let mut s = SearchSession::new(&mut db, G);
+                black_box(est.run_round(&mut s));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Steady-state REISSUE: round 1 executed in setup, round 2 measured.
+    group.bench_function("reissue_round2", |b| {
+        b.iter_batched(
+            || {
+                let mut db2 = db.clone();
+                let mut est = ReissueEstimator::new(AggregateSpec::count_star(), tree.clone(), 2);
+                {
+                    let mut s = SearchSession::new(&mut db2, G);
+                    est.run_round(&mut s);
+                }
+                (db2, est)
+            },
+            |(mut db, mut est)| {
+                let mut s = SearchSession::new(&mut db, G);
+                black_box(est.run_round(&mut s));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("rs_round2", |b| {
+        b.iter_batched(
+            || {
+                let mut db2 = db.clone();
+                let mut est = RsEstimator::new(AggregateSpec::count_star(), tree.clone(), 3);
+                {
+                    let mut s = SearchSession::new(&mut db2, G);
+                    est.run_round(&mut s);
+                }
+                (db2, est)
+            },
+            |(mut db, mut est)| {
+                let mut s = SearchSession::new(&mut db, G);
+                black_box(est.run_round(&mut s));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_policy_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reissue_policy_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(400));
+    let (db, tree) = fixture();
+    for (name, policy) in [
+        ("strict", ReissuePolicy::Strict),
+        ("trusting", ReissuePolicy::Trusting),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut db2 = db.clone();
+                    let mut est = ReissueEstimator::with_policy(
+                        AggregateSpec::count_star(),
+                        tree.clone(),
+                        5,
+                        policy,
+                    );
+                    {
+                        let mut s = SearchSession::new(&mut db2, G);
+                        est.run_round(&mut s);
+                    }
+                    (db2, est)
+                },
+                |(mut db, mut est)| {
+                    let mut s = SearchSession::new(&mut db, G);
+                    black_box(est.run_round(&mut s));
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds, bench_policy_ablation);
+criterion_main!(benches);

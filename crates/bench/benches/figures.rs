@@ -1,0 +1,228 @@
+//! One Criterion bench per paper figure: times a miniaturised version of
+//! each figure's workload (same code paths as the `figNN_*` harness
+//! binaries, without the CSV printing). Use the binaries to regenerate
+//! the actual series; use these benches to watch for performance
+//! regressions in each experiment family.
+
+use aggtrack_bench::cli::{BaseCfg, Scale};
+use aggtrack_bench::runner::{count_star_tracked, standard_algos, track, Tracked};
+use aggtrack_core::{
+    AggregateSpec, Estimator, ReissueEstimator, RsConfig, RsEstimator, TrackingTarget,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hidden_db::query::{ConjunctiveQuery, Predicate};
+use hidden_db::session::SearchSession;
+use hidden_db::value::{AttrId, MeasureId, ValueId};
+use query_tree::QueryTree;
+use std::hint::black_box;
+use std::time::Duration;
+use workloads::{spread_evenly, AmazonSim, DeleteSpec, EbaySim, IntraRoundSession};
+
+/// Micro config: 3 rounds × 1 trial on a 2 000-tuple population.
+fn micro() -> BaseCfg {
+    let mut cfg = BaseCfg::for_scale(Scale::Quick);
+    cfg.initial = 2_000;
+    cfg.rounds = 3;
+    cfg.trials = 1;
+    cfg.g = 120;
+    cfg
+}
+
+fn run_track(cfg: &BaseCfg) {
+    black_box(track(
+        cfg,
+        &standard_algos(),
+        RsConfig::default(),
+        &count_star_tracked,
+    ));
+}
+
+fn run_track_change(cfg: &BaseCfg) {
+    let rs = RsConfig { target: TrackingTarget::Change, ..RsConfig::default() };
+    black_box(track(cfg, &standard_algos(), rs, &count_star_tracked));
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+
+    g.bench_function("fig02_default_tracking", |b| {
+        let cfg = micro();
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig03_error_bars", |b| {
+        let mut cfg = micro();
+        cfg.trials = 2; // error bars need ≥ 2 trials
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig04_intra_round", |b| {
+        b.iter(|| {
+            let mut gen = workloads::AutosGenerator::with_attrs(12);
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+            let db = workloads::load_database(
+                &mut gen,
+                &mut rng,
+                2_000,
+                100,
+                hidden_db::ScoringPolicy::default(),
+            );
+            let schedule = workloads::PerRoundSchedule::new(gen, 8, DeleteSpec::Fraction(0.001));
+            let mut driver = workloads::RoundDriver::new(db, schedule, 2);
+            let tree = QueryTree::full(&driver.db().schema().clone());
+            let mut est = ReissueEstimator::new(AggregateSpec::count_star(), tree, 3);
+            for _ in 0..3 {
+                let batch = driver.peek_batch();
+                let mut session =
+                    IntraRoundSession::new(driver.db_mut(), 120, spread_evenly(batch));
+                black_box(est.run_round(&mut session));
+                session.drain_pending();
+                driver.mark_round();
+            }
+        })
+    });
+    g.bench_function("fig05_little_change", |b| {
+        let mut cfg = micro();
+        cfg.inserts = 1;
+        cfg.delete = DeleteSpec::None;
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig06_big_change", |b| {
+        let mut cfg = micro();
+        cfg.inserts = cfg.initial / 10;
+        cfg.delete = DeleteSpec::Fraction(0.05);
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig07_big_change_k1", |b| {
+        let mut cfg = micro();
+        cfg.k = 1;
+        cfg.initial = 500;
+        cfg.inserts = 50;
+        cfg.delete = DeleteSpec::Fraction(0.05);
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig08_k_sweep_point", |b| {
+        let mut cfg = micro();
+        cfg.k = 50;
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig09_budget_sweep_point", |b| {
+        let mut cfg = micro();
+        cfg.g = 60;
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig10_net_change_point", |b| {
+        let mut cfg = micro();
+        cfg.inserts = 0;
+        cfg.delete = DeleteSpec::Count(30);
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig11_m_sweep_point", |b| {
+        let mut cfg = micro();
+        cfg.attrs = 16;
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig12_size_point", |b| {
+        let mut cfg = micro();
+        cfg.initial = 8_000;
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig13_sum_with_conditions", |b| {
+        let cfg = micro();
+        let tracked_of = |schema: &hidden_db::Schema| -> Tracked {
+            let cond = ConjunctiveQuery::from_predicates([
+                Predicate::new(AttrId(0), ValueId(0)),
+                Predicate::new(AttrId(1), ValueId(0)),
+            ]);
+            Tracked {
+                spec: AggregateSpec::sum_measure(MeasureId(0), cond.clone()),
+                tree: QueryTree::subtree(schema, cond.clone()),
+                truth: Box::new(move |db| {
+                    db.exact_sum(Some(&cond), |t| t.measure(MeasureId(0)))
+                }),
+            }
+        };
+        b.iter(|| {
+            black_box(track(
+                &cfg,
+                &standard_algos(),
+                RsConfig::default(),
+                &tracked_of,
+            ))
+        })
+    });
+    g.bench_function("fig14_running_average", |b| {
+        let cfg = micro();
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig15_change_small", |b| {
+        let mut cfg = micro();
+        cfg.inserts = 35;
+        cfg.delete = DeleteSpec::Fraction(0.005);
+        b.iter(|| run_track_change(&cfg))
+    });
+    g.bench_function("fig16_change_abs", |b| {
+        let mut cfg = micro();
+        cfg.inserts = 35;
+        cfg.delete = DeleteSpec::Fraction(0.005);
+        b.iter(|| run_track_change(&cfg))
+    });
+    g.bench_function("fig17_change_big", |b| {
+        let mut cfg = micro();
+        cfg.inserts = cfg.initial / 10;
+        cfg.delete = DeleteSpec::Fraction(0.05);
+        b.iter(|| run_track_change(&cfg))
+    });
+    g.bench_function("fig18_budget_search_point", |b| {
+        let mut cfg = micro();
+        cfg.g = 40;
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig19_drill_accounting", |b| {
+        let cfg = micro();
+        b.iter(|| run_track(&cfg))
+    });
+    g.bench_function("fig20_amazon_day", |b| {
+        b.iter(|| {
+            let (mut db, mut sim) = AmazonSim::build(2_000, 9);
+            let tree = QueryTree::full(&db.schema().clone());
+            let mut est = RsEstimator::new(
+                AggregateSpec::avg_measure(
+                    workloads::amazon::PRICE,
+                    ConjunctiveQuery::select_all(),
+                ),
+                tree,
+                1,
+            );
+            for day in 0..2 {
+                let batch = sim.batch_for_day(&db, day);
+                db.apply(batch).unwrap();
+                let mut s = SearchSession::new(&mut db, 120);
+                black_box(est.run_round(&mut s));
+            }
+        })
+    });
+    g.bench_function("fig21_ebay_hour", |b| {
+        b.iter(|| {
+            let (mut db, mut sim) = EbaySim::build(800, 1_200, 9);
+            let tree = QueryTree::full(&db.schema().clone());
+            let mut est = RsEstimator::new(
+                AggregateSpec::avg_measure(
+                    workloads::ebay::PRICE,
+                    EbaySim::segment_condition(workloads::ebay::attrs::FIX),
+                ),
+                tree,
+                1,
+            );
+            for _ in 0..2 {
+                let mut s = SearchSession::new(&mut db, 120);
+                black_box(est.run_round(&mut s));
+                let batch = sim.batch_for_hour(&db);
+                db.apply(batch).unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

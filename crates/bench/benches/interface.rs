@@ -1,0 +1,76 @@
+//! Microbenchmarks of the hidden-database substrate: query evaluation
+//! (cold and memoised), mutation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hidden_db::query::{ConjunctiveQuery, Predicate};
+use hidden_db::ranking::ScoringPolicy;
+use hidden_db::tuple::Tuple;
+use hidden_db::value::{AttrId, TupleKey, ValueId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use workloads::{load_database, AutosGenerator, TupleFactory};
+
+fn autos_db(n: usize, attrs: usize, k: usize) -> hidden_db::HiddenDatabase {
+    let mut gen = AutosGenerator::with_attrs(attrs);
+    let mut rng = StdRng::seed_from_u64(1);
+    load_database(&mut gen, &mut rng, n, k, ScoringPolicy::default())
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interface_eval");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+
+    // Cold evaluation: clone the db so each iteration starts cache-empty.
+    let base = autos_db(10_000, 12, 100);
+    let root = ConjunctiveQuery::select_all();
+    group.bench_function("root_cold_10k", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut db| black_box(db.answer(&root)),
+            BatchSize::LargeInput,
+        )
+    });
+    let depth2 = ConjunctiveQuery::from_predicates([
+        Predicate::new(AttrId(0), ValueId(0)),
+        Predicate::new(AttrId(1), ValueId(0)),
+    ]);
+    group.bench_function("depth2_cold_10k", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut db| black_box(db.answer(&depth2)),
+            BatchSize::LargeInput,
+        )
+    });
+    // Warm (memoised) evaluation.
+    let mut warm = base.clone();
+    warm.answer(&root);
+    group.bench_function("root_warm_10k", |b| {
+        b.iter(|| black_box(warm.answer(&root)))
+    });
+    group.finish();
+}
+
+fn bench_mutations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interface_mutations");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    let mut gen = AutosGenerator::with_attrs(12);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut db = load_database(&mut gen, &mut rng, 10_000, 100, ScoringPolicy::default());
+    let mut key = 1_000_000u64;
+    group.bench_function("insert_delete_pair", |b| {
+        b.iter(|| {
+            let mut t = gen.make(&mut rng);
+            // Force a fresh key so inserts never collide.
+            key += 1;
+            t = Tuple::new(TupleKey(key), t.values().to_vec(), t.measures().to_vec());
+            db.insert(t).unwrap();
+            db.delete(TupleKey(key)).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_mutations);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: attribute drill-order heuristics (query-tree `order`
+//! module). Measures, per heuristic: mean drill cost (queries per fresh
+//! drill-down) and RESTART relative error at a fixed budget.
+//!
+//! ```sh
+//! cargo run --release -p aggtrack-bench --bin ablation_drill_order
+//! ```
+
+use aggtrack_bench::cli::{BaseCfg, Cli};
+use aggtrack_core::{AggregateSpec, Estimator, RestartEstimator};
+use hidden_db::ranking::ScoringPolicy;
+use hidden_db::session::SearchSession;
+use query_tree::order::{tree_with_heuristic, OrderHeuristic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::{load_database, AutosGenerator};
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = BaseCfg::from_cli(&cli);
+    let mut gen = AutosGenerator::with_attrs(cfg.attrs);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = load_database(&mut gen, &mut rng, cfg.initial, cfg.k, ScoringPolicy::default());
+    let truth = db.exact_count(None) as f64;
+
+    println!("# Ablation: drill order heuristics (RESTART, G = {}, k = {})", cfg.g, cfg.k);
+    println!("heuristic,mean_drill_cost,mean_rel_err");
+    for (name, heur) in [
+        ("schema_order", OrderHeuristic::SchemaOrder),
+        ("largest_domain_first", OrderHeuristic::LargestDomainFirst),
+        ("smallest_domain_first", OrderHeuristic::SmallestDomainFirst),
+    ] {
+        let tree = tree_with_heuristic(db.schema(), heur);
+        let mut err = 0.0;
+        let mut cost_per_drill = 0.0;
+        let trials = cfg.trials.max(4) as u64;
+        for seed in 0..trials {
+            let mut est = RestartEstimator::new(AggregateSpec::count_star(), tree.clone(), seed);
+            let mut session = SearchSession::new(&mut db, cfg.g);
+            let report = est.run_round(&mut session);
+            err += agg_stats::relative_error(report.count.value, truth) / trials as f64;
+            cost_per_drill +=
+                report.queries_spent as f64 / report.initiated.max(1) as f64 / trials as f64;
+        }
+        println!("{name},{cost_per_drill:.3},{err:.6}");
+    }
+}

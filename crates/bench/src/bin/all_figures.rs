@@ -1,0 +1,38 @@
+//! Runs every figure harness in sequence (use --scale quick for a smoke
+//! run, the default scale for the committed EXPERIMENTS.md numbers).
+use aggtrack_bench::{figures, Cli};
+
+/// A figure-harness entry: name and runner.
+type FigureEntry = (&'static str, fn(&Cli));
+
+fn main() {
+    let cli = Cli::parse();
+    let figs: [FigureEntry; 20] = [
+        ("fig02", figures::fig02),
+        ("fig03", figures::fig03),
+        ("fig04", figures::fig04),
+        ("fig05", figures::fig05),
+        ("fig06", figures::fig06),
+        ("fig07", figures::fig07),
+        ("fig08", figures::fig08),
+        ("fig09", figures::fig09),
+        ("fig10", figures::fig10),
+        ("fig11", figures::fig11),
+        ("fig12", figures::fig12),
+        ("fig13", figures::fig13),
+        ("fig14", figures::fig14),
+        ("fig15", figures::fig15),
+        ("fig16", figures::fig16),
+        ("fig17", figures::fig17),
+        ("fig18", figures::fig18),
+        ("fig19", figures::fig19),
+        ("fig20", figures::fig20),
+        ("fig21", figures::fig21),
+    ];
+    for (name, f) in figs {
+        eprintln!(">>> {name}");
+        let start = std::time::Instant::now();
+        f(&cli);
+        eprintln!(">>> {name} done in {:.1?}", start.elapsed());
+    }
+}

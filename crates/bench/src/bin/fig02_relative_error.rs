@@ -1,0 +1,4 @@
+//! Regenerates Figure 02 of the paper. Flags: --scale quick|default|paper etc.
+fn main() {
+    aggtrack_bench::figures::fig02(&aggtrack_bench::Cli::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 08 of the paper. Flags: --scale quick|default|paper etc.
+fn main() {
+    aggtrack_bench::figures::fig08(&aggtrack_bench::Cli::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 11 of the paper. Flags: --scale quick|default|paper etc.
+fn main() {
+    aggtrack_bench::figures::fig11(&aggtrack_bench::Cli::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 15 of the paper. Flags: --scale quick|default|paper etc.
+fn main() {
+    aggtrack_bench::figures::fig15(&aggtrack_bench::Cli::parse());
+}

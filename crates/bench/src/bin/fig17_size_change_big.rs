@@ -1,0 +1,4 @@
+//! Regenerates Figure 17 of the paper. Flags: --scale quick|default|paper etc.
+fn main() {
+    aggtrack_bench::figures::fig17(&aggtrack_bench::Cli::parse());
+}

@@ -1,0 +1,206 @@
+//! Minimal flag parsing shared by the figure harness binaries.
+//!
+//! Flags (all optional):
+//! * `--scale quick|default|paper` — experiment size preset;
+//! * `--trials N` — override trials per configuration;
+//! * `--rounds N` — override tracked rounds;
+//! * `--budget N` — override the per-round query budget `G`;
+//! * `--seed N` — base seed.
+
+use workloads::DeleteSpec;
+
+/// Experiment size preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Smoke-test size (seconds): used by `cargo bench` wrappers.
+    Quick,
+    /// The committed EXPERIMENTS.md size (tens of seconds per figure).
+    #[default]
+    Default,
+    /// The paper's full size (170 000 tuples, m = 38, k = 1000, G = 500).
+    Paper,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    /// Size preset.
+    pub scale: Scale,
+    /// Trials override.
+    pub trials: Option<usize>,
+    /// Rounds override.
+    pub rounds: Option<usize>,
+    /// Budget override.
+    pub budget: Option<u64>,
+    /// Seed override.
+    pub seed: Option<u64>,
+}
+
+impl Cli {
+    /// Parses `std::env::args()`. Unknown flags abort with a usage message.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut cli = Cli::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {name} needs a value"))
+            };
+            match arg.as_str() {
+                "--scale" => {
+                    cli.scale = match value("--scale").as_str() {
+                        "quick" => Scale::Quick,
+                        "default" => Scale::Default,
+                        "paper" => Scale::Paper,
+                        other => panic!("unknown scale {other:?}"),
+                    }
+                }
+                "--trials" => cli.trials = Some(value("--trials").parse().expect("usize")),
+                "--rounds" => cli.rounds = Some(value("--rounds").parse().expect("usize")),
+                "--budget" => cli.budget = Some(value("--budget").parse().expect("u64")),
+                "--seed" => cli.seed = Some(value("--seed").parse().expect("u64")),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale quick|default|paper  --trials N  --rounds N  \
+                         --budget N  --seed N"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?} (try --help)"),
+            }
+        }
+        cli
+    }
+}
+
+/// Base configuration for the synthetic-Autos tracking experiments.
+#[derive(Debug, Clone)]
+pub struct BaseCfg {
+    /// Initial population `|D_1|`.
+    pub initial: usize,
+    /// Attribute count `m`.
+    pub attrs: usize,
+    /// Interface page size `k`.
+    pub k: usize,
+    /// Per-round query budget `G` (per algorithm).
+    pub g: u64,
+    /// Rounds tracked.
+    pub rounds: usize,
+    /// Seeded trials averaged per configuration.
+    pub trials: usize,
+    /// Tuples inserted per round.
+    pub inserts: usize,
+    /// Deletions per round.
+    pub delete: DeleteSpec,
+    /// Base seed (trial t uses `seed + t`).
+    pub seed: u64,
+}
+
+impl BaseCfg {
+    /// The preset for a scale, before figure-specific tweaks.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Self {
+                initial: 4_000,
+                attrs: 12,
+                k: 100,
+                g: 200,
+                rounds: 10,
+                trials: 2,
+                inserts: 8,
+                delete: DeleteSpec::Fraction(0.001),
+                seed: 0x5EED,
+            },
+            Scale::Default => Self {
+                initial: 30_000,
+                attrs: 20,
+                k: 200,
+                g: 300,
+                rounds: 50,
+                trials: 8,
+                // +300 of 170 000 ≈ 0.18 %/round, scaled to 30 000.
+                inserts: 53,
+                delete: DeleteSpec::Fraction(0.001),
+                seed: 0x5EED,
+            },
+            Scale::Paper => Self {
+                initial: 170_000,
+                attrs: 38,
+                k: 1_000,
+                g: 500,
+                rounds: 50,
+                trials: 10,
+                inserts: 300,
+                delete: DeleteSpec::Fraction(0.001),
+                seed: 0x5EED,
+            },
+        }
+    }
+
+    /// Applies the CLI overrides.
+    pub fn with_cli(mut self, cli: &Cli) -> Self {
+        if let Some(t) = cli.trials {
+            self.trials = t;
+        }
+        if let Some(r) = cli.rounds {
+            self.rounds = r;
+        }
+        if let Some(g) = cli.budget {
+            self.g = g;
+        }
+        if let Some(s) = cli.seed {
+            self.seed = s;
+        }
+        self
+    }
+
+    /// Preset + overrides in one call.
+    pub fn from_cli(cli: &Cli) -> Self {
+        Self::for_scale(cli.scale).with_cli(cli)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags() {
+        let cli = parse(&["--scale", "paper", "--trials", "3", "--budget", "123"]);
+        assert_eq!(cli.scale, Scale::Paper);
+        assert_eq!(cli.trials, Some(3));
+        assert_eq!(cli.budget, Some(123));
+        assert_eq!(cli.rounds, None);
+    }
+
+    #[test]
+    fn defaults_are_default_scale() {
+        let cli = parse(&[]);
+        assert_eq!(cli.scale, Scale::Default);
+        let cfg = BaseCfg::from_cli(&cli);
+        assert_eq!(cfg.initial, 30_000);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let cli = parse(&["--rounds", "7", "--seed", "9"]);
+        let cfg = BaseCfg::from_cli(&cli);
+        assert_eq!(cfg.rounds, 7);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+}

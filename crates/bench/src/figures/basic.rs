@@ -1,0 +1,109 @@
+//! Figures 2, 3, 5, 6, 7: single-round COUNT(*) tracking under the
+//! default, little-change, and big-change schedules.
+
+use aggtrack_core::RsConfig;
+use workloads::DeleteSpec;
+
+use crate::cli::{BaseCfg, Cli};
+use crate::runner::{
+    count_star_tracked, print_csv, round_labels, standard_algos, track, TrackOutcome,
+};
+
+fn print_rel_err(title: &str, out: &TrackOutcome, rounds: usize) {
+    let columns: Vec<(&str, Vec<f64>)> = out
+        .algos
+        .iter()
+        .map(|a| (a.name, a.rel_err.means()))
+        .collect();
+    print_csv(title, "round", &round_labels(rounds), &columns);
+}
+
+/// Fig 2: relative error vs round, default schedule.
+pub fn fig02(cli: &Cli) {
+    let cfg = BaseCfg::from_cli(cli);
+    let out = track(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked);
+    print_rel_err(
+        "Fig 2: relative error of COUNT(*) per round (default schedule)",
+        &out,
+        cfg.rounds,
+    );
+}
+
+/// Fig 3: error bars — mean estimate/truth ratio ± std per round.
+pub fn fig03(cli: &Cli) {
+    let cfg = BaseCfg::from_cli(cli);
+    let out = track(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked);
+    let mut columns: Vec<(String, Vec<f64>)> = Vec::new();
+    for a in &out.algos {
+        columns.push((format!("{}_ratio", a.name), a.ratio.means()));
+        columns.push((format!("{}_std", a.name), a.ratio.stds()));
+    }
+    let named: Vec<(&str, Vec<f64>)> = columns
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
+    print_csv(
+        "Fig 3: estimate/truth ratio with across-trial std (error bars)",
+        "round",
+        &round_labels(cfg.rounds),
+        &named,
+    );
+}
+
+/// Fig 5: little change — one inserted tuple per round, no deletions.
+/// REISSUE's error tapers off; RS keeps improving.
+pub fn fig05(cli: &Cli) {
+    let mut cfg = BaseCfg::from_cli(cli);
+    cfg.inserts = 1;
+    cfg.delete = DeleteSpec::None;
+    let out = track(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked);
+    print_rel_err(
+        "Fig 5: relative error per round, little change (+1 tuple/round)",
+        &out,
+        cfg.rounds,
+    );
+}
+
+/// Shared setup for the big-change figures: start at ~59 % of the default
+/// initial size, insert 10 % of it and delete 5 % of the population per
+/// round (the paper's 100 000 / +10 000 / −5 % profile, scaled).
+fn big_change_cfg(cli: &Cli) -> BaseCfg {
+    let mut cfg = BaseCfg::from_cli(cli);
+    cfg.initial = (cfg.initial as f64 * 100.0 / 170.0) as usize;
+    cfg.inserts = cfg.initial / 10;
+    cfg.delete = DeleteSpec::Fraction(0.05);
+    if cli.rounds.is_none() {
+        cfg.rounds = 10;
+    }
+    cfg
+}
+
+/// Fig 6: big change — our algorithms still beat the baseline.
+pub fn fig06(cli: &Cli) {
+    let cfg = big_change_cfg(cli);
+    let out = track(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked);
+    print_rel_err(
+        "Fig 6: relative error per round, big change (+10 %, −5 % per round)",
+        &out,
+        cfg.rounds,
+    );
+}
+
+/// Fig 7: big change with k = 1 — the Theorem 3.2 regime where RESTART
+/// wins (roll-ups get expensive, savings vanish).
+pub fn fig07(cli: &Cli) {
+    let mut cfg = big_change_cfg(cli);
+    cfg.k = 1;
+    if cli.rounds.is_none() {
+        cfg.rounds = 20;
+    }
+    // k = 1 drills deep; shrink the population so the harness stays fast.
+    cfg.initial /= 4;
+    cfg.inserts = cfg.initial / 10;
+    let out = track(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked);
+    print_rel_err(
+        "Fig 7: relative error per round, big change with k = 1",
+        &out,
+        cfg.rounds,
+    );
+}

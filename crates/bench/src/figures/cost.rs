@@ -1,0 +1,84 @@
+//! Figures 18 and 19: the query-cost view — budget needed for a target
+//! accuracy, and drill-downs bought per query spent.
+
+use aggtrack_core::RsConfig;
+
+use crate::cli::{BaseCfg, Cli, Scale};
+use crate::runner::{
+    count_star_tracked, print_csv, round_labels, standard_algos, tail_mean, track,
+};
+
+/// Fig 18: minimum per-round budget at which each algorithm reaches a
+/// target relative error (0.15 / 0.2 / 0.3) by the end of the horizon.
+pub fn fig18(cli: &Cli) {
+    let mut base = BaseCfg::from_cli(cli);
+    if cli.rounds.is_none() {
+        base.rounds = match cli.scale {
+            Scale::Quick => 8,
+            _ => 25,
+        };
+    }
+    base.trials = base.trials.min(4);
+    let grid: &[u64] = match cli.scale {
+        Scale::Quick => &[50, 100, 200, 400],
+        _ => &[25, 50, 75, 100, 150, 200, 300, 400, 600],
+    };
+    let algos = standard_algos();
+    // errs[gi][ai] = tail error of algorithm ai at budget grid[gi].
+    let mut errs: Vec<Vec<f64>> = Vec::new();
+    for &g in grid {
+        let mut cfg = base.clone();
+        cfg.g = g;
+        let out = track(&cfg, &algos, RsConfig::default(), &count_star_tracked);
+        errs.push(
+            out.algos
+                .iter()
+                .map(|a| tail_mean(&a.rel_err, 5))
+                .collect(),
+        );
+    }
+    let targets = [0.15f64, 0.2, 0.3];
+    let mut columns: Vec<(&'static str, Vec<f64>)> =
+        algos.iter().map(|a| (a.name(), Vec::new())).collect();
+    let mut xs = Vec::new();
+    for &t in &targets {
+        xs.push(format!("{t}"));
+        for (ai, col) in columns.iter_mut().enumerate() {
+            let budget = grid
+                .iter()
+                .zip(&errs)
+                .find(|(_, e)| e[ai] <= t)
+                .map(|(g, _)| *g as f64)
+                .unwrap_or(f64::NAN); // target unreachable on this grid
+            col.1.push(budget);
+        }
+    }
+    print_csv(
+        "Fig 18: minimum per-round budget G to reach a target relative error",
+        "target_rel_err",
+        &xs,
+        &columns,
+    );
+}
+
+/// Fig 19: cumulative drill-downs performed vs cumulative query cost over
+/// the horizon — the efficiency of reuse.
+pub fn fig19(cli: &Cli) {
+    let cfg = BaseCfg::from_cli(cli);
+    let out = track(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked);
+    let mut columns: Vec<(String, Vec<f64>)> = Vec::new();
+    for a in &out.algos {
+        columns.push((format!("{}_queries", a.name), a.cum_queries.means()));
+        columns.push((format!("{}_drills", a.name), a.cum_drills.means()));
+    }
+    let named: Vec<(&str, Vec<f64>)> = columns
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
+    print_csv(
+        "Fig 19: cumulative drill-downs vs cumulative query cost",
+        "round",
+        &round_labels(cfg.rounds),
+        &named,
+    );
+}

@@ -1,0 +1,105 @@
+//! Figure 4: the constant-update model (§5.2) — REISSUE and RS with
+//! updates landing *between the estimator's own queries*, compared with
+//! the clean round-update model on the same update stream.
+
+use agg_stats::error::{relative_error, SeriesSummary};
+use aggtrack_core::{
+    AggregateSpec, Estimator, ReissueEstimator, RsEstimator,
+};
+use hidden_db::ranking::ScoringPolicy;
+use query_tree::QueryTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::{
+    load_database, spread_evenly, AutosGenerator, IntraRoundSession, PerRoundSchedule,
+    RoundDriver,
+};
+
+use crate::cli::{BaseCfg, Cli};
+use crate::runner::{print_csv, round_labels};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    RoundModel,
+    IntraRound,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Algo {
+    Reissue,
+    Rs,
+}
+
+/// One configuration = one fresh, identically-seeded trajectory, so all
+/// four lines see the same update stream (applied at round boundaries or
+/// spread through the hour).
+fn run_line(cfg: &BaseCfg, algo: Algo, mode: Mode, trial: u64, series: &mut SeriesSummary) {
+    let mut gen = AutosGenerator::with_attrs(cfg.attrs);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(trial));
+    let db = load_database(&mut gen, &mut rng, cfg.initial, cfg.k, ScoringPolicy::default());
+    let schedule = PerRoundSchedule::new(gen, cfg.inserts, cfg.delete);
+    let mut driver = RoundDriver::new(db, schedule, cfg.seed ^ (trial.wrapping_mul(7919)));
+    let tree = QueryTree::full(&driver.db().schema().clone());
+    let mut est: Box<dyn Estimator> = match algo {
+        Algo::Reissue => Box::new(ReissueEstimator::new(
+            AggregateSpec::count_star(),
+            tree,
+            cfg.seed ^ trial,
+        )),
+        Algo::Rs => Box::new(RsEstimator::new(
+            AggregateSpec::count_star(),
+            tree,
+            cfg.seed ^ trial,
+        )),
+    };
+    for round in 0..cfg.rounds {
+        let estimate = match mode {
+            Mode::RoundModel => {
+                let report = {
+                    let mut session = driver.session(cfg.g);
+                    est.run_round(&mut session)
+                };
+                driver.advance();
+                report.count.value
+            }
+            Mode::IntraRound => {
+                let batch = driver.peek_batch();
+                let updates = spread_evenly(batch);
+                let mut session = IntraRoundSession::new(driver.db_mut(), cfg.g, updates);
+                let report = est.run_round(&mut session);
+                session.drain_pending();
+                driver.mark_round();
+                report.count.value
+            }
+        };
+        // Ground truth at the end of the hour (post-update state) — the
+        // same instant for both modes since the streams are identical.
+        let truth = driver.db().exact_count(None) as f64;
+        series.record(round, relative_error(estimate, truth));
+    }
+}
+
+/// Fig 4: intra-round updates barely hurt REISSUE/RS (§5.2's claim).
+pub fn fig04(cli: &Cli) {
+    let cfg = BaseCfg::from_cli(cli);
+    let lines = [
+        ("REISSUE", Algo::Reissue, Mode::RoundModel),
+        ("REISSUE_intra", Algo::Reissue, Mode::IntraRound),
+        ("RS", Algo::Rs, Mode::RoundModel),
+        ("RS_intra", Algo::Rs, Mode::IntraRound),
+    ];
+    let mut columns: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name, algo, mode) in lines {
+        let mut series = SeriesSummary::new(cfg.rounds);
+        for trial in 0..cfg.trials {
+            run_line(&cfg, algo, mode, trial as u64, &mut series);
+        }
+        columns.push((name, series.means()));
+    }
+    print_csv(
+        "Fig 4: round-model vs intra-round (constant-update) relative error",
+        "hour",
+        &round_labels(cfg.rounds),
+        &columns,
+    );
+}

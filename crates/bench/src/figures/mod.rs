@@ -1,0 +1,17 @@
+//! One function per figure of the paper's evaluation (§6). Each prints the
+//! figure's series as CSV to stdout; the thin binaries in `src/bin/`
+//! forward to these, and `all_figures` runs the lot.
+
+pub mod basic;
+pub mod cost;
+pub mod intra;
+pub mod live;
+pub mod sweeps;
+pub mod transround;
+
+pub use basic::{fig02, fig03, fig05, fig06, fig07};
+pub use cost::{fig18, fig19};
+pub use intra::fig04;
+pub use live::{fig20, fig21};
+pub use sweeps::{fig08, fig09, fig10, fig11, fig12, fig13};
+pub use transround::{fig14, fig15, fig16, fig17};

@@ -1,0 +1,211 @@
+//! Figures 8–13: parameter sweeps reporting the error after the full
+//! tracking horizon (the paper plots error-after-50/100-rounds against
+//! the swept parameter).
+
+use aggtrack_core::{AggregateSpec, RsConfig};
+use hidden_db::query::{ConjunctiveQuery, Predicate};
+use hidden_db::value::{AttrId, MeasureId, ValueId};
+use query_tree::QueryTree;
+use workloads::DeleteSpec;
+
+use crate::cli::{BaseCfg, Cli, Scale};
+use crate::runner::{
+    count_star_tracked, print_csv, standard_algos, tail_mean, track, Tracked,
+};
+
+/// Averaging window for the "error after N rounds" scalar.
+const TAIL: usize = 5;
+
+fn sweep_rows(
+    cfgs: &[(String, BaseCfg)],
+    tracked_of: &dyn Fn(&hidden_db::schema::Schema) -> Tracked,
+) -> (Vec<String>, Vec<(&'static str, Vec<f64>)>) {
+    let algos = standard_algos();
+    let mut columns: Vec<(&'static str, Vec<f64>)> =
+        algos.iter().map(|a| (a.name(), Vec::new())).collect();
+    let mut xs = Vec::new();
+    for (label, cfg) in cfgs {
+        let out = track(cfg, &algos, RsConfig::default(), tracked_of);
+        xs.push(label.clone());
+        for (i, a) in out.algos.iter().enumerate() {
+            columns[i].1.push(tail_mean(&a.rel_err, TAIL));
+        }
+    }
+    (xs, columns)
+}
+
+/// Fig 8: effect of the page size `k` on the error after 50 rounds.
+pub fn fig08(cli: &Cli) {
+    let base = BaseCfg::from_cli(cli);
+    let ks: &[usize] = match cli.scale {
+        Scale::Quick => &[50, 100, 200],
+        Scale::Default => &[50, 100, 200, 300, 400],
+        Scale::Paper => &[200, 400, 600, 800, 1000],
+    };
+    let cfgs: Vec<(String, BaseCfg)> = ks
+        .iter()
+        .map(|&k| {
+            let mut c = base.clone();
+            c.k = k;
+            (k.to_string(), c)
+        })
+        .collect();
+    let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
+    print_csv("Fig 8: error after tracking horizon vs k", "k", &xs, &cols);
+}
+
+/// Fig 9: effect of the per-round budget `G`.
+pub fn fig09(cli: &Cli) {
+    let base = BaseCfg::from_cli(cli);
+    let gs: &[u64] = match cli.scale {
+        Scale::Quick => &[50, 100, 200],
+        _ => &[50, 100, 200, 300, 400, 600],
+    };
+    let cfgs: Vec<(String, BaseCfg)> = gs
+        .iter()
+        .map(|&g| {
+            let mut c = base.clone();
+            c.g = g;
+            (g.to_string(), c)
+        })
+        .collect();
+    let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
+    print_csv(
+        "Fig 9: error after tracking horizon vs per-round budget G",
+        "G",
+        &xs,
+        &cols,
+    );
+}
+
+/// Fig 10: net insertions per round from −30 to +30 on a 5 000-tuple
+/// database, 100 rounds; x = net tuples inserted over the horizon.
+pub fn fig10(cli: &Cli) {
+    let mut base = BaseCfg::from_cli(cli);
+    base.initial = 5_000;
+    base.k = 100;
+    if cli.rounds.is_none() {
+        base.rounds = match cli.scale {
+            Scale::Quick => 20,
+            _ => 100,
+        };
+    }
+    let profiles: &[(usize, usize)] = &[(0, 30), (8, 22), (15, 15), (22, 8), (30, 0)];
+    let cfgs: Vec<(String, BaseCfg)> = profiles
+        .iter()
+        .map(|&(ins, del)| {
+            let mut c = base.clone();
+            c.inserts = ins;
+            c.delete = DeleteSpec::Count(del);
+            let net = (ins as i64 - del as i64) * c.rounds as i64;
+            (net.to_string(), c)
+        })
+        .collect();
+    let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
+    print_csv(
+        "Fig 10: error after horizon vs net tuples inserted",
+        "net_inserted",
+        &xs,
+        &cols,
+    );
+}
+
+/// Fig 11: effect of the attribute count `m` (flat lines).
+pub fn fig11(cli: &Cli) {
+    let base = BaseCfg::from_cli(cli);
+    let ms: &[usize] = match cli.scale {
+        Scale::Quick => &[8, 12],
+        Scale::Default => &[16, 20, 24],
+        Scale::Paper => &[34, 36, 38],
+    };
+    let cfgs: Vec<(String, BaseCfg)> = ms
+        .iter()
+        .map(|&m| {
+            let mut c = base.clone();
+            c.attrs = m;
+            (m.to_string(), c)
+        })
+        .collect();
+    let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
+    print_csv(
+        "Fig 11: error after tracking horizon vs attribute count m",
+        "m",
+        &xs,
+        &cols,
+    );
+}
+
+/// Fig 12: effect of the initial database size (m = 50 in the paper; the
+/// 10⁷ point is gated behind --scale paper).
+pub fn fig12(cli: &Cli) {
+    let mut base = BaseCfg::from_cli(cli);
+    if cli.rounds.is_none() {
+        base.rounds = 25;
+    }
+    base.trials = base.trials.min(4);
+    let (attrs, sizes): (usize, &[usize]) = match cli.scale {
+        Scale::Quick => (12, &[5_000, 20_000]),
+        Scale::Default => (20, &[10_000, 100_000, 300_000]),
+        Scale::Paper => (50, &[10_000, 100_000, 1_000_000, 10_000_000]),
+    };
+    base.attrs = attrs;
+    let cfgs: Vec<(String, BaseCfg)> = sizes
+        .iter()
+        .map(|&n| {
+            let mut c = base.clone();
+            c.initial = n;
+            // Keep the change *fraction* constant across sizes.
+            c.inserts = (n as f64 * 0.0018) as usize;
+            (n.to_string(), c)
+        })
+        .collect();
+    let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
+    print_csv(
+        "Fig 12: error after tracking horizon vs initial database size",
+        "initial_size",
+        &xs,
+        &cols,
+    );
+}
+
+/// Fig 13: SUM(price) with 0–3 conjunctive selection predicates; the more
+/// selective the aggregate, the lower the error (subtree drilling, §3.3).
+pub fn fig13(cli: &Cli) {
+    let mut base = BaseCfg::from_cli(cli);
+    if cli.rounds.is_none() && cli.scale != Scale::Quick {
+        base.rounds = 50;
+    }
+    let mut xs = Vec::new();
+    let algos = standard_algos();
+    let mut columns: Vec<(&'static str, Vec<f64>)> =
+        algos.iter().map(|a| (a.name(), Vec::new())).collect();
+    for preds in 0..=3usize {
+        let tracked_of = move |schema: &hidden_db::schema::Schema| -> Tracked {
+            // Predicates on the first `preds` attributes, most popular
+            // value (0) of each.
+            let cond = ConjunctiveQuery::from_predicates(
+                (0..preds).map(|a| Predicate::new(AttrId(a as u16), ValueId(0))),
+            );
+            let tree = QueryTree::subtree(schema, cond.clone());
+            let spec = AggregateSpec::sum_measure(MeasureId(0), cond.clone());
+            Tracked {
+                spec,
+                tree,
+                truth: Box::new(move |db| {
+                    db.exact_sum(Some(&cond), |t| t.measure(MeasureId(0)))
+                }),
+            }
+        };
+        let out = track(&base, &algos, RsConfig::default(), &tracked_of);
+        xs.push(preds.to_string());
+        for (i, a) in out.algos.iter().enumerate() {
+            columns[i].1.push(tail_mean(&a.rel_err, TAIL));
+        }
+    }
+    print_csv(
+        "Fig 13: SUM(price) error after horizon vs #conjunctive predicates",
+        "predicates",
+        &xs,
+        &columns,
+    );
+}

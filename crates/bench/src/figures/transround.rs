@@ -1,0 +1,115 @@
+//! Figures 14–17: trans-round aggregates — running averages of COUNT and
+//! the round-over-round size change `|D_i| − |D_{i−1}|`.
+
+use aggtrack_core::{RsConfig, TrackingTarget};
+use workloads::DeleteSpec;
+
+use crate::cli::{BaseCfg, Cli, Scale};
+use crate::runner::{
+    count_star_tracked, print_csv, round_labels, standard_algos, tail_mean, track,
+    TrackOutcome,
+};
+
+/// Fig 14: running average of COUNT over the last 2/3/4 rounds — error
+/// of the windowed average of estimates vs the windowed average of truths.
+pub fn fig14(cli: &Cli) {
+    let cfg = BaseCfg::from_cli(cli);
+    let algos = standard_algos();
+    let out = track(&cfg, &algos, RsConfig::default(), &count_star_tracked);
+    let mut xs = Vec::new();
+    let mut columns: Vec<(&'static str, Vec<f64>)> =
+        algos.iter().map(|a| (a.name(), Vec::new())).collect();
+    for (w, window) in crate::runner::RUNNING_AVG_WINDOWS.iter().enumerate() {
+        xs.push(window.to_string());
+        for (i, a) in out.algos.iter().enumerate() {
+            columns[i].1.push(tail_mean(&a.running_avg_err[w], 5));
+        }
+    }
+    print_csv(
+        "Fig 14: running-average COUNT error vs window size",
+        "window",
+        &xs,
+        &columns,
+    );
+}
+
+fn change_cfg(cli: &Cli, insert_frac: f64, delete_frac: f64, default_rounds: usize) -> BaseCfg {
+    let mut cfg = BaseCfg::from_cli(cli);
+    cfg.inserts = (cfg.initial as f64 * insert_frac) as usize;
+    cfg.delete = DeleteSpec::Fraction(delete_frac);
+    if cli.rounds.is_none() {
+        cfg.rounds = match cli.scale {
+            Scale::Quick => default_rounds.min(8),
+            _ => default_rounds,
+        };
+    }
+    cfg
+}
+
+fn run_change(cfg: &BaseCfg) -> TrackOutcome {
+    let rs_cfg = RsConfig { target: TrackingTarget::Change, ..RsConfig::default() };
+    track(cfg, &standard_algos(), rs_cfg, &count_star_tracked)
+}
+
+fn print_change_rel(title: &str, out: &TrackOutcome, rounds: usize) {
+    let columns: Vec<(&str, Vec<f64>)> = out
+        .algos
+        .iter()
+        .map(|a| (a.name, a.change_rel_err.means()))
+        .collect();
+    print_csv(title, "round", &round_labels(rounds), &columns);
+}
+
+/// Fig 15: relative error of the size-change estimate under *small*
+/// change (≈1.8 % inserts, 0.5 % deletes) — RESTART is off by orders of
+/// magnitude (the paper plots this on a log axis).
+pub fn fig15(cli: &Cli) {
+    let cfg = change_cfg(cli, 0.0176, 0.005, 20);
+    let out = run_change(&cfg);
+    print_change_rel(
+        "Fig 15: |D_i|-|D_i-1| relative error per round, small change",
+        &out,
+        cfg.rounds,
+    );
+}
+
+/// Fig 16: the same run as Fig 15 but reporting the raw change estimates
+/// against the true change (absolute view).
+pub fn fig16(cli: &Cli) {
+    let cfg = change_cfg(cli, 0.0176, 0.005, 20);
+    let out = run_change(&cfg);
+    let mut columns: Vec<(&str, Vec<f64>)> = vec![("true_change", out.truth_change.means())];
+    for a in &out.algos {
+        columns.push((a.name, a.change_est.means()));
+    }
+    print_csv(
+        "Fig 16: absolute size-change estimates per round, small change",
+        "round",
+        &round_labels(cfg.rounds),
+        &columns,
+    );
+}
+
+/// Fig 17: size-change tracking under *big* change (+10 %, −5 % per
+/// round); REISSUE and RS converge, both beat RESTART.
+pub fn fig17(cli: &Cli) {
+    let mut cfg = change_cfg(cli, 0.1, 0.05, 9);
+    cfg.initial = (cfg.initial as f64 * 100.0 / 170.0) as usize;
+    cfg.inserts = cfg.initial / 10;
+    let out = run_change(&cfg);
+    print_change_rel(
+        "Fig 17: |D_i|-|D_i-1| relative error per round, big change",
+        &out,
+        cfg.rounds,
+    );
+}
+
+/// Smoke check shared by tests: Fig 15's headline claim — REISSUE/RS
+/// change error far below RESTART's.
+pub fn fig15_headline_holds(cli: &Cli) -> bool {
+    let cfg = change_cfg(cli, 0.0176, 0.005, 10);
+    let out = run_change(&cfg);
+    let restart = tail_mean(&out.algos[0].change_rel_err, 5);
+    let reissue = tail_mean(&out.algos[1].change_rel_err, 5);
+    reissue < restart
+}

@@ -1,0 +1,332 @@
+//! The shared experiment loop: run the three estimators over a scheduled
+//! dynamic database for R rounds × T trials, collecting per-round series.
+
+use agg_stats::error::{relative_error, SeriesSummary};
+use aggtrack_core::{
+    AggregateSpec, Estimator, ReissueEstimator, RestartEstimator, RoundReport, RsConfig,
+    RsEstimator,
+};
+use hidden_db::database::HiddenDatabase;
+use hidden_db::ranking::ScoringPolicy;
+use hidden_db::schema::Schema;
+use query_tree::QueryTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::{load_database, AutosGenerator, PerRoundSchedule, RoundDriver};
+
+use crate::cli::BaseCfg;
+
+/// Which estimator to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// The repeated-execution baseline.
+    Restart,
+    /// Query reissuing (Algorithm 1).
+    Reissue,
+    /// Reservoir-style adaptive (Algorithm 2).
+    Rs,
+}
+
+impl AlgoKind {
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Restart => "RESTART",
+            Self::Reissue => "REISSUE",
+            Self::Rs => "RS",
+        }
+    }
+
+    /// Instantiates the estimator.
+    ///
+    /// Both reissue-family estimators use the `Strict` policy (§4.1's
+    /// two-query accounting): the cheaper `Trusting` variant of §3.2
+    /// turns out to accumulate a serious downward bias on dynamic
+    /// workloads — tuples leak out of the partition when an overflowing
+    /// ancestor silently shrinks below `k`. The
+    /// `reissue_policy_ablation` bench quantifies the trade-off.
+    pub fn build(
+        self,
+        spec: AggregateSpec,
+        tree: QueryTree,
+        seed: u64,
+        rs_cfg: RsConfig,
+    ) -> Box<dyn Estimator> {
+        match self {
+            Self::Restart => Box::new(RestartEstimator::new(spec, tree, seed)),
+            Self::Reissue => Box::new(ReissueEstimator::new(spec, tree, seed)),
+            Self::Rs => Box::new(RsEstimator::with_config(spec, tree, seed, rs_cfg)),
+        }
+    }
+}
+
+/// The three paper algorithms, in legend order.
+pub fn standard_algos() -> Vec<AlgoKind> {
+    vec![AlgoKind::Restart, AlgoKind::Reissue, AlgoKind::Rs]
+}
+
+/// The aggregate being tracked in one experiment.
+pub struct Tracked {
+    /// Aggregate specification handed to the estimators.
+    pub spec: AggregateSpec,
+    /// Query tree (full tree or a §3.3 subtree).
+    pub tree: QueryTree,
+    /// Ground-truth oracle (experiments only).
+    pub truth: Box<dyn Fn(&HiddenDatabase) -> f64>,
+}
+
+/// Builds the default tracked aggregate: `COUNT(*)`.
+pub fn count_star_tracked(schema: &Schema) -> Tracked {
+    Tracked {
+        spec: AggregateSpec::count_star(),
+        tree: QueryTree::full(schema),
+        truth: Box::new(|db| db.exact_count(None) as f64),
+    }
+}
+
+/// Per-algorithm series accumulated across trials.
+pub struct SeriesSet {
+    /// Legend name.
+    pub name: &'static str,
+    /// Relative error of the primary estimate per round.
+    pub rel_err: SeriesSummary,
+    /// estimate/truth ratio per round (Fig 3's error bars).
+    pub ratio: SeriesSummary,
+    /// Relative error of the change estimate per round (NaN round 1).
+    pub change_rel_err: SeriesSummary,
+    /// Raw change estimates (Fig 16's absolute plot).
+    pub change_est: SeriesSummary,
+    /// Cumulative drill-downs performed (Fig 19).
+    pub cum_drills: SeriesSummary,
+    /// Cumulative queries spent (Fig 19's x-axis).
+    pub cum_queries: SeriesSummary,
+    /// Relative error of the *running average* of the primary estimate
+    /// over the last 2/3/4 rounds (Fig 14), computed per trial.
+    pub running_avg_err: [SeriesSummary; 3],
+}
+
+/// Windows used by [`SeriesSet::running_avg_err`], matching Fig 14.
+pub const RUNNING_AVG_WINDOWS: [usize; 3] = [2, 3, 4];
+
+impl SeriesSet {
+    fn new(name: &'static str, rounds: usize) -> Self {
+        Self {
+            name,
+            rel_err: SeriesSummary::new(rounds),
+            ratio: SeriesSummary::new(rounds),
+            change_rel_err: SeriesSummary::new(rounds),
+            change_est: SeriesSummary::new(rounds),
+            cum_drills: SeriesSummary::new(rounds),
+            cum_queries: SeriesSummary::new(rounds),
+            running_avg_err: [
+                SeriesSummary::new(rounds),
+                SeriesSummary::new(rounds),
+                SeriesSummary::new(rounds),
+            ],
+        }
+    }
+}
+
+/// A whole experiment's output.
+pub struct TrackOutcome {
+    /// One series set per algorithm, in input order.
+    pub algos: Vec<SeriesSet>,
+    /// Ground truth per round.
+    pub truth: SeriesSummary,
+    /// True round-over-round change per round (NaN round 1).
+    pub truth_change: SeriesSummary,
+}
+
+/// Runs `cfg.trials` seeded trials of `cfg.rounds` rounds, tracking the
+/// aggregate built by `tracked_of` with every algorithm in `algos`.
+pub fn track(
+    cfg: &BaseCfg,
+    algos: &[AlgoKind],
+    rs_cfg: RsConfig,
+    tracked_of: &dyn Fn(&Schema) -> Tracked,
+) -> TrackOutcome {
+    let mut out = TrackOutcome {
+        algos: algos
+            .iter()
+            .map(|a| SeriesSet::new(a.name(), cfg.rounds))
+            .collect(),
+        truth: SeriesSummary::new(cfg.rounds),
+        truth_change: SeriesSummary::new(cfg.rounds),
+    };
+    for trial in 0..cfg.trials {
+        run_trial(cfg, algos, rs_cfg, tracked_of, trial as u64, &mut out);
+    }
+    out
+}
+
+fn run_trial(
+    cfg: &BaseCfg,
+    algos: &[AlgoKind],
+    rs_cfg: RsConfig,
+    tracked_of: &dyn Fn(&Schema) -> Tracked,
+    trial: u64,
+    out: &mut TrackOutcome,
+) {
+    let mut gen = AutosGenerator::with_attrs(cfg.attrs);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(trial));
+    let db = load_database(&mut gen, &mut rng, cfg.initial, cfg.k, ScoringPolicy::default());
+    let schedule = PerRoundSchedule::new(gen, cfg.inserts, cfg.delete);
+    let mut driver = RoundDriver::new(db, schedule, cfg.seed ^ (trial.wrapping_mul(7919)));
+
+    let tracked = tracked_of(driver.db().schema());
+    let kind = tracked.spec.kind;
+    let mut estimators: Vec<Box<dyn Estimator>> = algos
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            a.build(
+                tracked.spec.clone(),
+                tracked.tree.clone(),
+                cfg.seed ^ (trial.wrapping_mul(31) + i as u64 + 1),
+                rs_cfg,
+            )
+        })
+        .collect();
+    let mut cum_drills = vec![0u64; algos.len()];
+    let mut cum_queries = vec![0u64; algos.len()];
+    let mut prev_truth = f64::NAN;
+    // Per-trial running averages (Fig 14): one per algorithm per window,
+    // plus one per window for the truth.
+    let mut ra_est: Vec<Vec<aggtrack_core::RunningAverage>> = algos
+        .iter()
+        .map(|_| {
+            RUNNING_AVG_WINDOWS
+                .iter()
+                .map(|&w| aggtrack_core::RunningAverage::new(w))
+                .collect()
+        })
+        .collect();
+    let mut ra_truth: Vec<aggtrack_core::RunningAverage> = RUNNING_AVG_WINDOWS
+        .iter()
+        .map(|&w| aggtrack_core::RunningAverage::new(w))
+        .collect();
+
+    for round in 0..cfg.rounds {
+        let truth = (tracked.truth)(driver.db());
+        let true_change = truth - prev_truth;
+        out.truth.record(round, truth);
+        if round >= 1 {
+            out.truth_change.record(round, true_change);
+        }
+        let truth_ra: Vec<f64> = ra_truth.iter_mut().map(|ra| ra.push(truth)).collect();
+        for (i, est) in estimators.iter_mut().enumerate() {
+            let report: RoundReport = {
+                let mut session = driver.session(cfg.g);
+                est.run_round(&mut session)
+            };
+            assert!(report.queries_spent <= cfg.g, "budget violated by {}", est.name());
+            let series = &mut out.algos[i];
+            let primary = report.primary(kind);
+            series.rel_err.record(round, relative_error(primary, truth));
+            series.ratio.record(round, primary / truth);
+            for (w, ra) in ra_est[i].iter_mut().enumerate() {
+                let avg = ra.push(primary);
+                series
+                    .running_avg_err[w]
+                    .record(round, relative_error(avg, truth_ra[w]));
+            }
+            cum_drills[i] += (report.updated + report.initiated) as u64;
+            cum_queries[i] += report.queries_spent;
+            series.cum_drills.record(round, cum_drills[i] as f64);
+            series.cum_queries.record(round, cum_queries[i] as f64);
+            if round >= 1 {
+                if let Some(change) = report.primary_change(kind) {
+                    series
+                        .change_rel_err
+                        .record(round, relative_error(change, true_change));
+                    series.change_est.record(round, change);
+                }
+            }
+        }
+        prev_truth = truth;
+        driver.advance();
+    }
+}
+
+/// Prints a CSV block: header line then one row per x value.
+pub fn print_csv(title: &str, x_name: &str, x: &[String], columns: &[(&str, Vec<f64>)]) {
+    println!("# {title}");
+    let mut header = vec![x_name.to_string()];
+    header.extend(columns.iter().map(|(n, _)| n.to_string()));
+    println!("{}", header.join(","));
+    for (i, xv) in x.iter().enumerate() {
+        let mut row = vec![xv.clone()];
+        for (_, col) in columns {
+            row.push(format!("{:.6}", col.get(i).copied().unwrap_or(f64::NAN)));
+        }
+        println!("{}", row.join(","));
+    }
+    println!();
+}
+
+/// Rounds 1..=n as x-axis labels.
+pub fn round_labels(n: usize) -> Vec<String> {
+    (1..=n).map(|r| r.to_string()).collect()
+}
+
+/// Mean of the last `w` finite values of a series' means — the "error
+/// after N rounds" scalar used by the sweep figures (8, 9, 11, 12, 13).
+pub fn tail_mean(series: &SeriesSummary, w: usize) -> f64 {
+    let means = series.means();
+    let tail: Vec<f64> = means
+        .into_iter()
+        .rev()
+        .filter(|v| v.is_finite())
+        .take(w)
+        .collect();
+    if tail.is_empty() {
+        f64::NAN
+    } else {
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::{BaseCfg, Scale};
+
+    #[test]
+    fn quick_track_produces_complete_series() {
+        let mut cfg = BaseCfg::for_scale(Scale::Quick);
+        cfg.rounds = 4;
+        cfg.trials = 2;
+        cfg.initial = 1_500;
+        let out = track(
+            &cfg,
+            &standard_algos(),
+            RsConfig::default(),
+            &count_star_tracked,
+        );
+        assert_eq!(out.algos.len(), 3);
+        for a in &out.algos {
+            for r in 0..cfg.rounds {
+                let m = a.rel_err.mean(r);
+                assert!(m.is_finite(), "{} round {r} rel err {m}", a.name);
+                assert!(m < 1.0, "{} round {r} rel err {m} out of band", a.name);
+            }
+            // Cumulative metrics must be non-decreasing.
+            let d = a.cum_drills.means();
+            assert!(d.windows(2).all(|w| w[1] >= w[0]));
+        }
+        // Truth tracks the schedule: +8 −0.1 % per round from 1 500.
+        assert!(out.truth.mean(0) == 1_500.0);
+        assert!(out.truth.mean(3) > 1_500.0);
+    }
+
+    #[test]
+    fn tail_mean_ignores_nans() {
+        let mut s = SeriesSummary::new(4);
+        s.record(2, 1.0);
+        s.record(3, 3.0);
+        assert_eq!(tail_mean(&s, 2), 2.0);
+        assert_eq!(tail_mean(&s, 10), 2.0);
+        let empty = SeriesSummary::new(2);
+        assert!(tail_mean(&empty, 3).is_nan());
+    }
+}

@@ -1,0 +1,116 @@
+//! The estimator abstraction shared by RESTART, REISSUE, and RS, plus
+//! small summarisation helpers they all use.
+
+use agg_stats::moments::RunningMoments;
+use hidden_db::session::SearchBackend;
+
+use crate::aggregate::{AggregateSpec, HtSample};
+use crate::report::{EstimateWithVar, RoundReport};
+
+/// A dynamic-database aggregate estimator: call [`Estimator::run_round`]
+/// once per round with that round's budgeted session.
+pub trait Estimator {
+    /// Short display name ("RESTART" / "REISSUE" / "RS").
+    fn name(&self) -> &'static str;
+
+    /// The aggregate being tracked.
+    fn spec(&self) -> &AggregateSpec;
+
+    /// Executes one round against the backend (which enforces the budget)
+    /// and reports the round's estimates. Must never panic on budget
+    /// exhaustion — partial rounds degrade gracefully.
+    fn run_round(&mut self, backend: &mut dyn SearchBackend) -> RoundReport;
+}
+
+/// Paired accumulators for the COUNT and SUM components of HT samples.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SampleMoments {
+    pub count: RunningMoments,
+    pub sum: RunningMoments,
+}
+
+impl SampleMoments {
+    pub fn push(&mut self, s: HtSample) {
+        self.count.push(s.count);
+        self.sum.push(s.sum);
+    }
+
+    pub fn n(&self) -> u64 {
+        self.count.count()
+    }
+
+    /// Mean estimate with variance-of-mean for the COUNT component.
+    pub fn count_estimate(&self) -> EstimateWithVar {
+        moments_estimate(&self.count)
+    }
+
+    /// Mean estimate with variance-of-mean for the SUM component.
+    pub fn sum_estimate(&self) -> EstimateWithVar {
+        moments_estimate(&self.sum)
+    }
+}
+
+/// Converts running moments into an estimate: mean ± var(mean). With a
+/// single sample the variance is unknown — reported as infinite so
+/// downstream inverse-variance weighting effectively ignores it unless it
+/// is the only component.
+pub(crate) fn moments_estimate(m: &RunningMoments) -> EstimateWithVar {
+    match (m.mean(), m.variance_of_mean()) {
+        (Some(mean), Some(var)) => EstimateWithVar::new(mean, var),
+        (Some(mean), None) => EstimateWithVar::new(mean, f64::INFINITY),
+        _ => EstimateWithVar::unknown(),
+    }
+}
+
+/// Builds the portion of a [`RoundReport`] common to all estimators.
+pub(crate) fn base_report(
+    round: u32,
+    backend: &dyn SearchBackend,
+    updated: usize,
+    initiated: usize,
+    samples: &SampleMoments,
+) -> RoundReport {
+    RoundReport {
+        round,
+        queries_spent: backend.spent(),
+        updated,
+        initiated,
+        count: samples.count_estimate(),
+        sum: samples.sum_estimate(),
+        change_count: None,
+        change_sum: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_moments_accumulate_both_components() {
+        let mut m = SampleMoments::default();
+        m.push(HtSample { count: 10.0, sum: 100.0 });
+        m.push(HtSample { count: 14.0, sum: 140.0 });
+        assert_eq!(m.n(), 2);
+        let c = m.count_estimate();
+        assert_eq!(c.value, 12.0);
+        assert!((c.variance - 4.0).abs() < 1e-9); // sample var 8 / n 2
+        let s = m.sum_estimate();
+        assert_eq!(s.value, 120.0);
+    }
+
+    #[test]
+    fn single_sample_has_infinite_variance() {
+        let mut m = SampleMoments::default();
+        m.push(HtSample { count: 5.0, sum: 1.0 });
+        let e = m.count_estimate();
+        assert_eq!(e.value, 5.0);
+        assert_eq!(e.variance, f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_moments_are_unknown() {
+        let m = SampleMoments::default();
+        assert!(!m.count_estimate().is_usable());
+    }
+}

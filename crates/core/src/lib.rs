@@ -1,0 +1,77 @@
+//! # aggtrack-core — the paper's contribution
+//!
+//! Implements the three estimators of *Aggregate Estimation Over Dynamic
+//! Hidden Web Databases* (Liu, Thirumuruganathan, Zhang, Das — VLDB 2014):
+//!
+//! | Estimator | Paper | Idea |
+//! |---|---|---|
+//! | [`RestartEstimator`] | §1/§3 baseline | rerun the static drill-down estimator of \[13\] from scratch each round |
+//! | [`ReissueEstimator`] | §3, Algorithm 1 | reuse round-1 signatures; update each drill-down from its previous terminal node |
+//! | [`RsEstimator`] | §4, Algorithm 2 | bootstrap the amount of change, then optimally split the budget between updating and fresh drilling |
+//!
+//! All three speak the same [`Estimator`] trait: one call per round with a
+//! budget-enforcing [`hidden_db::session::SearchBackend`], one
+//! [`RoundReport`] back. Aggregates are COUNT/SUM/AVG with arbitrary
+//! conjunctive selection conditions ([`AggregateSpec`]), and the reports
+//! natively carry trans-round change estimates (§2.2's second family).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use aggtrack_core::{AggregateSpec, Estimator, ReissueEstimator};
+//! use hidden_db::{database::HiddenDatabase, ranking::ScoringPolicy,
+//!                 schema::Schema, session::SearchSession,
+//!                 tuple::Tuple, value::{TupleKey, ValueId}};
+//! use query_tree::tree::QueryTree;
+//!
+//! // A small hidden database with a top-2 interface.
+//! let schema = Schema::with_domain_sizes(&[2, 3], &[]).unwrap();
+//! let mut db = HiddenDatabase::new(schema, 2, ScoringPolicy::default());
+//! for t in 0..30u64 {
+//!     db.insert(Tuple::new(
+//!         TupleKey(t),
+//!         vec![ValueId((t % 2) as u32), ValueId((t % 3) as u32)],
+//!         vec![],
+//!     ))
+//!     .unwrap();
+//! }
+//!
+//! // Track COUNT(*) with REISSUE under a 50-query budget per round.
+//! let tree = QueryTree::full(&db.schema().clone());
+//! let mut est = ReissueEstimator::new(AggregateSpec::count_star(), tree, 42);
+//! for _round in 0..3 {
+//!     let mut session = SearchSession::new(&mut db, 50);
+//!     let report = est.run_round(&mut session);
+//!     assert!(report.queries_spent <= 50);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adhoc;
+pub mod aggregate;
+pub mod estimator;
+pub mod record;
+pub mod reissue;
+pub mod report;
+pub mod restart;
+pub mod rs;
+pub mod stratified;
+pub mod tracker;
+pub mod transround;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use adhoc::ArchivingTracker;
+pub use aggregate::{ht_sample, AggKind, AggregateSpec, HtSample, TupleFilter, TupleFn};
+pub use estimator::Estimator;
+pub use record::DrillRecord;
+pub use reissue::ReissueEstimator;
+pub use report::{EstimateWithVar, RoundReport};
+pub use restart::RestartEstimator;
+pub use rs::{RsConfig, RsEstimator, TrackingTarget};
+pub use stratified::StratifiedEstimator;
+pub use tracker::{MultiTracker, WorkloadReport};
+pub use transround::{ChangeAccumulator, RunningAverage};

@@ -1,0 +1,69 @@
+//! Drill-down records: the persistent state REISSUE/RS carry between
+//! rounds — exactly the "signature set" `S = {r_1, …, r_h}` of §3.1, plus
+//! each drill-down's last known terminal node and HT sample.
+
+use std::collections::BTreeMap;
+
+use query_tree::signature::Signature;
+
+use crate::aggregate::HtSample;
+
+/// One remembered drill-down.
+#[derive(Debug, Clone)]
+pub struct DrillRecord {
+    /// The leaf signature (fixed for the drill-down's whole life).
+    pub sig: Signature,
+    /// Terminal node depth at the last update.
+    pub depth: usize,
+    /// The round at which the record was last updated.
+    pub round: u32,
+    /// HT sample observed at the last update.
+    pub sample: HtSample,
+}
+
+impl DrillRecord {
+    /// Creates a record freshly drilled at `round`.
+    pub fn new(sig: Signature, depth: usize, round: u32, sample: HtSample) -> Self {
+        Self { sig, depth, round, sample }
+    }
+}
+
+/// Groups pool indices by the round at which each record was last updated
+/// — the RS "age groups" (`c_1 … c_{j−1}` of Corollary 4.2). Ordered by
+/// round, oldest first.
+pub fn group_by_age(pool: &[DrillRecord]) -> BTreeMap<u32, Vec<usize>> {
+    let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, rec) in pool.iter().enumerate() {
+        groups.entry(rec.round).or_default().push(i);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: u32) -> DrillRecord {
+        DrillRecord::new(
+            Signature::from_choices(vec![0]),
+            0,
+            round,
+            HtSample::default(),
+        )
+    }
+
+    #[test]
+    fn groups_by_round_oldest_first() {
+        let pool = vec![rec(3), rec(1), rec(3), rec(2)];
+        let groups = group_by_age(&pool);
+        let rounds: Vec<u32> = groups.keys().copied().collect();
+        assert_eq!(rounds, vec![1, 2, 3]);
+        assert_eq!(groups[&3], vec![0, 2]);
+        assert_eq!(groups[&1], vec![1]);
+    }
+
+    #[test]
+    fn empty_pool_no_groups() {
+        assert!(group_by_age(&[]).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-round estimator output.
+
+use crate::aggregate::AggKind;
+
+/// An estimate together with the estimator's own variance estimate
+/// (used for error bars, inverse-variance combination, and as the `β` of
+/// future RS rounds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateWithVar {
+    /// The point estimate.
+    pub value: f64,
+    /// Estimated variance of the estimator (not of the data).
+    pub variance: f64,
+}
+
+impl EstimateWithVar {
+    /// Creates an estimate.
+    pub fn new(value: f64, variance: f64) -> Self {
+        Self { value, variance }
+    }
+
+    /// A degenerate "no information" estimate.
+    pub fn unknown() -> Self {
+        Self { value: f64::NAN, variance: f64::INFINITY }
+    }
+
+    /// Whether the estimate carries usable information.
+    pub fn is_usable(&self) -> bool {
+        self.value.is_finite()
+    }
+}
+
+/// Everything an estimator reports about one round.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Round index (1-based).
+    pub round: u32,
+    /// Queries spent this round (≤ the session budget).
+    pub queries_spent: u64,
+    /// Drill-downs updated (resumed) this round.
+    pub updated: usize,
+    /// Fresh drill-downs initiated this round.
+    pub initiated: usize,
+    /// Estimate of `COUNT(cond)` over the current round's database.
+    pub count: EstimateWithVar,
+    /// Estimate of `SUM(f(t)) WHERE cond`.
+    pub sum: EstimateWithVar,
+    /// Direct estimate of the change `COUNT_j − COUNT_{j−1}` (trans-round),
+    /// when the estimator can produce one.
+    pub change_count: Option<EstimateWithVar>,
+    /// Direct estimate of `SUM_j − SUM_{j−1}`.
+    pub change_sum: Option<EstimateWithVar>,
+}
+
+impl RoundReport {
+    /// `AVG = SUM/COUNT`; `None` when the COUNT estimate is non-positive.
+    pub fn avg(&self) -> Option<f64> {
+        (self.count.value > 0.0).then(|| self.sum.value / self.count.value)
+    }
+
+    /// The estimate of the tracked aggregate, per kind.
+    pub fn primary(&self, kind: AggKind) -> f64 {
+        match kind {
+            AggKind::Count => self.count.value,
+            AggKind::Sum => self.sum.value,
+            AggKind::Avg => self.avg().unwrap_or(f64::NAN),
+        }
+    }
+
+    /// The direct change estimate for the tracked kind, if available
+    /// (COUNT and SUM only — AVG change is not a SUM/COUNT aggregate).
+    pub fn primary_change(&self, kind: AggKind) -> Option<f64> {
+        match kind {
+            AggKind::Count => self.change_count.map(|e| e.value),
+            AggKind::Sum => self.change_sum.map(|e| e.value),
+            AggKind::Avg => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RoundReport {
+        RoundReport {
+            round: 3,
+            queries_spent: 100,
+            updated: 10,
+            initiated: 5,
+            count: EstimateWithVar::new(200.0, 4.0),
+            sum: EstimateWithVar::new(5_000.0, 100.0),
+            change_count: Some(EstimateWithVar::new(12.0, 1.0)),
+            change_sum: None,
+        }
+    }
+
+    #[test]
+    fn avg_is_ratio() {
+        let r = report();
+        assert_eq!(r.avg(), Some(25.0));
+        let mut r = r;
+        r.count.value = 0.0;
+        assert_eq!(r.avg(), None);
+    }
+
+    #[test]
+    fn primary_selects_by_kind() {
+        let r = report();
+        assert_eq!(r.primary(AggKind::Count), 200.0);
+        assert_eq!(r.primary(AggKind::Sum), 5_000.0);
+        assert_eq!(r.primary(AggKind::Avg), 25.0);
+        assert_eq!(r.primary_change(AggKind::Count), Some(12.0));
+        assert_eq!(r.primary_change(AggKind::Sum), None);
+        assert_eq!(r.primary_change(AggKind::Avg), None);
+    }
+
+    #[test]
+    fn unknown_estimate() {
+        let u = EstimateWithVar::unknown();
+        assert!(!u.is_usable());
+        assert!(EstimateWithVar::new(1.0, 0.5).is_usable());
+    }
+}

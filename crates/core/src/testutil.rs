@@ -1,0 +1,78 @@
+//! Shared fixtures for the estimator unit tests.
+
+use hidden_db::database::HiddenDatabase;
+use hidden_db::ranking::ScoringPolicy;
+use hidden_db::schema::Schema;
+use hidden_db::tuple::Tuple;
+use hidden_db::value::{TupleKey, ValueId};
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A 4-attribute ([2, 3, 2, 4]) database with one `price` measure,
+/// populated with `n` hash-scattered (skewed-ish) tuples. Keys are `0..n`.
+///
+/// The most likely leaf has probability 0.75·0.5·0.5·0.25 ≈ 4.7 %, so with
+/// `k ≥ 16` and `n ≤ 200` leaves essentially never overflow and the HT
+/// estimates are exactly unbiased.
+pub fn hashed_db(n: u64, k: usize, seed: u64) -> HiddenDatabase {
+    let schema = Schema::with_domain_sizes(&[2, 3, 2, 4], &["price"]).unwrap();
+    let mut db = HiddenDatabase::new(schema, k, ScoringPolicy::default());
+    for t in 0..n {
+        let h = mix(t ^ seed.wrapping_mul(0x1234_5678_9ABC_DEF1));
+        // Skew: value 0 twice as likely on A0 and A1.
+        let a0 = if h % 4 < 3 { 0 } else { 1 };
+        let a1 = match (h >> 8) % 6 {
+            0..=2 => 0,
+            3..=4 => 1,
+            _ => 2,
+        };
+        let a2 = ((h >> 16) % 2) as u32;
+        let a3 = ((h >> 32) % 4) as u32;
+        let price = 10.0 + ((h >> 24) % 90) as f64;
+        db.insert(Tuple::new(
+            TupleKey(t),
+            vec![
+                ValueId(a0 as u32),
+                ValueId(a1 as u32),
+                ValueId(a2),
+                ValueId(a3),
+            ],
+            vec![price],
+        ))
+        .unwrap();
+    }
+    db
+}
+
+/// Inserts `count` extra tuples with hash-scattered values and price 50,
+/// keys starting at `start_key`. Scattering keeps individual leaves below
+/// the interface's `k`, preserving HT unbiasedness.
+pub fn grow(db: &mut HiddenDatabase, start_key: u64, count: u64) {
+    for t in start_key..start_key + count {
+        let h = mix(t);
+        db.insert(Tuple::new(
+            TupleKey(t),
+            vec![
+                ValueId((h % 2) as u32),
+                ValueId(((h >> 8) % 3) as u32),
+                ValueId(((h >> 16) % 2) as u32),
+                ValueId(((h >> 32) % 4) as u32),
+            ],
+            vec![50.0],
+        ))
+        .unwrap();
+    }
+}
+
+/// Deletes the `count` lowest-keyed alive tuples.
+pub fn shrink(db: &mut HiddenDatabase, count: usize) {
+    let keys = db.alive_keys_sorted();
+    for k in keys.into_iter().take(count) {
+        db.delete(k).unwrap();
+    }
+}

@@ -1,0 +1,286 @@
+//! The stream query model of §5.1, generalised to aggregate *workloads*:
+//! many pre-defined aggregates tracked from **one** shared pool of
+//! drill-downs.
+//!
+//! The paper's future work asks: "given a workload of aggregate queries,
+//! how to minimize the total query cost for estimating all of them". The
+//! structural answer this module implements: a drill-down's terminal page
+//! is a sample of tuples, so the *same* search queries can feed every
+//! aggregate's Horvitz–Thompson sample simultaneously — the marginal cost
+//! of one more tracked aggregate is zero queries.
+//!
+//! [`MultiTracker`] maintains a REISSUE-style pool (updates each round,
+//! grows with leftover budget) and reports one [`EstimateWithVar`] per
+//! registered aggregate per round.
+
+use hidden_db::errors::BudgetExhausted;
+use hidden_db::session::SearchBackend;
+use query_tree::drill::{drill_from_root, resume_from, DrillOutcome, ReissuePolicy};
+use query_tree::signature::Signature;
+use query_tree::tree::QueryTree;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::aggregate::{ht_sample, AggregateSpec, HtSample};
+use crate::estimator::SampleMoments;
+use crate::report::EstimateWithVar;
+
+/// One remembered drill-down with per-aggregate samples.
+#[derive(Debug, Clone)]
+struct MultiRecord {
+    sig: Signature,
+    depth: usize,
+    round: u32,
+    /// `samples[i]` = HT sample for registered aggregate `i`.
+    samples: Vec<HtSample>,
+}
+
+/// Per-round output for the whole workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Round index (1-based).
+    pub round: u32,
+    /// Queries spent this round.
+    pub queries_spent: u64,
+    /// Drill-downs updated this round.
+    pub updated: usize,
+    /// Fresh drill-downs initiated this round.
+    pub initiated: usize,
+    /// One `(count, sum)` estimate pair per registered aggregate, in
+    /// registration order.
+    pub estimates: Vec<(EstimateWithVar, EstimateWithVar)>,
+}
+
+impl WorkloadReport {
+    /// The primary estimate of aggregate `i` (per its kind).
+    pub fn primary(&self, i: usize, specs: &[AggregateSpec]) -> f64 {
+        let (count, sum) = self.estimates[i];
+        match specs[i].kind {
+            crate::aggregate::AggKind::Count => count.value,
+            crate::aggregate::AggKind::Sum => sum.value,
+            crate::aggregate::AggKind::Avg => {
+                if count.value > 0.0 {
+                    sum.value / count.value
+                } else {
+                    f64::NAN
+                }
+            }
+        }
+    }
+}
+
+/// Tracks a workload of aggregates from one shared drill-down pool.
+///
+/// All aggregates must share one query tree (the full tree, unless every
+/// aggregate shares a common conjunctive prefix — then a §3.3 subtree can
+/// be used and each spec's residual condition is applied as a filter).
+#[derive(Debug)]
+pub struct MultiTracker {
+    specs: Vec<AggregateSpec>,
+    tree: QueryTree,
+    policy: ReissuePolicy,
+    rng: StdRng,
+    pool: Vec<MultiRecord>,
+    round: u32,
+}
+
+impl MultiTracker {
+    /// Creates a tracker for `specs` over `tree`.
+    ///
+    /// # Panics
+    /// If `specs` is empty.
+    pub fn new(specs: Vec<AggregateSpec>, tree: QueryTree, seed: u64) -> Self {
+        assert!(!specs.is_empty(), "workload must contain at least one aggregate");
+        Self {
+            specs,
+            tree,
+            policy: ReissuePolicy::Strict,
+            rng: StdRng::seed_from_u64(seed),
+            pool: Vec::new(),
+            round: 0,
+        }
+    }
+
+    /// The registered aggregates.
+    pub fn specs(&self) -> &[AggregateSpec] {
+        &self.specs
+    }
+
+    /// Number of drill-downs currently remembered.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn samples_of(&self, out: &DrillOutcome) -> Vec<HtSample> {
+        self.specs
+            .iter()
+            .map(|spec| ht_sample(spec, &self.tree, out))
+            .collect()
+    }
+
+    /// Runs one round: update pass over the pool, then fresh drill-downs,
+    /// then per-aggregate estimation — Algorithm 1 amortised over the
+    /// whole workload.
+    pub fn run_round(&mut self, backend: &mut dyn SearchBackend) -> WorkloadReport {
+        self.round += 1;
+        let j = self.round;
+        let mut order: Vec<usize> = (0..self.pool.len()).collect();
+        order.shuffle(&mut self.rng);
+        let mut updated = 0;
+        for idx in order {
+            if backend.remaining() == 0 {
+                break;
+            }
+            let rec = &mut self.pool[idx];
+            let result: Result<DrillOutcome, BudgetExhausted> =
+                resume_from(&self.tree, &rec.sig, rec.depth, self.policy, backend);
+            match result {
+                Ok(out) => {
+                    rec.depth = out.depth;
+                    rec.round = j;
+                    rec.samples = self
+                        .specs
+                        .iter()
+                        .map(|spec| ht_sample(spec, &self.tree, &out))
+                        .collect();
+                    updated += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        let mut initiated = 0;
+        while backend.remaining() > 0 {
+            let sig = Signature::sample(&self.tree, &mut self.rng);
+            match drill_from_root(&self.tree, &sig, backend) {
+                Ok(out) => {
+                    let samples = self.samples_of(&out);
+                    self.pool.push(MultiRecord { sig, depth: out.depth, round: j, samples });
+                    initiated += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        // Estimation: per aggregate, the mean over records current at j.
+        let mut moments: Vec<SampleMoments> =
+            (0..self.specs.len()).map(|_| SampleMoments::default()).collect();
+        for rec in &self.pool {
+            if rec.round == j {
+                for (m, &s) in moments.iter_mut().zip(&rec.samples) {
+                    m.push(s);
+                }
+            }
+        }
+        WorkloadReport {
+            round: j,
+            queries_spent: backend.spent(),
+            updated,
+            initiated,
+            estimates: moments
+                .iter()
+                .map(|m| (m.count_estimate(), m.sum_estimate()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateSpec;
+    use crate::testutil::hashed_db;
+    use hidden_db::query::{ConjunctiveQuery, Predicate};
+    use hidden_db::session::SearchSession;
+    use hidden_db::value::{AttrId, MeasureId, ValueId};
+
+    fn workload() -> Vec<AggregateSpec> {
+        vec![
+            AggregateSpec::count_star(),
+            AggregateSpec::count_where(ConjunctiveQuery::from_predicates([Predicate::new(
+                AttrId(0),
+                ValueId(0),
+            )])),
+            AggregateSpec::sum_measure(MeasureId(0), ConjunctiveQuery::select_all()),
+            AggregateSpec::avg_measure(MeasureId(0), ConjunctiveQuery::select_all()),
+        ]
+    }
+
+    #[test]
+    fn tracks_whole_workload_from_shared_queries() {
+        let mut db = hashed_db(150, 16, 0);
+        let tree = QueryTree::full(&db.schema().clone());
+        let specs = workload();
+        let cond = match &specs[1].condition {
+            c => c.clone(),
+        };
+        let mut tracker = MultiTracker::new(specs.clone(), tree, 7);
+        let mut last = None;
+        for _ in 0..3 {
+            let mut s = SearchSession::new(&mut db, 250);
+            last = Some(tracker.run_round(&mut s));
+        }
+        let report = last.unwrap();
+        assert_eq!(report.estimates.len(), 4);
+        // Every aggregate lands in a sane band around its truth.
+        let truth_all = db.exact_count(None) as f64;
+        let truth_cond = db.exact_count(Some(&cond)) as f64;
+        let truth_sum = db.exact_sum(None, |t| t.measure(MeasureId(0)));
+        let p0 = report.primary(0, &specs);
+        let p1 = report.primary(1, &specs);
+        let p2 = report.primary(2, &specs);
+        let p3 = report.primary(3, &specs);
+        assert!((p0 - truth_all).abs() / truth_all < 0.4, "count {p0} vs {truth_all}");
+        assert!((p1 - truth_cond).abs() / truth_cond < 0.6, "cond count {p1} vs {truth_cond}");
+        assert!((p2 - truth_sum).abs() / truth_sum < 0.4, "sum {p2} vs {truth_sum}");
+        let truth_avg = truth_sum / truth_all;
+        assert!((p3 - truth_avg).abs() / truth_avg < 0.4, "avg {p3} vs {truth_avg}");
+    }
+
+    #[test]
+    fn marginal_aggregate_costs_no_queries() {
+        // Same seed and budget: tracking 1 aggregate vs 4 must issue the
+        // same number of queries and the shared aggregate must get the
+        // identical estimate (drill-downs are identical).
+        let mut db1 = hashed_db(120, 16, 1);
+        let mut db4 = db1.clone();
+        let tree = QueryTree::full(&db1.schema().clone());
+        let mut t1 = MultiTracker::new(vec![AggregateSpec::count_star()], tree.clone(), 9);
+        let mut t4 = MultiTracker::new(workload(), tree, 9);
+        let (r1, r4) = {
+            let mut s1 = SearchSession::new(&mut db1, 200);
+            let r1 = t1.run_round(&mut s1);
+            let mut s4 = SearchSession::new(&mut db4, 200);
+            let r4 = t4.run_round(&mut s4);
+            (r1, r4)
+        };
+        assert_eq!(r1.queries_spent, r4.queries_spent);
+        assert_eq!(r1.initiated, r4.initiated);
+        assert_eq!(r1.estimates[0].0.value, r4.estimates[0].0.value);
+    }
+
+    #[test]
+    fn pool_is_reused_across_rounds() {
+        let mut db = hashed_db(100, 16, 2);
+        let tree = QueryTree::full(&db.schema().clone());
+        let mut tracker = MultiTracker::new(workload(), tree, 3);
+        {
+            let mut s = SearchSession::new(&mut db, 150);
+            let r = tracker.run_round(&mut s);
+            assert_eq!(r.updated, 0);
+            assert!(r.initiated > 0);
+        }
+        let pool = tracker.pool_size();
+        let mut s = SearchSession::new(&mut db, 150);
+        let r = tracker.run_round(&mut s);
+        assert!(r.updated > 0);
+        assert!(tracker.pool_size() >= pool);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one aggregate")]
+    fn empty_workload_rejected() {
+        let db = hashed_db(10, 16, 3);
+        let tree = QueryTree::full(&db.schema().clone());
+        let _ = MultiTracker::new(vec![], tree, 0);
+    }
+}

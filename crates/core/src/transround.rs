@@ -1,0 +1,125 @@
+//! Trans-round aggregate helpers (§2.2): aggregates over data from several
+//! rounds, computed on top of per-round estimator reports.
+//!
+//! Two families are covered:
+//!
+//! * window aggregates over per-round values (Fig 14's running average of
+//!   COUNT) — [`RunningAverage`];
+//! * round-over-round changes (Figs 15–17's `|D_i| − |D_{i−1}|`) — these
+//!   come directly from [`crate::report::RoundReport::change_count`], which
+//!   each estimator populates natively (REISSUE/RS via paired differences,
+//!   RESTART by differencing independent estimates).
+
+use std::collections::VecDeque;
+
+/// Tracks `AVG(v_i, v_{i−1}, …, v_{i−w+1})` over a stream of per-round
+/// values (estimates or ground truths alike).
+#[derive(Debug, Clone)]
+pub struct RunningAverage {
+    window: usize,
+    values: VecDeque<f64>,
+}
+
+impl RunningAverage {
+    /// A running average over the last `window` rounds (`window ≥ 1`).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        Self { window, values: VecDeque::with_capacity(window + 1) }
+    }
+
+    /// Push this round's value; returns the average over the last
+    /// `min(window, rounds so far)` values.
+    pub fn push(&mut self, value: f64) -> f64 {
+        self.values.push_back(value);
+        if self.values.len() > self.window {
+            self.values.pop_front();
+        }
+        self.current().expect("just pushed")
+    }
+
+    /// The current running average, if any value has been pushed.
+    pub fn current(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Whether the window is fully populated.
+    pub fn is_saturated(&self) -> bool {
+        self.values.len() == self.window
+    }
+}
+
+/// Accumulates a round-over-round change series into a cumulative drift
+/// (useful for sanity-checking change estimates against level estimates).
+#[derive(Debug, Clone, Default)]
+pub struct ChangeAccumulator {
+    total: f64,
+    rounds: u32,
+}
+
+impl ChangeAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one round's change estimate; returns the cumulative total.
+    pub fn push(&mut self, change: f64) -> f64 {
+        self.total += change;
+        self.rounds += 1;
+        self.total
+    }
+
+    /// Total drift accumulated.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of change estimates accumulated.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_average_window() {
+        let mut ra = RunningAverage::new(3);
+        assert_eq!(ra.current(), None);
+        assert_eq!(ra.push(3.0), 3.0);
+        assert!(!ra.is_saturated());
+        assert_eq!(ra.push(5.0), 4.0);
+        assert_eq!(ra.push(7.0), 5.0);
+        assert!(ra.is_saturated());
+        // Window slides: (5+7+9)/3.
+        assert_eq!(ra.push(9.0), 7.0);
+    }
+
+    #[test]
+    fn window_of_one_is_identity() {
+        let mut ra = RunningAverage::new(1);
+        assert_eq!(ra.push(4.0), 4.0);
+        assert_eq!(ra.push(8.0), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 1")]
+    fn zero_window_panics() {
+        let _ = RunningAverage::new(0);
+    }
+
+    #[test]
+    fn change_accumulator_sums() {
+        let mut acc = ChangeAccumulator::new();
+        assert_eq!(acc.push(5.0), 5.0);
+        assert_eq!(acc.push(-2.0), 3.0);
+        assert_eq!(acc.total(), 3.0);
+        assert_eq!(acc.rounds(), 2);
+    }
+}

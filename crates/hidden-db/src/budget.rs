@@ -1,0 +1,101 @@
+//! Per-round query budget accounting (§2.1: the database-imposed limit `G`).
+
+use crate::errors::BudgetExhausted;
+
+/// Tracks queries spent against a per-round limit `G`.
+///
+/// Budgets are deliberately cheap to copy so a session can snapshot them
+/// for cost accounting (`spent_since`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryBudget {
+    limit: u64,
+    spent: u64,
+}
+
+impl QueryBudget {
+    /// A budget of `limit` queries.
+    pub fn new(limit: u64) -> Self {
+        Self { limit, spent: 0 }
+    }
+
+    /// An effectively unlimited budget (used by ground-truth tooling and
+    /// tests; real experiments always set a finite `G`).
+    pub fn unlimited() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// The limit `G`.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Queries spent so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Queries still available.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.spent
+    }
+
+    /// Whether at least `n` queries remain.
+    pub fn can_afford(&self, n: u64) -> bool {
+        self.remaining() >= n
+    }
+
+    /// Consumes one query, erroring if the budget is exhausted.
+    pub fn charge(&mut self) -> Result<(), BudgetExhausted> {
+        if self.spent >= self.limit {
+            return Err(BudgetExhausted { limit: self.limit });
+        }
+        self.spent += 1;
+        Ok(())
+    }
+
+    /// Resets the spent counter (a new round began).
+    pub fn reset(&mut self) {
+        self.spent = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_until_exhausted() {
+        let mut b = QueryBudget::new(2);
+        assert_eq!(b.remaining(), 2);
+        b.charge().unwrap();
+        b.charge().unwrap();
+        assert_eq!(b.remaining(), 0);
+        assert_eq!(b.charge(), Err(BudgetExhausted { limit: 2 }));
+        assert_eq!(b.spent(), 2, "failed charge must not count");
+    }
+
+    #[test]
+    fn reset_restores_full_budget() {
+        let mut b = QueryBudget::new(1);
+        b.charge().unwrap();
+        assert!(b.charge().is_err());
+        b.reset();
+        assert!(b.charge().is_ok());
+    }
+
+    #[test]
+    fn affordability() {
+        let mut b = QueryBudget::new(3);
+        assert!(b.can_afford(3));
+        assert!(!b.can_afford(4));
+        b.charge().unwrap();
+        assert!(b.can_afford(2));
+        assert!(!b.can_afford(3));
+    }
+
+    #[test]
+    fn zero_budget_rejects_immediately() {
+        let mut b = QueryBudget::new(0);
+        assert!(b.charge().is_err());
+    }
+}

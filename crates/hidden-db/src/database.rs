@@ -1,0 +1,549 @@
+//! The dynamic hidden database: schema + storage + index + top-`k`
+//! interface + versioning.
+//!
+//! Two disjoint API surfaces live here:
+//!
+//! * the **search interface** ([`HiddenDatabase::answer`]) — what a
+//!   third-party estimator can reach, always through a budgeted
+//!   [`crate::session::SearchSession`];
+//! * the **owner/ground-truth API** (insert/delete/apply, `exact_*`,
+//!   slot sampling) — what workload drivers and experiment harnesses use.
+//!   Estimators must never call it; the crate layout enforces this by
+//!   having estimators depend only on the [`crate::session::SearchBackend`]
+//!   trait.
+
+use std::collections::HashMap;
+
+use crate::errors::DbError;
+use crate::index::InvertedIndex;
+use crate::interface::{evaluate, CachedEval, QueryOutcome};
+use crate::query::ConjunctiveQuery;
+use crate::ranking::ScoringPolicy;
+use crate::schema::Schema;
+use crate::stats::InterfaceStats;
+use crate::store::{Slot, Store};
+use crate::tuple::Tuple;
+use crate::updates::{UpdateBatch, UpdateSummary};
+use crate::value::{AttrId, MeasureId, TupleKey, ValueId};
+
+/// A lightweight, allocation-free view of one stored tuple, used by the
+/// owner-side ground-truth API.
+#[derive(Clone, Copy)]
+pub struct TupleRef<'a> {
+    store: &'a Store,
+    slot: Slot,
+}
+
+impl<'a> TupleRef<'a> {
+    /// External key.
+    pub fn key(&self) -> TupleKey {
+        self.store.key_at(self.slot)
+    }
+
+    /// Value of attribute `attr`.
+    pub fn value(&self, attr: AttrId) -> ValueId {
+        ValueId(self.store.value_at(attr.index(), self.slot))
+    }
+
+    /// Value of measure `m`.
+    pub fn measure(&self, m: MeasureId) -> f64 {
+        self.store.measure_at(m.index(), self.slot)
+    }
+
+    /// Whether this tuple satisfies `query`.
+    pub fn matches(&self, query: &ConjunctiveQuery) -> bool {
+        query
+            .predicates()
+            .iter()
+            .all(|p| self.store.value_at(p.attr.index(), self.slot) == p.value.0)
+    }
+}
+
+/// The dynamic hidden web database.
+#[derive(Debug, Clone)]
+pub struct HiddenDatabase {
+    schema: Schema,
+    store: Store,
+    index: InvertedIndex,
+    scoring: ScoringPolicy,
+    k: usize,
+    version: u64,
+    cache: HashMap<ConjunctiveQuery, CachedEval>,
+    stats: InterfaceStats,
+}
+
+impl HiddenDatabase {
+    /// Creates an empty database with top-`k` interface and the given
+    /// scoring policy.
+    pub fn new(schema: Schema, k: usize, scoring: ScoringPolicy) -> Self {
+        let index = InvertedIndex::new(&schema);
+        let store = Store::new(schema.attr_count(), schema.measure_count());
+        Self {
+            schema,
+            store,
+            index,
+            scoring,
+            k,
+            version: 0,
+            cache: HashMap::new(),
+            stats: InterfaceStats::default(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The interface's `k` (page size).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Changes `k` (used by the Fig 8 parameter sweep). Invalidates the
+    /// memo cache.
+    pub fn set_k(&mut self, k: usize) {
+        self.k = k;
+        self.bump_version();
+    }
+
+    /// Monotonic data version; bumps on every mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// `|D|`: number of alive tuples.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Interface traffic counters.
+    pub fn stats(&self) -> InterfaceStats {
+        self.stats
+    }
+
+    /// The scoring policy in force (owner API; a real site would never
+    /// disclose it).
+    pub fn scoring_policy(&self) -> ScoringPolicy {
+        self.scoring
+    }
+
+    fn bump_version(&mut self) {
+        self.version += 1;
+        self.cache.clear();
+    }
+
+    fn validate_tuple(&self, t: &Tuple) -> Result<(), DbError> {
+        if t.values().len() != self.schema.attr_count() {
+            return Err(DbError::TupleMismatch(format!(
+                "expected {} values, got {}",
+                self.schema.attr_count(),
+                t.values().len()
+            )));
+        }
+        if t.measures().len() != self.schema.measure_count() {
+            return Err(DbError::TupleMismatch(format!(
+                "expected {} measures, got {}",
+                self.schema.measure_count(),
+                t.measures().len()
+            )));
+        }
+        for (i, &v) in t.values().iter().enumerate() {
+            if !self.schema.value_in_domain(AttrId(i as u16), v) {
+                return Err(DbError::TupleMismatch(format!(
+                    "value {v} outside domain of A{i}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    // ----- owner API ------------------------------------------------------
+
+    /// Inserts one tuple.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<(), DbError> {
+        self.validate_tuple(&tuple)?;
+        let score = self.scoring.score(tuple.key(), tuple.measures());
+        let values: Vec<ValueId> = tuple.values().to_vec();
+        let slot = self.store.insert(tuple, score)?;
+        self.index.insert(slot, &values);
+        self.bump_version();
+        Ok(())
+    }
+
+    /// Deletes one tuple by key.
+    pub fn delete(&mut self, key: TupleKey) -> Result<(), DbError> {
+        let slot = self.store.slot_of(key).ok_or(DbError::UnknownKey(key))?;
+        let values: Vec<ValueId> = (0..self.schema.attr_count())
+            .map(|a| ValueId(self.store.value_at(a, slot)))
+            .collect();
+        self.store.delete(key)?;
+        self.index.delete(slot, &values, &self.store);
+        self.bump_version();
+        Ok(())
+    }
+
+    /// Overwrites the measures of an alive tuple (its position in the query
+    /// tree is unchanged; its rank may change under measure-based scoring).
+    pub fn update_measures(&mut self, key: TupleKey, measures: Vec<f64>) -> Result<(), DbError> {
+        if measures.len() != self.schema.measure_count() {
+            return Err(DbError::TupleMismatch(format!(
+                "expected {} measures, got {}",
+                self.schema.measure_count(),
+                measures.len()
+            )));
+        }
+        let slot = self.store.update_measures(key, &measures)?;
+        // Rank score may depend on measures; recompute.
+        let key_at = self.store.key_at(slot);
+        let score = self.scoring.score(key_at, &measures);
+        self.store.set_score(slot, score);
+        self.bump_version();
+        Ok(())
+    }
+
+    /// Applies a batch: deletes, then measure updates, then inserts; bumps
+    /// the version once. Fails atomically per element (earlier elements
+    /// stay applied — batches from schedules are pre-validated).
+    pub fn apply(&mut self, batch: UpdateBatch) -> Result<UpdateSummary, DbError> {
+        let mut summary = UpdateSummary::default();
+        for key in &batch.deletes {
+            self.delete_inner(*key)?;
+            summary.deleted += 1;
+        }
+        for (key, measures) in &batch.measure_updates {
+            self.update_measures_inner(*key, measures)?;
+            summary.measures_updated += 1;
+        }
+        for tuple in batch.inserts {
+            self.insert_inner(tuple)?;
+            summary.inserted += 1;
+        }
+        self.bump_version();
+        Ok(summary)
+    }
+
+    fn insert_inner(&mut self, tuple: Tuple) -> Result<(), DbError> {
+        self.validate_tuple(&tuple)?;
+        let score = self.scoring.score(tuple.key(), tuple.measures());
+        let values: Vec<ValueId> = tuple.values().to_vec();
+        let slot = self.store.insert(tuple, score)?;
+        self.index.insert(slot, &values);
+        Ok(())
+    }
+
+    fn delete_inner(&mut self, key: TupleKey) -> Result<(), DbError> {
+        let slot = self.store.slot_of(key).ok_or(DbError::UnknownKey(key))?;
+        let values: Vec<ValueId> = (0..self.schema.attr_count())
+            .map(|a| ValueId(self.store.value_at(a, slot)))
+            .collect();
+        self.store.delete(key)?;
+        self.index.delete(slot, &values, &self.store);
+        Ok(())
+    }
+
+    fn update_measures_inner(&mut self, key: TupleKey, measures: &[f64]) -> Result<(), DbError> {
+        if measures.len() != self.schema.measure_count() {
+            return Err(DbError::TupleMismatch("measure arity".into()));
+        }
+        let slot = self.store.update_measures(key, measures)?;
+        let key_at = self.store.key_at(slot);
+        let score = self.scoring.score(key_at, measures);
+        self.store.set_score(slot, score);
+        Ok(())
+    }
+
+    // ----- search interface ----------------------------------------------
+
+    /// Answers a search query through the top-`k` interface. **Unbudgeted**:
+    /// sessions wrap this and charge the per-round budget.
+    ///
+    /// # Panics
+    /// If the query references attributes/values outside the schema — that
+    /// is a caller bug, not a runtime condition.
+    pub fn answer(&mut self, query: &ConjunctiveQuery) -> QueryOutcome {
+        query
+            .validate(&self.schema)
+            .expect("search query must be valid for the schema");
+        self.stats.answered += 1;
+        if let Some(cached) = self.cache.get(query) {
+            self.stats.cache_hits += 1;
+            let out = cached.to_outcome(&self.store);
+            self.count_outcome(&out);
+            return out;
+        }
+        let eval = self.evaluate_uncached(query);
+        let out = eval.to_outcome(&self.store);
+        self.cache.insert(query.clone(), eval);
+        self.count_outcome(&out);
+        out
+    }
+
+    fn count_outcome(&mut self, out: &QueryOutcome) {
+        match out {
+            QueryOutcome::Underflow => self.stats.underflows += 1,
+            QueryOutcome::Valid(_) => self.stats.valids += 1,
+            QueryOutcome::Overflow(_) => self.stats.overflows += 1,
+        }
+    }
+
+    fn evaluate_uncached(&self, query: &ConjunctiveQuery) -> CachedEval {
+        if query.is_empty() {
+            let candidates: Vec<Slot> = self.store.alive_slots().collect();
+            return evaluate(query, &self.store, self.k, candidates);
+        }
+        // Drive the scan with the rarest predicate's posting list.
+        let driver = query
+            .predicates()
+            .iter()
+            .min_by_key(|p| self.index.estimated_len(p.attr, p.value))
+            .expect("non-empty query has a predicate");
+        let mut candidates: Vec<Slot> = Vec::new();
+        self.index
+            .for_each_live(driver.attr, driver.value, &self.store, |s| {
+                candidates.push(s)
+            });
+        evaluate(query, &self.store, self.k, candidates)
+    }
+
+    // ----- ground truth (experiments/tests only) --------------------------
+
+    /// Exact number of alive tuples matching `query` (root if `None`).
+    /// Bypasses the interface; for experiments and tests.
+    pub fn exact_count(&self, query: Option<&ConjunctiveQuery>) -> u64 {
+        match query {
+            None => self.store.len() as u64,
+            Some(q) => {
+                let mut n = 0;
+                self.for_each_alive(|t| {
+                    if t.matches(q) {
+                        n += 1;
+                    }
+                });
+                n
+            }
+        }
+    }
+
+    /// Exact sum of `f` over alive tuples matching `query`.
+    pub fn exact_sum(
+        &self,
+        query: Option<&ConjunctiveQuery>,
+        mut f: impl FnMut(TupleRef<'_>) -> f64,
+    ) -> f64 {
+        let mut acc = 0.0;
+        self.for_each_alive(|t| {
+            let matches = query.is_none_or(|q| t.matches(q));
+            if matches {
+                acc += f(t);
+            }
+        });
+        acc
+    }
+
+    /// Visits every alive tuple (owner API).
+    pub fn for_each_alive(&self, mut f: impl FnMut(TupleRef<'_>)) {
+        for slot in self.store.alive_slots() {
+            f(TupleRef { store: &self.store, slot });
+        }
+    }
+
+    /// Borrowing accessor for an alive tuple by key (owner API).
+    pub fn get(&self, key: TupleKey) -> Option<TupleRef<'_>> {
+        self.store
+            .slot_of(key)
+            .map(|slot| TupleRef { store: &self.store, slot })
+    }
+
+    /// Samples `count` distinct alive tuple keys uniformly at random,
+    /// deterministically under the caller's RNG (owner API; schedules use
+    /// this to pick deletion victims).
+    ///
+    /// Returns fewer than `count` keys only if the database holds fewer
+    /// alive tuples.
+    pub fn sample_alive_keys<R: rand::Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        count: usize,
+    ) -> Vec<TupleKey> {
+        let alive = self.store.len();
+        let want = count.min(alive);
+        let mut picked = std::collections::HashSet::with_capacity(want);
+        let mut out = Vec::with_capacity(want);
+        let bound = self.store.slot_bound();
+        if bound == 0 {
+            return out;
+        }
+        // Rejection sampling over slots: the store keeps fill rate high, so
+        // the expected number of draws is O(want / fill_rate).
+        while out.len() < want {
+            let slot: Slot = rng.random_range(0..bound);
+            if self.store.is_alive(slot) && picked.insert(slot) {
+                out.push(self.store.key_at(slot));
+            }
+        }
+        out
+    }
+
+    /// All alive keys, sorted (deterministic; owner API, O(n log n)).
+    pub fn alive_keys_sorted(&self) -> Vec<TupleKey> {
+        let mut keys: Vec<TupleKey> = self.store.alive_keys().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+
+    fn db() -> HiddenDatabase {
+        let schema = Schema::with_domain_sizes(&[2, 3], &["price"]).unwrap();
+        HiddenDatabase::new(schema, 2, ScoringPolicy::NewestFirst)
+    }
+
+    fn t(key: u64, a0: u32, a1: u32, price: f64) -> Tuple {
+        Tuple::new(TupleKey(key), vec![ValueId(a0), ValueId(a1)], vec![price])
+    }
+
+    fn q(pairs: &[(u16, u32)]) -> ConjunctiveQuery {
+        ConjunctiveQuery::from_predicates(
+            pairs.iter().map(|&(a, v)| Predicate::new(AttrId(a), ValueId(v))),
+        )
+    }
+
+    #[test]
+    fn end_to_end_insert_query() {
+        let mut d = db();
+        d.insert(t(1, 0, 0, 10.0)).unwrap();
+        d.insert(t(2, 0, 1, 20.0)).unwrap();
+        d.insert(t(3, 1, 2, 30.0)).unwrap();
+        // Root: 3 tuples > k=2 → overflow with the 2 newest.
+        let out = d.answer(&ConjunctiveQuery::select_all());
+        assert!(out.is_overflow());
+        let keys: Vec<u64> = out.tuples().iter().map(|v| v.key().0).collect();
+        assert_eq!(keys, vec![3, 2]);
+        // A0=0: exactly 2 → valid.
+        let out = d.answer(&q(&[(0, 0)]));
+        assert!(out.is_valid());
+        assert_eq!(out.returned_count(), 2);
+        // A0=1 AND A1=0: none → underflow.
+        assert!(d.answer(&q(&[(0, 1), (1, 0)])).is_underflow());
+    }
+
+    #[test]
+    fn schema_validation_on_insert() {
+        let mut d = db();
+        // Wrong arity.
+        let bad = Tuple::new(TupleKey(1), vec![ValueId(0)], vec![1.0]);
+        assert!(d.insert(bad).is_err());
+        // Out-of-domain value.
+        let bad = Tuple::new(TupleKey(1), vec![ValueId(0), ValueId(3)], vec![1.0]);
+        assert!(d.insert(bad).is_err());
+        // Wrong measure arity.
+        let bad = Tuple::new(TupleKey(1), vec![ValueId(0), ValueId(0)], vec![]);
+        assert!(d.insert(bad).is_err());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn version_bumps_and_cache_invalidates() {
+        let mut d = db();
+        d.insert(t(1, 0, 0, 1.0)).unwrap();
+        let v1 = d.version();
+        let root = ConjunctiveQuery::select_all();
+        assert_eq!(d.answer(&root).returned_count(), 1);
+        assert_eq!(d.answer(&root).returned_count(), 1);
+        assert_eq!(d.stats().cache_hits, 1, "second identical query cached");
+        d.insert(t(2, 0, 0, 1.0)).unwrap();
+        assert!(d.version() > v1);
+        assert_eq!(d.answer(&root).returned_count(), 2, "cache must not serve stale data");
+    }
+
+    #[test]
+    fn batch_apply_order_allows_delete_then_reinsert() {
+        let mut d = db();
+        d.insert(t(1, 0, 0, 1.0)).unwrap();
+        let batch = UpdateBatch::empty()
+            .delete(TupleKey(1))
+            .insert(t(1, 1, 1, 2.0));
+        let s = d.apply(batch).unwrap();
+        assert_eq!(s.deleted, 1);
+        assert_eq!(s.inserted, 1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(TupleKey(1)).unwrap().value(AttrId(0)), ValueId(1));
+    }
+
+    #[test]
+    fn measure_update_changes_ground_truth_not_membership() {
+        let mut d = db();
+        d.insert(t(1, 0, 0, 10.0)).unwrap();
+        d.update_measures(TupleKey(1), vec![99.0]).unwrap();
+        assert_eq!(d.len(), 1);
+        let sum = d.exact_sum(None, |t| t.measure(MeasureId(0)));
+        assert_eq!(sum, 99.0);
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let mut d = db();
+        d.insert(t(1, 0, 0, 10.0)).unwrap();
+        d.insert(t(2, 0, 1, 20.0)).unwrap();
+        d.insert(t(3, 1, 1, 40.0)).unwrap();
+        assert_eq!(d.exact_count(None), 3);
+        assert_eq!(d.exact_count(Some(&q(&[(0, 0)]))), 2);
+        let s = d.exact_sum(Some(&q(&[(1, 1)])), |t| t.measure(MeasureId(0)));
+        assert_eq!(s, 60.0);
+    }
+
+    #[test]
+    fn sampling_alive_keys_is_uniformish_and_exact_count() {
+        use rand::SeedableRng;
+        let mut d = db();
+        for key in 0..50 {
+            d.insert(t(key, (key % 2) as u32, (key % 3) as u32, key as f64))
+                .unwrap();
+        }
+        for key in 0..25 {
+            d.delete(TupleKey(key)).unwrap();
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let sample = d.sample_alive_keys(&mut rng, 10);
+        assert_eq!(sample.len(), 10);
+        for k in &sample {
+            assert!(k.0 >= 25, "sampled deleted tuple {k}");
+        }
+        let mut uniq = sample.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10, "sample must be distinct");
+        // Ask for more than alive: get exactly the alive count.
+        let all = d.sample_alive_keys(&mut rng, 1000);
+        assert_eq!(all.len(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid for the schema")]
+    fn invalid_query_panics() {
+        let mut d = db();
+        d.insert(t(1, 0, 0, 1.0)).unwrap();
+        d.answer(&q(&[(0, 5)]));
+    }
+
+    #[test]
+    fn set_k_affects_classification() {
+        let mut d = db();
+        for key in 0..3 {
+            d.insert(t(key, 0, 0, 0.0)).unwrap();
+        }
+        assert!(d.answer(&ConjunctiveQuery::select_all()).is_overflow());
+        d.set_k(3);
+        assert!(d.answer(&ConjunctiveQuery::select_all()).is_valid());
+    }
+}

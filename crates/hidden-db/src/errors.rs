@@ -1,0 +1,92 @@
+//! Error types for the hidden database substrate.
+
+use crate::value::{AttrId, TupleKey};
+use std::fmt;
+
+/// Errors raised while constructing a [`crate::schema::Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A schema must contain at least one categorical attribute.
+    NoAttributes,
+    /// More attributes than the `u16` id space allows.
+    TooManyAttributes(usize),
+    /// More measures than the `u16` id space allows.
+    TooManyMeasures(usize),
+    /// Attribute declared with an empty domain.
+    EmptyDomain {
+        /// The offending attribute.
+        attr: AttrId,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoAttributes => write!(f, "schema has no attributes"),
+            Self::TooManyAttributes(n) => write!(f, "too many attributes: {n}"),
+            Self::TooManyMeasures(n) => write!(f, "too many measures: {n}"),
+            Self::EmptyDomain { attr } => write!(f, "attribute {attr} has an empty domain"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Errors raised while mutating or querying the database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Tuple shape (value or measure count) does not match the schema, or a
+    /// value is outside its attribute's domain.
+    TupleMismatch(String),
+    /// Query references an attribute or value outside the schema.
+    InvalidQuery(String),
+    /// Insert of a tuple key that already exists and is alive.
+    DuplicateKey(TupleKey),
+    /// Delete/update of a key that does not exist (or is already deleted).
+    UnknownKey(TupleKey),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TupleMismatch(msg) => write!(f, "tuple does not match schema: {msg}"),
+            Self::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            Self::DuplicateKey(k) => write!(f, "duplicate tuple key {k}"),
+            Self::UnknownKey(k) => write!(f, "unknown tuple key {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Raised by a [`crate::session::SearchSession`] when the per-round query
+/// budget `G` is exhausted (§2.1: "Let G be the number of queries one can
+/// issue to the database per round").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// The budget that was in force.
+    pub limit: u64,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "per-round query budget of {} exhausted", self.limit)
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = SchemaError::EmptyDomain { attr: AttrId(4) };
+        assert!(e.to_string().contains("A4"));
+        let e = DbError::DuplicateKey(TupleKey(9));
+        assert!(e.to_string().contains("t9"));
+        let e = BudgetExhausted { limit: 100 };
+        assert!(e.to_string().contains("100"));
+    }
+}

@@ -1,0 +1,229 @@
+//! The restrictive search interface: outcome classification and the
+//! evaluation engine behind it.
+//!
+//! Per §2.1, a query returns at most `k` tuples. We classify:
+//! * **underflow** — no tuple matches (empty result page);
+//! * **valid** — between 1 and `k` tuples match; all are returned;
+//! * **overflow** — more than `k` match; only the top-`k` by the hidden
+//!   scoring function are returned, with a "more results" indicator.
+//!
+//! Crucially the interface does **not** disclose the matching count — the
+//! whole point of the paper is estimating aggregates without it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::query::ConjunctiveQuery;
+use crate::store::{Slot, Store};
+use crate::tuple::TupleView;
+
+/// The interface's answer to one search query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// No tuple matched.
+    Underflow,
+    /// All matching tuples (1..=k of them), ranked best-first.
+    Valid(Vec<TupleView>),
+    /// More than `k` tuples matched; the top-`k` by hidden score,
+    /// best-first.
+    Overflow(Vec<TupleView>),
+}
+
+impl QueryOutcome {
+    /// Whether the query overflowed (returned a truncated page).
+    pub fn is_overflow(&self) -> bool {
+        matches!(self, Self::Overflow(_))
+    }
+
+    /// Whether the query underflowed (empty page).
+    pub fn is_underflow(&self) -> bool {
+        matches!(self, Self::Underflow)
+    }
+
+    /// Whether the query is valid (complete, non-empty page).
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Self::Valid(_))
+    }
+
+    /// The returned tuples (empty for underflow).
+    pub fn tuples(&self) -> &[TupleView] {
+        match self {
+            Self::Underflow => &[],
+            Self::Valid(ts) | Self::Overflow(ts) => ts,
+        }
+    }
+
+    /// Number of returned tuples (NOT the matching count for overflows).
+    pub fn returned_count(&self) -> usize {
+        self.tuples().len()
+    }
+}
+
+/// Raw evaluation result kept in the per-version memo cache: whether the
+/// query overflowed and which slots to materialise.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedEval {
+    pub(crate) overflow: bool,
+    /// Result slots, best-first. For overflow: exactly `k`. For valid: all
+    /// matches. For underflow: empty.
+    pub(crate) slots: Vec<Slot>,
+}
+
+impl CachedEval {
+    pub(crate) fn to_outcome(&self, store: &Store) -> QueryOutcome {
+        if self.slots.is_empty() {
+            QueryOutcome::Underflow
+        } else {
+            let views = self.slots.iter().map(|&s| store.view(s)).collect();
+            if self.overflow {
+                QueryOutcome::Overflow(views)
+            } else {
+                QueryOutcome::Valid(views)
+            }
+        }
+    }
+}
+
+/// Evaluates `query` against the store, returning the cacheable result.
+///
+/// `candidates` drives iteration: the caller passes the cheapest stream of
+/// candidate slots (a posting list, or all alive slots for the root query);
+/// every candidate is re-checked against all predicates, so supersets are
+/// safe.
+pub(crate) fn evaluate<I>(
+    query: &ConjunctiveQuery,
+    store: &Store,
+    k: usize,
+    candidates: I,
+) -> CachedEval
+where
+    I: IntoIterator<Item = Slot>,
+{
+    // Min-heap of (score, slot) keeping the k best seen so far. With
+    // capacity k+0: if total matches ≤ k the heap simply holds them all.
+    let mut heap: BinaryHeap<Reverse<(u64, Slot)>> = BinaryHeap::with_capacity(k + 1);
+    let mut matched: usize = 0;
+    for slot in candidates {
+        if !slot_matches(query, store, slot) {
+            continue;
+        }
+        matched += 1;
+        heap.push(Reverse((store.score_at(slot), slot)));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut slots: Vec<Slot> = heap.into_iter().map(|Reverse((_, s))| s).collect();
+    // Best-first: sort by score descending (ties by slot for determinism).
+    slots.sort_unstable_by_key(|&s| Reverse((store.score_at(s), s)));
+    CachedEval { overflow: matched > k, slots }
+}
+
+#[inline]
+fn slot_matches(query: &ConjunctiveQuery, store: &Store, slot: Slot) -> bool {
+    if !store.is_alive(slot) {
+        return false;
+    }
+    query
+        .predicates()
+        .iter()
+        .all(|p| store.value_at(p.attr.index(), slot) == p.value.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+    use crate::tuple::Tuple;
+    use crate::value::{AttrId, TupleKey, ValueId};
+
+    fn store_with(n: u64) -> Store {
+        let mut s = Store::new(1, 0);
+        for key in 0..n {
+            s.insert(
+                Tuple::new(TupleKey(key), vec![ValueId((key % 2) as u32)], vec![]),
+                // score = key so ranking is transparent in tests
+                key,
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn eval_all(q: &ConjunctiveQuery, store: &Store, k: usize) -> CachedEval {
+        evaluate(q, store, k, store.alive_slots().collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn underflow_valid_overflow_classification() {
+        let store = store_with(5); // A0 values: 0,1,0,1,0
+        let root = ConjunctiveQuery::select_all();
+        let r = eval_all(&root, &store, 10);
+        assert!(!r.overflow);
+        assert_eq!(r.slots.len(), 5);
+
+        let r = eval_all(&root, &store, 3);
+        assert!(r.overflow);
+        assert_eq!(r.slots.len(), 3);
+
+        let none = ConjunctiveQuery::from_predicates([Predicate::new(AttrId(0), ValueId(1))]);
+        let empty = Store::new(1, 0);
+        let r = evaluate(&none, &empty, 3, std::iter::empty());
+        assert!(!r.overflow);
+        assert!(r.slots.is_empty());
+    }
+
+    #[test]
+    fn overflow_returns_top_k_by_score() {
+        let store = store_with(10);
+        let root = ConjunctiveQuery::select_all();
+        let r = eval_all(&root, &store, 4);
+        assert!(r.overflow);
+        // Scores are the keys; best-first means keys 9,8,7,6.
+        let keys: Vec<u64> = r.slots.iter().map(|&s| store.key_at(s).0).collect();
+        assert_eq!(keys, vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn valid_results_are_ranked_best_first_too() {
+        let store = store_with(6);
+        let q = ConjunctiveQuery::from_predicates([Predicate::new(AttrId(0), ValueId(0))]);
+        let r = eval_all(&q, &store, 10);
+        assert!(!r.overflow);
+        let keys: Vec<u64> = r.slots.iter().map(|&s| store.key_at(s).0).collect();
+        assert_eq!(keys, vec![4, 2, 0]);
+    }
+
+    #[test]
+    fn boundary_exactly_k_matches_is_valid() {
+        let store = store_with(4);
+        let root = ConjunctiveQuery::select_all();
+        let r = eval_all(&root, &store, 4);
+        assert!(!r.overflow, "count == k must be valid, not overflow");
+        assert_eq!(r.slots.len(), 4);
+        let r = eval_all(&root, &store, 3);
+        assert!(r.overflow, "count == k+1 must overflow");
+    }
+
+    #[test]
+    fn dead_slots_are_ignored() {
+        let mut store = store_with(4);
+        store.delete(TupleKey(3)).unwrap();
+        let all: Vec<Slot> = (0..store.slot_bound()).collect();
+        let r = evaluate(&ConjunctiveQuery::select_all(), &store, 10, all);
+        assert_eq!(r.slots.len(), 3);
+    }
+
+    #[test]
+    fn outcome_materialisation() {
+        let store = store_with(2);
+        let r = eval_all(&ConjunctiveQuery::select_all(), &store, 10);
+        let out = r.to_outcome(&store);
+        assert!(out.is_valid());
+        assert_eq!(out.returned_count(), 2);
+        assert_eq!(out.tuples()[0].key(), TupleKey(1));
+
+        let r = CachedEval { overflow: false, slots: vec![] };
+        assert!(r.to_outcome(&store).is_underflow());
+    }
+}

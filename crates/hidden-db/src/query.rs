@@ -1,0 +1,222 @@
+//! Conjunctive point-predicate queries — the only query shape the
+//! restrictive interface supports (§2.1):
+//!
+//! ```sql
+//! SELECT * FROM D WHERE A_{i1} = u_{i1} AND … AND A_{is} = u_{is}
+//! ```
+
+use crate::schema::Schema;
+use crate::value::{AttrId, ValueId};
+
+/// One `A_i = u` point predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Predicate {
+    /// The constrained attribute.
+    pub attr: AttrId,
+    /// The required value.
+    pub value: ValueId,
+}
+
+impl Predicate {
+    /// Creates a predicate `attr = value`.
+    pub fn new(attr: AttrId, value: ValueId) -> Self {
+        Self { attr, value }
+    }
+}
+
+/// A conjunctive query: a set of point predicates over distinct attributes,
+/// kept sorted by attribute id so that structurally equal queries compare
+/// and hash equal regardless of construction order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ConjunctiveQuery {
+    predicates: Vec<Predicate>,
+}
+
+impl ConjunctiveQuery {
+    /// The query with no predicates: `SELECT * FROM D` (the tree root).
+    pub fn select_all() -> Self {
+        Self { predicates: Vec::new() }
+    }
+
+    /// Builds a query from predicates. Later predicates on an attribute
+    /// already constrained replace the earlier one (the interface form has
+    /// one field per attribute, so duplicates cannot be expressed).
+    pub fn from_predicates(preds: impl IntoIterator<Item = Predicate>) -> Self {
+        let mut q = Self::select_all();
+        for p in preds {
+            q.set(p.attr, p.value);
+        }
+        q
+    }
+
+    /// Sets (or replaces) the predicate on `attr`.
+    pub fn set(&mut self, attr: AttrId, value: ValueId) {
+        match self.predicates.binary_search_by_key(&attr, |p| p.attr) {
+            Ok(i) => self.predicates[i].value = value,
+            Err(i) => self.predicates.insert(i, Predicate::new(attr, value)),
+        }
+    }
+
+    /// Returns a copy of this query with the predicate on `attr` set.
+    #[must_use]
+    pub fn with(&self, attr: AttrId, value: ValueId) -> Self {
+        let mut q = self.clone();
+        q.set(attr, value);
+        q
+    }
+
+    /// Returns a copy with the predicate on `attr` removed (no-op if absent).
+    #[must_use]
+    pub fn without(&self, attr: AttrId) -> Self {
+        let mut q = self.clone();
+        if let Ok(i) = q.predicates.binary_search_by_key(&attr, |p| p.attr) {
+            q.predicates.remove(i);
+        }
+        q
+    }
+
+    /// The predicates, sorted by attribute id.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Number of predicates (`s` in the paper).
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Whether this is the root `SELECT *` query.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// The value this query requires for `attr`, if constrained.
+    pub fn value_for(&self, attr: AttrId) -> Option<ValueId> {
+        self.predicates
+            .binary_search_by_key(&attr, |p| p.attr)
+            .ok()
+            .map(|i| self.predicates[i].value)
+    }
+
+    /// Whether `values` (a full tuple row in schema order) satisfies every
+    /// predicate.
+    #[inline]
+    pub fn matches_values(&self, values: &[ValueId]) -> bool {
+        self.predicates.iter().all(|p| values[p.attr.index()] == p.value)
+    }
+
+    /// Validates the query against `schema`: every attribute exists and
+    /// every value is in its domain.
+    pub fn validate(&self, schema: &Schema) -> Result<(), crate::errors::DbError> {
+        for p in &self.predicates {
+            if !schema.value_in_domain(p.attr, p.value) {
+                return Err(crate::errors::DbError::InvalidQuery(format!(
+                    "predicate {}={} outside schema",
+                    p.attr, p.value
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `other`'s predicate set is a superset of this query's —
+    /// i.e. `other` is *at least as restrictive* and `Sel(other) ⊆ Sel(self)`.
+    pub fn subsumes(&self, other: &Self) -> bool {
+        self.predicates
+            .iter()
+            .all(|p| other.value_for(p.attr) == Some(p.value))
+    }
+}
+
+impl std::fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.predicates.is_empty() {
+            return write!(f, "SELECT * FROM D");
+        }
+        write!(f, "SELECT * FROM D WHERE ")?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{}={}", p.attr, p.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(pairs: &[(u16, u32)]) -> ConjunctiveQuery {
+        ConjunctiveQuery::from_predicates(
+            pairs.iter().map(|&(a, v)| Predicate::new(AttrId(a), ValueId(v))),
+        )
+    }
+
+    #[test]
+    fn construction_order_is_irrelevant() {
+        let a = q(&[(2, 1), (0, 3)]);
+        let b = q(&[(0, 3), (2, 1)]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn set_replaces_existing_predicate() {
+        let mut a = q(&[(1, 0)]);
+        a.set(AttrId(1), ValueId(2));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.value_for(AttrId(1)), Some(ValueId(2)));
+    }
+
+    #[test]
+    fn with_and_without() {
+        let a = q(&[(0, 1)]);
+        let b = a.with(AttrId(1), ValueId(2));
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.len(), 1, "with() must not mutate the receiver");
+        let c = b.without(AttrId(0));
+        assert_eq!(c.value_for(AttrId(0)), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn matching() {
+        let a = q(&[(0, 1), (2, 0)]);
+        assert!(a.matches_values(&[ValueId(1), ValueId(9), ValueId(0)]));
+        assert!(!a.matches_values(&[ValueId(1), ValueId(9), ValueId(1)]));
+        assert!(ConjunctiveQuery::select_all().matches_values(&[ValueId(5)]));
+    }
+
+    #[test]
+    fn validation_against_schema() {
+        let schema = Schema::with_domain_sizes(&[2, 3], &[]).unwrap();
+        assert!(q(&[(0, 1), (1, 2)]).validate(&schema).is_ok());
+        assert!(q(&[(0, 2)]).validate(&schema).is_err());
+        assert!(q(&[(5, 0)]).validate(&schema).is_err());
+    }
+
+    #[test]
+    fn subsumption() {
+        let broad = q(&[(0, 1)]);
+        let narrow = q(&[(0, 1), (1, 2)]);
+        assert!(broad.subsumes(&narrow));
+        assert!(!narrow.subsumes(&broad));
+        assert!(ConjunctiveQuery::select_all().subsumes(&broad));
+        let conflicting = q(&[(0, 0), (1, 2)]);
+        assert!(!broad.subsumes(&conflicting));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ConjunctiveQuery::select_all().to_string(), "SELECT * FROM D");
+        assert_eq!(q(&[(0, 1)]).to_string(), "SELECT * FROM D WHERE A0=u1");
+    }
+}

@@ -1,0 +1,129 @@
+//! Budgeted access to the search interface — the **only** surface an
+//! estimator is allowed to touch.
+//!
+//! Estimator crates are generic over [`SearchBackend`] so the same code
+//! runs against a plain per-round session, an intra-round session that
+//! interleaves updates with queries (constant-update model, §5.2), or any
+//! future adapter for a real web API.
+
+use crate::budget::QueryBudget;
+use crate::database::HiddenDatabase;
+use crate::errors::BudgetExhausted;
+use crate::interface::QueryOutcome;
+use crate::query::ConjunctiveQuery;
+use crate::schema::Schema;
+
+/// What the restricted interface lets a third party do: learn the schema
+/// and the page size, and issue budgeted conjunctive queries.
+pub trait SearchBackend {
+    /// The (public) schema of the search form: attributes and domains.
+    fn schema(&self) -> &Schema;
+
+    /// The interface's page size `k`.
+    fn k(&self) -> usize;
+
+    /// Issues one search query, charging one unit of budget.
+    fn issue(&mut self, query: &ConjunctiveQuery) -> Result<QueryOutcome, BudgetExhausted>;
+
+    /// Queries remaining in this round's budget.
+    fn remaining(&self) -> u64;
+
+    /// Queries spent so far this round.
+    fn spent(&self) -> u64;
+}
+
+/// A per-round session over a [`HiddenDatabase`]: borrows the database,
+/// charges a [`QueryBudget`] per issued query.
+pub struct SearchSession<'a> {
+    db: &'a mut HiddenDatabase,
+    budget: QueryBudget,
+}
+
+impl<'a> SearchSession<'a> {
+    /// Starts a session with a budget of `g` queries.
+    pub fn new(db: &'a mut HiddenDatabase, g: u64) -> Self {
+        Self { db, budget: QueryBudget::new(g) }
+    }
+
+    /// Starts a session with an unlimited budget (tests/ground truth).
+    pub fn unlimited(db: &'a mut HiddenDatabase) -> Self {
+        Self { db, budget: QueryBudget::unlimited() }
+    }
+
+    /// The budget state.
+    pub fn budget(&self) -> QueryBudget {
+        self.budget
+    }
+}
+
+impl SearchBackend for SearchSession<'_> {
+    fn schema(&self) -> &Schema {
+        self.db.schema()
+    }
+
+    fn k(&self) -> usize {
+        self.db.k()
+    }
+
+    fn issue(&mut self, query: &ConjunctiveQuery) -> Result<QueryOutcome, BudgetExhausted> {
+        self.budget.charge()?;
+        Ok(self.db.answer(query))
+    }
+
+    fn remaining(&self) -> u64 {
+        self.budget.remaining()
+    }
+
+    fn spent(&self) -> u64 {
+        self.budget.spent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::ScoringPolicy;
+    use crate::tuple::Tuple;
+    use crate::value::{TupleKey, ValueId};
+
+    fn db() -> HiddenDatabase {
+        let schema = Schema::with_domain_sizes(&[2], &[]).unwrap();
+        let mut d = HiddenDatabase::new(schema, 5, ScoringPolicy::default());
+        for key in 0..3 {
+            d.insert(Tuple::new(TupleKey(key), vec![ValueId(0)], vec![]))
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn session_charges_budget() {
+        let mut d = db();
+        let mut s = SearchSession::new(&mut d, 2);
+        let root = ConjunctiveQuery::select_all();
+        assert!(s.issue(&root).is_ok());
+        assert_eq!(s.remaining(), 1);
+        assert!(s.issue(&root).is_ok());
+        assert_eq!(s.remaining(), 0);
+        assert!(s.issue(&root).is_err());
+        assert_eq!(s.spent(), 2);
+    }
+
+    #[test]
+    fn unlimited_session_never_errors() {
+        let mut d = db();
+        let mut s = SearchSession::unlimited(&mut d);
+        let root = ConjunctiveQuery::select_all();
+        for _ in 0..1000 {
+            assert!(s.issue(&root).is_ok());
+        }
+    }
+
+    #[test]
+    fn schema_and_k_are_visible() {
+        let mut d = db();
+        let s = SearchSession::new(&mut d, 1);
+        assert_eq!(s.schema().attr_count(), 1);
+        assert_eq!(s.k(), 5);
+    }
+}

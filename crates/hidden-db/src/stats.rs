@@ -1,0 +1,41 @@
+//! Interface-side counters, useful for experiments and benches.
+
+/// Counters describing the traffic a database has served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterfaceStats {
+    /// Total queries answered (including memoised ones).
+    pub answered: u64,
+    /// Queries that overflowed.
+    pub overflows: u64,
+    /// Queries answered with a complete (valid) page.
+    pub valids: u64,
+    /// Queries that underflowed.
+    pub underflows: u64,
+    /// Answers served from the per-version memo cache.
+    pub cache_hits: u64,
+}
+
+impl InterfaceStats {
+    /// Fraction of answers served from cache, in `[0,1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.answered == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.answered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate() {
+        let mut s = InterfaceStats::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.answered = 4;
+        s.cache_hits = 1;
+        assert!((s.cache_hit_rate() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,287 @@
+//! Columnar slot-based tuple storage.
+//!
+//! Tuples live in *slots*; deleting a tuple frees its slot for reuse by a
+//! later insert. All hot query-evaluation paths index columns directly by
+//! slot, so matching a predicate against a candidate tuple is two array
+//! loads. External identity is the [`TupleKey`], which is never reused.
+
+use std::collections::HashMap;
+
+use crate::errors::DbError;
+use crate::tuple::{Tuple, TupleView};
+use crate::value::{TupleKey, ValueId};
+
+/// Slot index within the store. Internal; never exposed through the
+/// search interface.
+pub type Slot = u32;
+
+/// Columnar storage for tuples plus the per-tuple hidden ranking score.
+#[derive(Debug, Clone)]
+pub struct Store {
+    /// `columns[a][slot]` = value code of attribute `a` for that slot.
+    columns: Vec<Vec<u32>>,
+    /// `measure_cols[m][slot]` = measure value.
+    measure_cols: Vec<Vec<f64>>,
+    /// `keys[slot]` = external key of the occupant (stale if dead).
+    keys: Vec<u64>,
+    /// `scores[slot]` = hidden ranking score of the occupant.
+    scores: Vec<u64>,
+    /// Liveness per slot.
+    alive: Vec<bool>,
+    /// Free slots available for reuse.
+    free: Vec<Slot>,
+    /// Alive key → slot.
+    key_to_slot: HashMap<u64, Slot>,
+    alive_count: usize,
+}
+
+impl Store {
+    /// Creates an empty store for `attr_count` attributes and
+    /// `measure_count` measures.
+    pub fn new(attr_count: usize, measure_count: usize) -> Self {
+        Self {
+            columns: vec![Vec::new(); attr_count],
+            measure_cols: vec![Vec::new(); measure_count],
+            keys: Vec::new(),
+            scores: Vec::new(),
+            alive: Vec::new(),
+            free: Vec::new(),
+            key_to_slot: HashMap::new(),
+            alive_count: 0,
+        }
+    }
+
+    /// Number of alive tuples (`|D|`).
+    pub fn len(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Whether the store holds no alive tuples.
+    pub fn is_empty(&self) -> bool {
+        self.alive_count == 0
+    }
+
+    /// Total slots allocated (alive + dead); the exclusive upper bound of
+    /// valid slot indices.
+    pub fn slot_bound(&self) -> Slot {
+        self.keys.len() as Slot
+    }
+
+    /// Whether `slot` currently holds an alive tuple.
+    #[inline]
+    pub fn is_alive(&self, slot: Slot) -> bool {
+        self.alive[slot as usize]
+    }
+
+    /// Value code of attribute `attr_idx` at `slot` (caller guarantees the
+    /// slot is alive).
+    #[inline]
+    pub fn value_at(&self, attr_idx: usize, slot: Slot) -> u32 {
+        self.columns[attr_idx][slot as usize]
+    }
+
+    /// Measure value at `slot`.
+    #[inline]
+    pub fn measure_at(&self, measure_idx: usize, slot: Slot) -> f64 {
+        self.measure_cols[measure_idx][slot as usize]
+    }
+
+    /// Hidden ranking score at `slot`.
+    #[inline]
+    pub fn score_at(&self, slot: Slot) -> u64 {
+        self.scores[slot as usize]
+    }
+
+    /// External key at `slot`.
+    #[inline]
+    pub fn key_at(&self, slot: Slot) -> TupleKey {
+        TupleKey(self.keys[slot as usize])
+    }
+
+    /// Slot of an alive tuple by key.
+    pub fn slot_of(&self, key: TupleKey) -> Option<Slot> {
+        self.key_to_slot.get(&key.0).copied()
+    }
+
+    /// Inserts a tuple with the given hidden score, returning its slot.
+    ///
+    /// Errors with [`DbError::DuplicateKey`] if the key is already alive.
+    /// Shape validation against the schema happens in the database facade.
+    pub fn insert(&mut self, tuple: Tuple, score: u64) -> Result<Slot, DbError> {
+        let (key, values, measures) = tuple.into_parts();
+        if self.key_to_slot.contains_key(&key.0) {
+            return Err(DbError::DuplicateKey(key));
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let i = s as usize;
+                for (a, col) in self.columns.iter_mut().enumerate() {
+                    col[i] = values[a].0;
+                }
+                for (m, col) in self.measure_cols.iter_mut().enumerate() {
+                    col[i] = measures[m];
+                }
+                self.keys[i] = key.0;
+                self.scores[i] = score;
+                self.alive[i] = true;
+                s
+            }
+            None => {
+                let s = self.keys.len() as Slot;
+                for (a, col) in self.columns.iter_mut().enumerate() {
+                    col.push(values[a].0);
+                }
+                for (m, col) in self.measure_cols.iter_mut().enumerate() {
+                    col.push(measures[m]);
+                }
+                self.keys.push(key.0);
+                self.scores.push(score);
+                self.alive.push(true);
+                s
+            }
+        };
+        self.key_to_slot.insert(key.0, slot);
+        self.alive_count += 1;
+        Ok(slot)
+    }
+
+    /// Deletes the alive tuple with `key`, returning the freed slot.
+    pub fn delete(&mut self, key: TupleKey) -> Result<Slot, DbError> {
+        let slot = self
+            .key_to_slot
+            .remove(&key.0)
+            .ok_or(DbError::UnknownKey(key))?;
+        self.alive[slot as usize] = false;
+        self.free.push(slot);
+        self.alive_count -= 1;
+        Ok(slot)
+    }
+
+    /// Overwrites the measures of an alive tuple in place (models a price
+    /// change that does not move the tuple in the query tree).
+    pub fn update_measures(&mut self, key: TupleKey, measures: &[f64]) -> Result<Slot, DbError> {
+        let slot = self.slot_of(key).ok_or(DbError::UnknownKey(key))?;
+        for (m, col) in self.measure_cols.iter_mut().enumerate() {
+            col[slot as usize] = measures[m];
+        }
+        Ok(slot)
+    }
+
+    /// Overwrites the hidden ranking score at `slot` (used when a measure
+    /// update changes a measure-based rank).
+    pub fn set_score(&mut self, slot: Slot, score: u64) {
+        self.scores[slot as usize] = score;
+    }
+
+    /// Materialises a read-only view of the tuple at `slot`.
+    pub fn view(&self, slot: Slot) -> TupleView {
+        let i = slot as usize;
+        let values: Box<[ValueId]> = self
+            .columns
+            .iter()
+            .map(|col| ValueId(col[i]))
+            .collect();
+        let measures: Box<[f64]> = self.measure_cols.iter().map(|col| col[i]).collect();
+        TupleView::new(TupleKey(self.keys[i]), values, measures)
+    }
+
+    /// Iterates over the slots of all alive tuples.
+    pub fn alive_slots(&self) -> impl Iterator<Item = Slot> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| i as Slot)
+    }
+
+    /// Iterates over `(key, slot)` of all alive tuples in unspecified order.
+    pub fn alive_keys(&self) -> impl Iterator<Item = (TupleKey, Slot)> + '_ {
+        self.key_to_slot.iter().map(|(&k, &s)| (TupleKey(k), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(key: u64, vals: &[u32], ms: &[f64]) -> Tuple {
+        Tuple::new(
+            TupleKey(key),
+            vals.iter().map(|&v| ValueId(v)).collect(),
+            ms.to_vec(),
+        )
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut s = Store::new(2, 1);
+        let slot = s.insert(t(1, &[0, 1], &[5.0]), 99).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.value_at(0, slot), 0);
+        assert_eq!(s.value_at(1, slot), 1);
+        assert_eq!(s.measure_at(0, slot), 5.0);
+        assert_eq!(s.score_at(slot), 99);
+        assert_eq!(s.key_at(slot), TupleKey(1));
+        let v = s.view(slot);
+        assert_eq!(v.key(), TupleKey(1));
+        assert_eq!(v.values(), &[ValueId(0), ValueId(1)]);
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut s = Store::new(1, 0);
+        s.insert(t(1, &[0], &[]), 0).unwrap();
+        assert!(matches!(
+            s.insert(t(1, &[0], &[]), 0),
+            Err(DbError::DuplicateKey(TupleKey(1)))
+        ));
+    }
+
+    #[test]
+    fn delete_frees_slot_for_reuse() {
+        let mut s = Store::new(1, 0);
+        let a = s.insert(t(1, &[0], &[]), 0).unwrap();
+        s.insert(t(2, &[1], &[]), 0).unwrap();
+        s.delete(TupleKey(1)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_alive(a));
+        let b = s.insert(t(3, &[1], &[]), 0).unwrap();
+        assert_eq!(a, b, "freed slot must be reused");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.key_at(b), TupleKey(3));
+    }
+
+    #[test]
+    fn delete_unknown_key_errors() {
+        let mut s = Store::new(1, 0);
+        assert!(matches!(
+            s.delete(TupleKey(9)),
+            Err(DbError::UnknownKey(TupleKey(9)))
+        ));
+        s.insert(t(9, &[0], &[]), 0).unwrap();
+        s.delete(TupleKey(9)).unwrap();
+        assert!(s.delete(TupleKey(9)).is_err(), "double delete must fail");
+    }
+
+    #[test]
+    fn update_measures_in_place() {
+        let mut s = Store::new(1, 2);
+        let slot = s.insert(t(1, &[0], &[1.0, 2.0]), 0).unwrap();
+        s.update_measures(TupleKey(1), &[3.0, 4.0]).unwrap();
+        assert_eq!(s.measure_at(0, slot), 3.0);
+        assert_eq!(s.measure_at(1, slot), 4.0);
+    }
+
+    #[test]
+    fn alive_iteration() {
+        let mut s = Store::new(1, 0);
+        s.insert(t(1, &[0], &[]), 0).unwrap();
+        s.insert(t(2, &[0], &[]), 0).unwrap();
+        s.insert(t(3, &[0], &[]), 0).unwrap();
+        s.delete(TupleKey(2)).unwrap();
+        let mut keys: Vec<u64> = s.alive_keys().map(|(k, _)| k.0).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 3]);
+        assert_eq!(s.alive_slots().count(), 2);
+    }
+}

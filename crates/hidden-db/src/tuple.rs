@@ -1,0 +1,128 @@
+//! Tuples as inserted by workload generators and as returned (read-only)
+//! by the search interface.
+
+use crate::value::{AttrId, MeasureId, TupleKey, ValueId};
+
+/// An owned tuple: one categorical value per attribute (in schema order)
+/// plus one `f64` per measure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    key: TupleKey,
+    values: Vec<ValueId>,
+    measures: Vec<f64>,
+}
+
+impl Tuple {
+    /// Creates a tuple. `values.len()` must equal the schema's attribute
+    /// count and `measures.len()` its measure count; this is validated at
+    /// insert time by the database, not here.
+    pub fn new(key: TupleKey, values: Vec<ValueId>, measures: Vec<f64>) -> Self {
+        Self { key, values, measures }
+    }
+
+    /// The tuple's stable external key.
+    pub fn key(&self) -> TupleKey {
+        self.key
+    }
+
+    /// Categorical values in schema order.
+    pub fn values(&self) -> &[ValueId] {
+        &self.values
+    }
+
+    /// Measure values in schema order.
+    pub fn measures(&self) -> &[f64] {
+        &self.measures
+    }
+
+    /// Value of attribute `attr` (`t[A_i]` in the paper).
+    pub fn value(&self, attr: AttrId) -> ValueId {
+        self.values[attr.index()]
+    }
+
+    /// Value of measure `m`.
+    pub fn measure(&self, m: MeasureId) -> f64 {
+        self.measures[m.index()]
+    }
+
+    /// Consumes the tuple into its parts.
+    pub fn into_parts(self) -> (TupleKey, Vec<ValueId>, Vec<f64>) {
+        (self.key, self.values, self.measures)
+    }
+}
+
+/// A read-only snapshot of a tuple as returned through the search
+/// interface. This is what estimators see: the key, the categorical values,
+/// and the measures — but **not** the hidden ranking score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleView {
+    key: TupleKey,
+    values: Box<[ValueId]>,
+    measures: Box<[f64]>,
+}
+
+impl TupleView {
+    pub(crate) fn new(key: TupleKey, values: Box<[ValueId]>, measures: Box<[f64]>) -> Self {
+        Self { key, values, measures }
+    }
+
+    /// The tuple's stable external key.
+    pub fn key(&self) -> TupleKey {
+        self.key
+    }
+
+    /// Categorical values in schema order.
+    pub fn values(&self) -> &[ValueId] {
+        &self.values
+    }
+
+    /// Measure values in schema order.
+    pub fn measures(&self) -> &[f64] {
+        &self.measures
+    }
+
+    /// Value of attribute `attr`.
+    pub fn value(&self, attr: AttrId) -> ValueId {
+        self.values[attr.index()]
+    }
+
+    /// Value of measure `m`.
+    pub fn measure(&self, m: MeasureId) -> f64 {
+        self.measures[m.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_accessors() {
+        let t = Tuple::new(
+            TupleKey(7),
+            vec![ValueId(1), ValueId(0)],
+            vec![19.5],
+        );
+        assert_eq!(t.key(), TupleKey(7));
+        assert_eq!(t.value(AttrId(0)), ValueId(1));
+        assert_eq!(t.value(AttrId(1)), ValueId(0));
+        assert_eq!(t.measure(MeasureId(0)), 19.5);
+        let (k, v, m) = t.into_parts();
+        assert_eq!(k, TupleKey(7));
+        assert_eq!(v.len(), 2);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn view_accessors() {
+        let v = TupleView::new(
+            TupleKey(3),
+            vec![ValueId(2)].into_boxed_slice(),
+            vec![1.0, 2.0].into_boxed_slice(),
+        );
+        assert_eq!(v.key(), TupleKey(3));
+        assert_eq!(v.value(AttrId(0)), ValueId(2));
+        assert_eq!(v.measure(MeasureId(1)), 2.0);
+        assert_eq!(v.values().len(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Batched updates: the unit of change between rounds (round-update model,
+//! §2.1) or at arbitrary instants (constant-update model, §5.2).
+
+use crate::tuple::Tuple;
+use crate::value::TupleKey;
+
+/// A set of modifications applied atomically to the database.
+///
+/// Application order is **deletes → measure updates → inserts**, so a batch
+/// can delete a key and re-insert it (a "changed tuple") in one step.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBatch {
+    /// Keys to delete.
+    pub deletes: Vec<TupleKey>,
+    /// In-place measure overwrites: `(key, new measures)`.
+    pub measure_updates: Vec<(TupleKey, Vec<f64>)>,
+    /// Tuples to insert.
+    pub inserts: Vec<Tuple>,
+}
+
+impl UpdateBatch {
+    /// An empty batch (a round in which nothing changes).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Whether the batch performs no modifications.
+    pub fn is_empty(&self) -> bool {
+        self.deletes.is_empty() && self.inserts.is_empty() && self.measure_updates.is_empty()
+    }
+
+    /// Total number of elementary modifications.
+    pub fn len(&self) -> usize {
+        self.deletes.len() + self.inserts.len() + self.measure_updates.len()
+    }
+
+    /// Builder: adds a delete.
+    #[must_use]
+    pub fn delete(mut self, key: TupleKey) -> Self {
+        self.deletes.push(key);
+        self
+    }
+
+    /// Builder: adds an insert.
+    #[must_use]
+    pub fn insert(mut self, tuple: Tuple) -> Self {
+        self.inserts.push(tuple);
+        self
+    }
+
+    /// Builder: adds a measure update.
+    #[must_use]
+    pub fn update_measures(mut self, key: TupleKey, measures: Vec<f64>) -> Self {
+        self.measure_updates.push((key, measures));
+        self
+    }
+}
+
+/// What an applied batch did (for experiment logging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateSummary {
+    /// Tuples removed.
+    pub deleted: usize,
+    /// Tuples added.
+    pub inserted: usize,
+    /// Tuples whose measures changed in place.
+    pub measures_updated: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueId;
+
+    #[test]
+    fn builder_accumulates() {
+        let b = UpdateBatch::empty()
+            .delete(TupleKey(1))
+            .insert(Tuple::new(TupleKey(2), vec![ValueId(0)], vec![]))
+            .update_measures(TupleKey(3), vec![1.0]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.deletes, vec![TupleKey(1)]);
+        assert_eq!(b.measure_updates[0].0, TupleKey(3));
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert!(UpdateBatch::empty().is_empty());
+        assert_eq!(UpdateBatch::empty().len(), 0);
+    }
+}

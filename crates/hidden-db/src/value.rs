@@ -1,0 +1,106 @@
+//! Strongly-typed identifiers used throughout the hidden database.
+//!
+//! The paper's data model (§2.1) is a relation with `m` categorical
+//! attributes `A_1 … A_m`, each with a finite domain `U_i`. We additionally
+//! support *measure* columns (numeric payloads such as `Price`) that SUM/AVG
+//! aggregates can reference; measures are **not searchable** through the
+//! interface, mirroring real form interfaces where you can filter on
+//! categorical facets but not on arbitrary numeric fields.
+
+use std::fmt;
+
+/// Index of a categorical attribute (`A_i` in the paper, zero-based here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u16);
+
+/// Index of a value within an attribute's domain (`u_{ij}` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// Index of a measure (non-searchable numeric) column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MeasureId(pub u16);
+
+/// Stable external identity of a tuple, unique across the database's whole
+/// lifetime (survives slot reuse after deletion).
+///
+/// The interface intentionally exposes tuple keys: real web databases expose
+/// item/listing identifiers (ASINs, listing ids), and the estimators never
+/// rely on them for anything beyond debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleKey(pub u64);
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for MeasureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+impl fmt::Display for TupleKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl AttrId {
+    /// Returns the attribute index as a plain `usize` for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ValueId {
+    /// Returns the value index as a plain `usize` for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MeasureId {
+    /// Returns the measure index as a plain `usize` for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AttrId(3).to_string(), "A3");
+        assert_eq!(ValueId(7).to_string(), "u7");
+        assert_eq!(MeasureId(1).to_string(), "M1");
+        assert_eq!(TupleKey(42).to_string(), "t42");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(AttrId(65535).index(), 65535);
+        assert_eq!(ValueId(12).index(), 12);
+        assert_eq!(MeasureId(2).index(), 2);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_order() {
+        assert!(AttrId(1) < AttrId(2));
+        assert!(ValueId(0) < ValueId(1));
+        assert!(TupleKey(5) < TupleKey(6));
+    }
+}

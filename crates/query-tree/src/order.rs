@@ -1,0 +1,169 @@
+//! Attribute-order heuristics for the query tree — the paper's future
+//! work asks "how meta data such as COUNT can be used to guide the design
+//! of drill downs"; the drill order is the first lever.
+//!
+//! The order changes the *cost* profile, not correctness (Theorem 3.1
+//! holds for any fixed order): large domains near the root fan out
+//! faster, so drill-downs terminate shallower (fewer queries each), at
+//! the price of a larger per-level branching factor during roll-ups.
+
+use hidden_db::schema::Schema;
+use hidden_db::value::AttrId;
+
+use crate::tree::QueryTree;
+
+/// How to order the attributes of the full query tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderHeuristic {
+    /// The schema's declaration order (what the paper uses).
+    #[default]
+    SchemaOrder,
+    /// Largest domains first: maximum early fan-out, shallowest drills.
+    LargestDomainFirst,
+    /// Smallest domains first: gentlest fan-out, deepest drills (useful
+    /// as the adversarial comparison point).
+    SmallestDomainFirst,
+}
+
+/// Computes the attribute order for a heuristic. Ties break by attribute
+/// id so the order is deterministic.
+pub fn attribute_order(schema: &Schema, heuristic: OrderHeuristic) -> Vec<AttrId> {
+    let mut attrs: Vec<AttrId> = schema.attr_ids().collect();
+    match heuristic {
+        OrderHeuristic::SchemaOrder => {}
+        OrderHeuristic::LargestDomainFirst => {
+            attrs.sort_by_key(|&a| (std::cmp::Reverse(schema.domain_size(a)), a));
+        }
+        OrderHeuristic::SmallestDomainFirst => {
+            attrs.sort_by_key(|&a| (schema.domain_size(a), a));
+        }
+    }
+    attrs
+}
+
+/// Builds the full query tree under a heuristic order.
+pub fn tree_with_heuristic(schema: &Schema, heuristic: OrderHeuristic) -> QueryTree {
+    QueryTree::with_order(schema, attribute_order(schema, heuristic))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drill::drill_from_root;
+    use crate::signature::Signature;
+    use hidden_db::database::HiddenDatabase;
+    use hidden_db::ranking::ScoringPolicy;
+    use hidden_db::session::SearchSession;
+    use hidden_db::tuple::Tuple;
+    use hidden_db::value::{TupleKey, ValueId};
+    use rand::{Rng, SeedableRng};
+
+    fn schema() -> Schema {
+        Schema::with_domain_sizes(&[2, 8, 4], &[]).unwrap()
+    }
+
+    #[test]
+    fn orders_are_deterministic_and_complete() {
+        let s = schema();
+        assert_eq!(
+            attribute_order(&s, OrderHeuristic::SchemaOrder),
+            vec![AttrId(0), AttrId(1), AttrId(2)]
+        );
+        assert_eq!(
+            attribute_order(&s, OrderHeuristic::LargestDomainFirst),
+            vec![AttrId(1), AttrId(2), AttrId(0)]
+        );
+        assert_eq!(
+            attribute_order(&s, OrderHeuristic::SmallestDomainFirst),
+            vec![AttrId(0), AttrId(2), AttrId(1)]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_attribute_id() {
+        let s = Schema::with_domain_sizes(&[3, 3, 3], &[]).unwrap();
+        assert_eq!(
+            attribute_order(&s, OrderHeuristic::LargestDomainFirst),
+            vec![AttrId(0), AttrId(1), AttrId(2)]
+        );
+    }
+
+    #[test]
+    fn largest_first_drills_shallower_on_average() {
+        // Uniform random db: early fan-out must cut expected drill depth.
+        let s = schema();
+        let mut db = HiddenDatabase::new(s.clone(), 30, ScoringPolicy::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for t in 0..400u64 {
+            db.insert(Tuple::new(
+                TupleKey(t),
+                vec![
+                    ValueId(rng.random_range(0..2)),
+                    ValueId(rng.random_range(0..8)),
+                    ValueId(rng.random_range(0..4)),
+                ],
+                vec![],
+            ))
+            .unwrap();
+        }
+        let mut mean_depth = |heur: OrderHeuristic, seed: u64| -> f64 {
+            let tree = tree_with_heuristic(&s, heur);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut total = 0.0;
+            let n = 200;
+            for _ in 0..n {
+                let sig = Signature::sample(&tree, &mut rng);
+                let mut sess = SearchSession::unlimited(&mut db);
+                total += drill_from_root(&tree, &sig, &mut sess).unwrap().depth as f64;
+            }
+            total / n as f64
+        };
+        let largest = mean_depth(OrderHeuristic::LargestDomainFirst, 1);
+        let smallest = mean_depth(OrderHeuristic::SmallestDomainFirst, 1);
+        assert!(
+            largest < smallest,
+            "largest-first depth {largest} must beat smallest-first {smallest}"
+        );
+    }
+
+    #[test]
+    fn estimates_remain_unbiased_under_any_order() {
+        // Exhaustive enumeration per order: the partition argument is
+        // order-independent.
+        let s = schema();
+        let mut db = HiddenDatabase::new(s.clone(), 6, ScoringPolicy::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for t in 0..50u64 {
+            db.insert(Tuple::new(
+                TupleKey(t),
+                vec![
+                    ValueId(rng.random_range(0..2)),
+                    ValueId(rng.random_range(0..8)),
+                    ValueId(rng.random_range(0..4)),
+                ],
+                vec![],
+            ))
+            .unwrap();
+        }
+        for heur in [
+            OrderHeuristic::SchemaOrder,
+            OrderHeuristic::LargestDomainFirst,
+            OrderHeuristic::SmallestDomainFirst,
+        ] {
+            let tree = tree_with_heuristic(&s, heur);
+            let sigs = crate::signature::enumerate_all(&tree);
+            let mut mean = 0.0;
+            for sig in &sigs {
+                let mut sess = SearchSession::unlimited(&mut db);
+                let out = drill_from_root(&tree, sig, &mut sess).unwrap();
+                assert!(!out.outcome.is_overflow());
+                let p = tree.selection_probability(out.depth);
+                mean += out.outcome.returned_count() as f64 / p / sigs.len() as f64;
+            }
+            assert!(
+                (mean - 50.0).abs() < 1e-6,
+                "{heur:?}: exhaustive mean {mean} != 50"
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Drill-down signatures.
+//!
+//! §3.1 models the randomness of a drill-down as a uniformly random leaf of
+//! the query tree, numbered in `[1, ∏|U_i|]`. That product overflows any
+//! machine integer for realistic schemas, so we use the equivalent
+//! representation: one independent uniform value choice per tree level.
+//! (Choosing each level's branch uniformly and independently induces the
+//! uniform distribution over leaves.)
+
+use crate::tree::QueryTree;
+use hidden_db::value::ValueId;
+use rand::Rng;
+
+/// One drill-down's identity: the leaf of the query tree it aims at,
+/// stored as the branch chosen at every (free) level.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    choices: Box<[u32]>,
+}
+
+impl Signature {
+    /// Samples a signature uniformly at random for `tree`.
+    pub fn sample<R: Rng + ?Sized>(tree: &QueryTree, rng: &mut R) -> Self {
+        let choices = tree
+            .level_domain_sizes()
+            .map(|d| rng.random_range(0..d))
+            .collect();
+        Self { choices }
+    }
+
+    /// Builds a signature from explicit per-level choices. Used by tests to
+    /// enumerate the whole tree; validated against the tree on use.
+    pub fn from_choices(choices: Vec<u32>) -> Self {
+        Self { choices: choices.into_boxed_slice() }
+    }
+
+    /// The branch chosen at `level` (0-based).
+    pub fn choice(&self, level: usize) -> ValueId {
+        ValueId(self.choices[level])
+    }
+
+    /// Number of levels (the tree's free depth).
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Whether the signature has no levels (degenerate single-node tree).
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// Whether this signature is valid for `tree` (right arity, every
+    /// choice inside its level's domain).
+    pub fn valid_for(&self, tree: &QueryTree) -> bool {
+        self.choices.len() == tree.depth()
+            && self
+                .choices
+                .iter()
+                .zip(tree.level_domain_sizes())
+                .all(|(&c, d)| c < d)
+    }
+}
+
+/// Enumerates **all** signatures of `tree`, in lexicographic order. Only
+/// feasible for tiny test schemas; panics if the tree has more than 2^22
+/// leaves to protect against accidental blow-ups.
+pub fn enumerate_all(tree: &QueryTree) -> Vec<Signature> {
+    let sizes: Vec<u32> = tree.level_domain_sizes().collect();
+    let total: u64 = sizes.iter().map(|&d| d as u64).product();
+    assert!(
+        total <= (1 << 22),
+        "refusing to enumerate {total} signatures"
+    );
+    let mut out = Vec::with_capacity(total as usize);
+    let mut current = vec![0u32; sizes.len()];
+    loop {
+        out.push(Signature::from_choices(current.clone()));
+        // Odometer increment.
+        let mut level = sizes.len();
+        loop {
+            if level == 0 {
+                return out;
+            }
+            level -= 1;
+            current[level] += 1;
+            if current[level] < sizes[level] {
+                break;
+            }
+            current[level] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidden_db::schema::Schema;
+    use rand::SeedableRng;
+
+    fn tree() -> QueryTree {
+        let schema = Schema::with_domain_sizes(&[2, 3, 2], &[]).unwrap();
+        QueryTree::full(&schema)
+    }
+
+    #[test]
+    fn sampled_signature_is_valid() {
+        let t = tree();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = Signature::sample(&t, &mut rng);
+            assert!(s.valid_for(&t));
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    #[test]
+    fn enumerate_covers_every_leaf_once() {
+        let t = tree();
+        let all = enumerate_all(&t);
+        assert_eq!(all.len(), 2 * 3 * 2);
+        let mut dedup = all.clone();
+        dedup.sort_by_key(|s| (0..s.len()).map(|i| s.choice(i).0).collect::<Vec<_>>());
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+        for s in &all {
+            assert!(s.valid_for(&t));
+        }
+    }
+
+    #[test]
+    fn invalid_signatures_detected() {
+        let t = tree();
+        assert!(!Signature::from_choices(vec![0, 0]).valid_for(&t));
+        assert!(!Signature::from_choices(vec![0, 3, 0]).valid_for(&t));
+        assert!(Signature::from_choices(vec![1, 2, 1]).valid_for(&t));
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // Chi-square-ish sanity check on the first level.
+        let t = tree();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 2];
+        let n = 10_000;
+        for _ in 0..n {
+            let s = Signature::sample(&t, &mut rng);
+            counts[s.choice(0).0 as usize] += 1;
+        }
+        let p = counts[0] as f64 / n as f64;
+        assert!((p - 0.5).abs() < 0.03, "level-0 branch probability {p}");
+    }
+}

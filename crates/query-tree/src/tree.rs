@@ -1,0 +1,183 @@
+//! The query tree (§3.1, Figure 1).
+//!
+//! Level `i` of the tree appends a point predicate on the `i`-th *free*
+//! attribute; the root is the broadest expressible query. For plain
+//! aggregates the root is `SELECT *` and every attribute is free. For
+//! aggregates with conjunctive selection conditions (§3.3) the tree is the
+//! *subtree* under the condition: the condition's predicates are fixed into
+//! every node and only the remaining attributes are drilled through.
+
+use hidden_db::query::ConjunctiveQuery;
+use hidden_db::schema::Schema;
+use hidden_db::value::AttrId;
+
+use crate::signature::Signature;
+
+/// A query tree over a schema: an ordered list of free attributes plus a
+/// fixed predicate prefix.
+#[derive(Debug, Clone)]
+pub struct QueryTree {
+    fixed: ConjunctiveQuery,
+    /// Free attributes, in drill order; `level_sizes[i]` = |U| of levels[i].
+    levels: Vec<AttrId>,
+    level_sizes: Vec<u32>,
+}
+
+impl QueryTree {
+    /// The full tree: every attribute free, in schema order.
+    pub fn full(schema: &Schema) -> Self {
+        Self::subtree(schema, ConjunctiveQuery::select_all())
+    }
+
+    /// The subtree under `fixed`: its predicates are baked into every node
+    /// and the remaining attributes become the levels, in schema order.
+    pub fn subtree(schema: &Schema, fixed: ConjunctiveQuery) -> Self {
+        fixed
+            .validate(schema)
+            .expect("selection condition must be valid for the schema");
+        let levels: Vec<AttrId> = schema
+            .attr_ids()
+            .filter(|a| fixed.value_for(*a).is_none())
+            .collect();
+        let level_sizes = levels.iter().map(|&a| schema.domain_size(a)).collect();
+        Self { fixed, levels, level_sizes }
+    }
+
+    /// Full tree with an explicit attribute drill order (ablation studies;
+    /// the paper fixes the schema order).
+    pub fn with_order(schema: &Schema, order: Vec<AttrId>) -> Self {
+        assert_eq!(order.len(), schema.attr_count(), "order must cover all attributes");
+        let mut seen = vec![false; schema.attr_count()];
+        for a in &order {
+            assert!(!std::mem::replace(&mut seen[a.index()], true), "duplicate attribute in order");
+        }
+        let level_sizes = order.iter().map(|&a| schema.domain_size(a)).collect();
+        Self { fixed: ConjunctiveQuery::select_all(), levels: order, level_sizes }
+    }
+
+    /// Number of free levels (the tree's maximum drill depth).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The fixed predicate prefix (selection condition).
+    pub fn fixed(&self) -> &ConjunctiveQuery {
+        &self.fixed
+    }
+
+    /// The attribute drilled at `level`.
+    pub fn level_attr(&self, level: usize) -> AttrId {
+        self.levels[level]
+    }
+
+    /// Domain sizes of the free levels, in drill order.
+    pub fn level_domain_sizes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.level_sizes.iter().copied()
+    }
+
+    /// The query at depth `depth` on the path selected by `sig`:
+    /// the fixed prefix plus the first `depth` per-level predicates.
+    /// `depth == 0` is the tree root.
+    pub fn node_query(&self, sig: &Signature, depth: usize) -> ConjunctiveQuery {
+        debug_assert!(depth <= self.depth());
+        debug_assert!(sig.valid_for(self));
+        let mut q = self.fixed.clone();
+        for level in 0..depth {
+            q.set(self.levels[level], sig.choice(level));
+        }
+        q
+    }
+
+    /// `p(q)` for a node at `depth`: the fraction of this tree's leaves
+    /// whose root-to-leaf path passes through the node — the probability
+    /// that a uniformly drawn signature drills through it (§3.1).
+    pub fn selection_probability(&self, depth: usize) -> f64 {
+        debug_assert!(depth <= self.depth());
+        self.level_sizes[..depth]
+            .iter()
+            .map(|&d| 1.0 / f64::from(d))
+            .product()
+    }
+
+    /// Natural log of the number of leaves (for diagnostics; the count
+    /// itself overflows for realistic schemas).
+    pub fn ln_leaf_count(&self) -> f64 {
+        self.level_sizes.iter().map(|&d| f64::from(d).ln()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidden_db::query::Predicate;
+    use hidden_db::value::ValueId;
+
+    fn schema() -> Schema {
+        Schema::with_domain_sizes(&[2, 3, 4], &[]).unwrap()
+    }
+
+    #[test]
+    fn full_tree_shape() {
+        let t = QueryTree::full(&schema());
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.level_domain_sizes().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert!(t.fixed().is_empty());
+    }
+
+    #[test]
+    fn node_query_builds_prefix() {
+        let t = QueryTree::full(&schema());
+        let sig = Signature::from_choices(vec![1, 2, 3]);
+        assert_eq!(t.node_query(&sig, 0), ConjunctiveQuery::select_all());
+        let q2 = t.node_query(&sig, 2);
+        assert_eq!(q2.len(), 2);
+        assert_eq!(q2.value_for(AttrId(0)), Some(ValueId(1)));
+        assert_eq!(q2.value_for(AttrId(1)), Some(ValueId(2)));
+        assert_eq!(q2.value_for(AttrId(2)), None);
+    }
+
+    #[test]
+    fn selection_probability_is_product_of_inverse_domains() {
+        let t = QueryTree::full(&schema());
+        assert_eq!(t.selection_probability(0), 1.0);
+        assert!((t.selection_probability(1) - 0.5).abs() < 1e-12);
+        assert!((t.selection_probability(3) - 1.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtree_fixes_condition_and_drops_level() {
+        let s = schema();
+        let cond = ConjunctiveQuery::from_predicates([Predicate::new(AttrId(1), ValueId(2))]);
+        let t = QueryTree::subtree(&s, cond);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.level_attr(0), AttrId(0));
+        assert_eq!(t.level_attr(1), AttrId(2));
+        let sig = Signature::from_choices(vec![0, 3]);
+        let root = t.node_query(&sig, 0);
+        assert_eq!(root.value_for(AttrId(1)), Some(ValueId(2)), "condition baked into root");
+        assert!((t.selection_probability(2) - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_order() {
+        let s = schema();
+        let t = QueryTree::with_order(&s, vec![AttrId(2), AttrId(0), AttrId(1)]);
+        assert_eq!(t.level_domain_sizes().collect::<Vec<_>>(), vec![4, 2, 3]);
+        let sig = Signature::from_choices(vec![3, 1, 0]);
+        let q1 = t.node_query(&sig, 1);
+        assert_eq!(q1.value_for(AttrId(2)), Some(ValueId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_order_rejected() {
+        let s = schema();
+        let _ = QueryTree::with_order(&s, vec![AttrId(0), AttrId(0), AttrId(1)]);
+    }
+
+    #[test]
+    fn ln_leaf_count() {
+        let t = QueryTree::full(&schema());
+        assert!((t.ln_leaf_count() - (24f64).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,281 @@
+//! Simulated Amazon watch store — the Fig 20 "live experiment" scenario.
+//!
+//! The paper tracked, over Thanksgiving week 2013 via the Product
+//! Advertising API (k = 100, 1 000 queries/day), three aggregates over all
+//! watches: AVG price, % men's watches, and % wrist watches. It observed a
+//! ≈$50 average price drop on Thanksgiving/Black Friday while the two
+//! proportions stayed flat.
+//!
+//! We cannot query Amazon, so this module builds a watch population whose
+//! *price process* injects exactly that signal: on promotion days a fixed
+//! cohort of items is discounted, and prices revert afterwards. Product
+//! mix churns mildly all week, leaving the proportions flat. Unlike the
+//! paper's live run we also have ground truth, so the harness can report
+//! estimation error, not just the estimate series.
+
+use hidden_db::database::HiddenDatabase;
+use hidden_db::ranking::ScoringPolicy;
+use hidden_db::schema::Schema;
+use hidden_db::tuple::Tuple;
+use hidden_db::updates::UpdateBatch;
+use hidden_db::value::{MeasureId, TupleKey, ValueId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Attribute/value layout of the watch catalogue.
+pub mod attrs {
+    use hidden_db::value::{AttrId, ValueId};
+
+    /// Department: men / women / unisex.
+    pub const DEPARTMENT: AttrId = AttrId(0);
+    /// Department = men.
+    pub const MEN: ValueId = ValueId(0);
+    /// Style: wrist / pocket / smart / other.
+    pub const STYLE: AttrId = AttrId(1);
+    /// Style = wrist.
+    pub const WRIST: ValueId = ValueId(0);
+    /// Band material (5 values).
+    pub const BAND: AttrId = AttrId(2);
+    /// Brand tier (6 values).
+    pub const BRAND_TIER: AttrId = AttrId(3);
+    /// Movement type (3 values).
+    pub const MOVEMENT: AttrId = AttrId(4);
+    /// Display colour (6 values).
+    pub const COLOR: AttrId = AttrId(5);
+}
+
+/// Current price (the tracked measure).
+pub const PRICE: MeasureId = MeasureId(0);
+/// Undiscounted base price (simulation bookkeeping; estimators ignore it).
+pub const BASE_PRICE: MeasureId = MeasureId(1);
+
+/// Day labels for the tracked week (Fig 20's x-axis).
+pub const DAY_LABELS: [&str; 8] =
+    ["Nov 26", "Nov 27", "Nov 28", "Nov 29", "Nov 30", "Dec 1", "Dec 2", "Dec 3"];
+
+/// Days (indices into [`DAY_LABELS`]) on which the promotion runs:
+/// Thanksgiving (Nov 28) and Black Friday (Nov 29).
+pub const PROMO_DAYS: [usize; 2] = [2, 3];
+
+/// Fraction of the catalogue enrolled in the promotion.
+const PROMO_FRACTION_PERCENT: u64 = 50;
+/// Promotion price multiplier (40 % off → ≈20 % average drop).
+const PROMO_MULTIPLIER: f64 = 0.6;
+/// Daily catalogue churn (fraction replaced).
+const DAILY_CHURN: f64 = 0.01;
+
+/// The simulated store.
+#[derive(Debug)]
+pub struct AmazonSim {
+    schema: Schema,
+    next_key: u64,
+    rng: StdRng,
+    promo_active: bool,
+}
+
+impl AmazonSim {
+    /// Watch-catalogue schema.
+    pub fn schema() -> Schema {
+        Schema::with_domain_sizes(&[3, 4, 5, 6, 3, 6], &["price", "base_price"])
+            .expect("amazon schema valid")
+    }
+
+    /// Builds the store with `n` watches and its simulator, using the
+    /// paper's interface parameters (k = 100).
+    pub fn build(n: usize, seed: u64) -> (HiddenDatabase, AmazonSim) {
+        let mut sim = AmazonSim {
+            schema: Self::schema(),
+            next_key: 0,
+            rng: StdRng::seed_from_u64(seed),
+            promo_active: false,
+        };
+        let mut db = HiddenDatabase::new(sim.schema.clone(), 100, ScoringPolicy::default());
+        for _ in 0..n {
+            let t = sim.mint();
+            db.insert(t).expect("minted watch fits schema");
+        }
+        (db, sim)
+    }
+
+    fn mint(&mut self) -> Tuple {
+        let key = self.next_key;
+        self.next_key += 1;
+        let rng = &mut self.rng;
+        // ~55 % men's, ~70 % wrist — matching Fig 20's flat series levels.
+        let dept = match rng.random_range(0..100u32) {
+            0..=54 => 0u32,
+            55..=89 => 1,
+            _ => 2,
+        };
+        let style = match rng.random_range(0..100u32) {
+            0..=69 => 0u32,
+            70..=79 => 1,
+            80..=94 => 2,
+            _ => 3,
+        };
+        let values = vec![
+            ValueId(dept),
+            ValueId(style),
+            ValueId(rng.random_range(0..5)),
+            ValueId(rng.random_range(0..6)),
+            ValueId(rng.random_range(0..3)),
+            ValueId(rng.random_range(0..6)),
+        ];
+        // Log-ish price spread centred near $240 (Fig 20's pre-promo level).
+        let base = 60.0 + 360.0 * rng.random::<f64>() * rng.random::<f64>();
+        let base = base.max(25.0).round();
+        Tuple::new(TupleKey(key), values, vec![base, base])
+    }
+
+    /// Whether `key` belongs to the promotion cohort (deterministic).
+    pub fn in_promo_cohort(key: TupleKey) -> bool {
+        // SplitMix-style spread so the cohort is uncorrelated with key order.
+        let mut z = key.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z % 100 < PROMO_FRACTION_PERCENT
+    }
+
+    /// Produces the overnight batch leading **into** day `day`:
+    /// catalogue churn plus promotion starts/ends.
+    pub fn batch_for_day(&mut self, db: &HiddenDatabase, day: usize) -> UpdateBatch {
+        let mut batch = UpdateBatch::empty();
+        // Churn: replace ~1 % of the catalogue.
+        let victims = ((db.len() as f64) * DAILY_CHURN).round() as usize;
+        let mut rng = StdRng::seed_from_u64(self.rng.random());
+        batch.deletes = db.sample_alive_keys(&mut rng, victims);
+        for _ in 0..victims {
+            batch.inserts.push(self.mint());
+        }
+        // Promotion transitions.
+        let promo_today = PROMO_DAYS.contains(&day);
+        if promo_today != self.promo_active {
+            db.for_each_alive(|t| {
+                if batch.deletes.contains(&t.key()) {
+                    return;
+                }
+                if Self::in_promo_cohort(t.key()) {
+                    let base = t.measure(BASE_PRICE);
+                    let price = if promo_today {
+                        (base * PROMO_MULTIPLIER).round()
+                    } else {
+                        base
+                    };
+                    batch.measure_updates.push((t.key(), vec![price, base]));
+                }
+            });
+            self.promo_active = promo_today;
+        }
+        // New items during the promotion join it too.
+        if promo_today {
+            for t in &mut batch.inserts {
+                if Self::in_promo_cohort(t.key()) {
+                    let base = t.measure(BASE_PRICE);
+                    let discounted = (base * PROMO_MULTIPLIER).round();
+                    *t = Tuple::new(t.key(), t.values().to_vec(), vec![discounted, base]);
+                }
+            }
+        }
+        batch
+    }
+
+    /// Ground truth: average current price over the catalogue.
+    pub fn true_avg_price(db: &HiddenDatabase) -> f64 {
+        let n = db.len() as f64;
+        db.exact_sum(None, |t| t.measure(PRICE)) / n
+    }
+
+    /// Ground truth: fraction of men's watches.
+    pub fn true_frac_men(db: &HiddenDatabase) -> f64 {
+        let n = db.len() as f64;
+        db.exact_sum(None, |t| {
+            if t.value(attrs::DEPARTMENT) == attrs::MEN {
+                1.0
+            } else {
+                0.0
+            }
+        }) / n
+    }
+
+    /// Ground truth: fraction of wrist watches.
+    pub fn true_frac_wrist(db: &HiddenDatabase) -> f64 {
+        let n = db.len() as f64;
+        db.exact_sum(None, |t| {
+            if t.value(attrs::STYLE) == attrs::WRIST {
+                1.0
+            } else {
+                0.0
+            }
+        }) / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_expected_shape() {
+        let (db, _sim) = AmazonSim::build(2_000, 1);
+        assert_eq!(db.len(), 2_000);
+        assert_eq!(db.k(), 100);
+        let men = AmazonSim::true_frac_men(&db);
+        let wrist = AmazonSim::true_frac_wrist(&db);
+        assert!((0.45..0.65).contains(&men), "men fraction {men}");
+        assert!((0.6..0.8).contains(&wrist), "wrist fraction {wrist}");
+        let avg = AmazonSim::true_avg_price(&db);
+        assert!((120.0..320.0).contains(&avg), "avg price {avg}");
+    }
+
+    #[test]
+    fn promotion_drops_and_restores_prices() {
+        let (mut db, mut sim) = AmazonSim::build(3_000, 2);
+        let before = AmazonSim::true_avg_price(&db);
+        // Day 2 = promotion start.
+        for day in 0..=2 {
+            let batch = sim.batch_for_day(&db, day);
+            db.apply(batch).unwrap();
+        }
+        let during = AmazonSim::true_avg_price(&db);
+        assert!(
+            during < before * 0.88,
+            "promotion should drop average price: {before} → {during}"
+        );
+        // Days 3 (still promo), 4 (revert).
+        for day in 3..=4 {
+            let batch = sim.batch_for_day(&db, day);
+            db.apply(batch).unwrap();
+        }
+        let after = AmazonSim::true_avg_price(&db);
+        assert!(
+            (after - before).abs() < before * 0.06,
+            "price should revert: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn proportions_stay_flat_through_week() {
+        let (mut db, mut sim) = AmazonSim::build(3_000, 3);
+        let men0 = AmazonSim::true_frac_men(&db);
+        let wrist0 = AmazonSim::true_frac_wrist(&db);
+        for day in 0..8 {
+            let batch = sim.batch_for_day(&db, day);
+            db.apply(batch).unwrap();
+        }
+        let men1 = AmazonSim::true_frac_men(&db);
+        let wrist1 = AmazonSim::true_frac_wrist(&db);
+        assert!((men0 - men1).abs() < 0.05, "{men0} vs {men1}");
+        assert!((wrist0 - wrist1).abs() < 0.05, "{wrist0} vs {wrist1}");
+    }
+
+    #[test]
+    fn cohort_is_deterministic_and_near_half() {
+        let in_cohort = (0..10_000u64)
+            .filter(|&k| AmazonSim::in_promo_cohort(TupleKey(k)))
+            .count();
+        assert!((4_500..5_500).contains(&in_cohort), "{in_cohort}");
+        assert_eq!(
+            AmazonSim::in_promo_cohort(TupleKey(42)),
+            AmazonSim::in_promo_cohort(TupleKey(42))
+        );
+    }
+}

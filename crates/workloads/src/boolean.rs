@@ -1,0 +1,96 @@
+//! I.i.d. Boolean databases — the analytical workload of §3.2.1
+//! ("consider a Boolean database with n = 2^{m/2} tuples, each attribute of
+//! which is generated i.i.d. with uniform distribution").
+
+use hidden_db::schema::Schema;
+use hidden_db::tuple::Tuple;
+use hidden_db::value::{TupleKey, ValueId};
+use rand::Rng;
+
+use crate::factory::TupleFactory;
+
+/// Generator of uniform i.i.d. Boolean tuples over `m` attributes.
+#[derive(Debug, Clone)]
+pub struct BooleanGenerator {
+    schema: Schema,
+    attrs: usize,
+    next_key: u64,
+}
+
+impl BooleanGenerator {
+    /// A Boolean schema with `m` attributes and no measures.
+    pub fn new(attrs: usize) -> Self {
+        let sizes = vec![2u32; attrs];
+        let schema = Schema::with_domain_sizes(&sizes, &[]).expect("boolean schema valid");
+        Self { schema, attrs, next_key: 0 }
+    }
+
+    /// The paper's canonical size for this workload: `n = 2^{m/2}`.
+    pub fn canonical_population(&self) -> usize {
+        1usize << (self.attrs / 2)
+    }
+
+    /// Generates `n` tuples.
+    pub fn generate<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<Tuple> {
+        (0..n).map(|_| self.make_one(rng)).collect()
+    }
+
+    fn make_one<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Tuple {
+        let values = (0..self.attrs)
+            .map(|_| ValueId(rng.random_range(0..2u32)))
+            .collect();
+        let key = self.next_key;
+        self.next_key += 1;
+        Tuple::new(TupleKey(key), values, vec![])
+    }
+}
+
+impl TupleFactory for BooleanGenerator {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn make(&mut self, rng: &mut dyn rand::RngCore) -> Tuple {
+        self.make_one(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn canonical_population_is_2_pow_m_over_2() {
+        assert_eq!(BooleanGenerator::new(10).canonical_population(), 32);
+        assert_eq!(BooleanGenerator::new(11).canonical_population(), 32);
+        assert_eq!(BooleanGenerator::new(16).canonical_population(), 256);
+    }
+
+    #[test]
+    fn values_are_boolean_and_balanced() {
+        let mut g = BooleanGenerator::new(6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let ts = g.generate(&mut rng, 2_000);
+        let ones = ts
+            .iter()
+            .filter(|t| t.values()[0] == ValueId(1))
+            .count() as f64
+            / 2_000.0;
+        assert!((ones - 0.5).abs() < 0.05, "A0=1 frequency {ones}");
+        for t in &ts {
+            assert!(t.values().iter().all(|v| v.0 < 2));
+            assert!(t.measures().is_empty());
+        }
+    }
+
+    #[test]
+    fn keys_are_sequential_and_unique() {
+        let mut g = BooleanGenerator::new(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = g.generate(&mut rng, 3);
+        let b = g.generate(&mut rng, 2);
+        let keys: Vec<u64> = a.iter().chain(b.iter()).map(|t| t.key().0).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+    }
+}

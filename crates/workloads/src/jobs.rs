@@ -1,0 +1,199 @@
+//! A job-listings population — the paper's §1 motivating scenario ("the
+//! number of active job postings at Monster.com … a rapid increase of AVG
+//! salary offered on job postings which require a certain skill (e.g.,
+//! Java) may indicate an expansion of the corresponding market").
+//!
+//! The generator supports a switchable *market boom* for one skill: when
+//! enabled, new postings require that skill twice as often and offer a
+//! configurable salary premium — the exact signal the paper's economist
+//! wants to detect through the search form.
+
+use hidden_db::schema::Schema;
+use hidden_db::tuple::Tuple;
+use hidden_db::value::{MeasureId, TupleKey, ValueId};
+use rand::Rng;
+
+use crate::factory::TupleFactory;
+
+/// Attribute layout of the job board.
+pub mod attrs {
+    use hidden_db::value::{AttrId, ValueId};
+
+    /// Required skill (8 buckets).
+    pub const SKILL: AttrId = AttrId(0);
+    /// The skill tracked in the §1 scenario.
+    pub const JAVA: ValueId = ValueId(0);
+    /// Metro area (10 buckets).
+    pub const METRO: AttrId = AttrId(1);
+    /// Seniority: junior / mid / senior / principal.
+    pub const SENIORITY: AttrId = AttrId(2);
+    /// Remote friendliness (2 values).
+    pub const REMOTE: AttrId = AttrId(3);
+}
+
+/// Offered salary.
+pub const SALARY: MeasureId = MeasureId(0);
+
+/// Tunable job-board parameters.
+#[derive(Debug, Clone)]
+pub struct JobBoardConfig {
+    /// Salary premium multiplier applied to the boomed skill.
+    pub boom_premium: f64,
+    /// Relative posting frequency of the boomed skill during the boom
+    /// (1.0 = same as any other skill).
+    pub boom_frequency: f64,
+}
+
+impl Default for JobBoardConfig {
+    fn default() -> Self {
+        Self { boom_premium: 1.15, boom_frequency: 2.0 }
+    }
+}
+
+/// Mints job postings.
+#[derive(Debug)]
+pub struct JobBoardGenerator {
+    schema: Schema,
+    config: JobBoardConfig,
+    next_key: u64,
+    boom: bool,
+}
+
+impl JobBoardGenerator {
+    /// Creates the generator (boom off).
+    pub fn new(config: JobBoardConfig) -> Self {
+        let schema = Schema::with_domain_sizes(&[8, 10, 4, 2], &["salary"])
+            .expect("job board schema valid");
+        Self { schema, config, next_key: 0, boom: false }
+    }
+
+    /// Turns the Java market boom on/off (affects future postings only).
+    pub fn set_boom(&mut self, on: bool) {
+        self.boom = on;
+    }
+
+    /// Whether the boom is currently active.
+    pub fn boom(&self) -> bool {
+        self.boom
+    }
+
+    fn mint<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Tuple {
+        let key = self.next_key;
+        self.next_key += 1;
+        // Skill choice: 7 ordinary skills weight 1, Java weight 1 or boom.
+        let java_weight = if self.boom { self.config.boom_frequency } else { 1.0 };
+        let total = 7.0 + java_weight;
+        let skill = if rng.random::<f64>() * total < java_weight {
+            0u32
+        } else {
+            rng.random_range(1..8u32)
+        };
+        let seniority = rng.random_range(0..4u32);
+        let mut salary =
+            70_000.0 + 25_000.0 * f64::from(seniority) + rng.random_range(0..20_000) as f64;
+        if skill == attrs::JAVA.0 && self.boom {
+            salary *= self.config.boom_premium;
+        }
+        Tuple::new(
+            TupleKey(key),
+            vec![
+                ValueId(skill),
+                ValueId(rng.random_range(0..10)),
+                ValueId(seniority),
+                ValueId(rng.random_range(0..2)),
+            ],
+            vec![salary.round()],
+        )
+    }
+
+    /// Ground truth helpers: count and average salary of postings
+    /// requiring `skill`.
+    pub fn skill_stats(
+        db: &hidden_db::database::HiddenDatabase,
+        skill: ValueId,
+    ) -> (u64, f64) {
+        let cond = hidden_db::query::ConjunctiveQuery::from_predicates([
+            hidden_db::query::Predicate::new(attrs::SKILL, skill),
+        ]);
+        let count = db.exact_count(Some(&cond));
+        let avg = if count == 0 {
+            0.0
+        } else {
+            db.exact_sum(Some(&cond), |t| t.measure(SALARY)) / count as f64
+        };
+        (count, avg)
+    }
+}
+
+impl TupleFactory for JobBoardGenerator {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn make(&mut self, rng: &mut dyn rand::RngCore) -> Tuple {
+        self.mint(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidden_db::database::HiddenDatabase;
+    use hidden_db::ranking::ScoringPolicy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn load(gen: &mut JobBoardGenerator, n: usize, seed: u64) -> HiddenDatabase {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db =
+            HiddenDatabase::new(gen.schema().clone(), 100, ScoringPolicy::default());
+        for t in gen.make_many(&mut rng, n) {
+            db.insert(t).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn baseline_skills_are_uniform() {
+        let mut gen = JobBoardGenerator::new(JobBoardConfig::default());
+        let db = load(&mut gen, 8_000, 1);
+        let (java, _) = JobBoardGenerator::skill_stats(&db, attrs::JAVA);
+        let frac = java as f64 / 8_000.0;
+        assert!((frac - 0.125).abs() < 0.02, "java fraction {frac}");
+    }
+
+    #[test]
+    fn boom_raises_frequency_and_salary() {
+        let mut gen = JobBoardGenerator::new(JobBoardConfig::default());
+        let db_before = load(&mut gen, 6_000, 2);
+        let (_, avg_before) = JobBoardGenerator::skill_stats(&db_before, attrs::JAVA);
+        gen.set_boom(true);
+        assert!(gen.boom());
+        let db_after = load(&mut gen, 6_000, 3);
+        let (count_after, avg_after) = JobBoardGenerator::skill_stats(&db_after, attrs::JAVA);
+        let frac = count_after as f64 / 6_000.0;
+        assert!(frac > 0.18, "boom frequency {frac}");
+        assert!(
+            avg_after > avg_before * 1.08,
+            "boom salary {avg_after} vs {avg_before}"
+        );
+    }
+
+    #[test]
+    fn salaries_scale_with_seniority() {
+        let mut gen = JobBoardGenerator::new(JobBoardConfig::default());
+        let db = load(&mut gen, 5_000, 4);
+        let mut by_seniority = [0.0f64; 4];
+        let mut counts = [0u32; 4];
+        db.for_each_alive(|t| {
+            let s = t.value(attrs::SENIORITY).0 as usize;
+            by_seniority[s] += t.measure(SALARY);
+            counts[s] += 1;
+        });
+        for s in 1..4 {
+            let lo = by_seniority[s - 1] / f64::from(counts[s - 1]);
+            let hi = by_seniority[s] / f64::from(counts[s]);
+            assert!(hi > lo, "seniority {s} salary {hi} ≤ {lo}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Update schedules: how the hidden database changes from round to round.
+//!
+//! Each figure of the paper's evaluation fixes an insertion/deletion
+//! schedule (§6.1); [`PerRoundSchedule`] covers all of them, and
+//! [`RegenerateSchedule`] models the total-change extreme of §3.2.1.
+
+use hidden_db::database::HiddenDatabase;
+use hidden_db::updates::UpdateBatch;
+use rand::rngs::StdRng;
+
+use crate::factory::TupleFactory;
+
+/// How many tuples a schedule deletes per round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeleteSpec {
+    /// No deletions.
+    None,
+    /// Delete a fixed fraction of the current population (e.g. the default
+    /// schedule's 0.1 %).
+    Fraction(f64),
+    /// Delete a fixed count.
+    Count(usize),
+}
+
+impl DeleteSpec {
+    fn count_for(&self, population: usize) -> usize {
+        match *self {
+            Self::None => 0,
+            Self::Fraction(f) => ((population as f64) * f).round() as usize,
+            Self::Count(c) => c,
+        }
+        .min(population)
+    }
+}
+
+/// Produces the batch of changes between consecutive rounds.
+pub trait UpdateSchedule {
+    /// Builds the next round's update batch given the current state.
+    fn next_batch(&mut self, db: &HiddenDatabase, rng: &mut StdRng) -> UpdateBatch;
+}
+
+/// The workhorse schedule: insert `inserts` fresh tuples (minted by the
+/// factory from the population distribution) and delete per `delete`,
+/// every round.
+///
+/// Paper configurations expressed with this type:
+/// * default: `inserts = 300, delete = Fraction(0.001)`;
+/// * little change (Fig 5): `inserts = 1, delete = None`;
+/// * big change (Figs 6/7/17): `inserts = 10_000, delete = Fraction(0.05)`;
+/// * Fig 10: `inserts = 0..=30, delete = Count(0..=30)`;
+/// * Fig 15/16: `inserts = 3_000, delete = Fraction(0.005)`.
+#[derive(Debug)]
+pub struct PerRoundSchedule<F: TupleFactory> {
+    factory: F,
+    inserts: usize,
+    delete: DeleteSpec,
+}
+
+impl<F: TupleFactory> PerRoundSchedule<F> {
+    /// Creates the schedule.
+    pub fn new(factory: F, inserts: usize, delete: DeleteSpec) -> Self {
+        Self { factory, inserts, delete }
+    }
+
+    /// The paper's default schedule (+300, −0.1 % per round).
+    pub fn paper_default(factory: F) -> Self {
+        Self::new(factory, 300, DeleteSpec::Fraction(0.001))
+    }
+
+    /// Access to the underlying factory (e.g. to seed the initial load).
+    pub fn factory_mut(&mut self) -> &mut F {
+        &mut self.factory
+    }
+}
+
+impl<F: TupleFactory> UpdateSchedule for PerRoundSchedule<F> {
+    fn next_batch(&mut self, db: &HiddenDatabase, rng: &mut StdRng) -> UpdateBatch {
+        let mut batch = UpdateBatch::empty();
+        let victims = self.delete.count_for(db.len());
+        batch.deletes = db.sample_alive_keys(rng, victims);
+        batch.inserts = self.factory.make_many(rng, self.inserts);
+        batch
+    }
+}
+
+/// Total change (§3.2.1, Example 2): every round deletes the whole
+/// population and inserts a fresh one of the same size.
+#[derive(Debug)]
+pub struct RegenerateSchedule<F: TupleFactory> {
+    factory: F,
+}
+
+impl<F: TupleFactory> RegenerateSchedule<F> {
+    /// Creates the schedule.
+    pub fn new(factory: F) -> Self {
+        Self { factory }
+    }
+}
+
+impl<F: TupleFactory> UpdateSchedule for RegenerateSchedule<F> {
+    fn next_batch(&mut self, db: &HiddenDatabase, rng: &mut StdRng) -> UpdateBatch {
+        let mut batch = UpdateBatch::empty();
+        batch.deletes = db.alive_keys_sorted();
+        batch.inserts = self.factory.make_many(rng, db.len());
+        batch
+    }
+}
+
+/// A schedule that never changes anything (§3.2.1, Example 1).
+#[derive(Debug, Default)]
+pub struct NoChangeSchedule;
+
+impl UpdateSchedule for NoChangeSchedule {
+    fn next_batch(&mut self, _db: &HiddenDatabase, _rng: &mut StdRng) -> UpdateBatch {
+        UpdateBatch::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::BooleanGenerator;
+    use hidden_db::ranking::ScoringPolicy;
+    use rand::SeedableRng;
+
+    fn seeded_db(n: usize) -> (HiddenDatabase, BooleanGenerator, StdRng) {
+        let mut gen = BooleanGenerator::new(6);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut db = HiddenDatabase::new(gen.schema().clone(), 10, ScoringPolicy::default());
+        for t in gen.generate(&mut rng, n) {
+            db.insert(t).unwrap();
+        }
+        (db, gen, rng)
+    }
+
+    #[test]
+    fn per_round_schedule_inserts_and_deletes() {
+        let (mut db, gen, mut rng) = seeded_db(100);
+        let mut sched = PerRoundSchedule::new(gen, 5, DeleteSpec::Count(3));
+        let batch = sched.next_batch(&db, &mut rng);
+        assert_eq!(batch.inserts.len(), 5);
+        assert_eq!(batch.deletes.len(), 3);
+        db.apply(batch).unwrap();
+        assert_eq!(db.len(), 102);
+    }
+
+    #[test]
+    fn fraction_deletes_round_to_population() {
+        let (db, gen, mut rng) = seeded_db(1000);
+        let mut sched = PerRoundSchedule::new(gen, 0, DeleteSpec::Fraction(0.01));
+        let batch = sched.next_batch(&db, &mut rng);
+        assert_eq!(batch.deletes.len(), 10);
+    }
+
+    #[test]
+    fn delete_spec_caps_at_population() {
+        assert_eq!(DeleteSpec::Count(50).count_for(10), 10);
+        assert_eq!(DeleteSpec::Fraction(2.0).count_for(10), 10);
+        assert_eq!(DeleteSpec::None.count_for(10), 0);
+    }
+
+    #[test]
+    fn regenerate_replaces_everything() {
+        let (mut db, gen, mut rng) = seeded_db(40);
+        let before = db.alive_keys_sorted();
+        let mut sched = RegenerateSchedule::new(gen);
+        let batch = sched.next_batch(&db, &mut rng);
+        db.apply(batch).unwrap();
+        assert_eq!(db.len(), 40);
+        let after = db.alive_keys_sorted();
+        assert!(before.iter().all(|k| !after.contains(k)), "no survivors expected");
+    }
+
+    #[test]
+    fn no_change_schedule_is_empty() {
+        let (db, _gen, mut rng) = seeded_db(10);
+        let mut sched = NoChangeSchedule;
+        assert!(sched.next_batch(&db, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn paper_default_parameters() {
+        let (db, gen, mut rng) = seeded_db(2000);
+        let mut sched = PerRoundSchedule::paper_default(gen);
+        let batch = sched.next_batch(&db, &mut rng);
+        assert_eq!(batch.inserts.len(), 300);
+        assert_eq!(batch.deletes.len(), 2); // 0.1 % of 2000
+    }
+}

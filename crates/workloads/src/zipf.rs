@@ -1,0 +1,125 @@
+//! Seeded categorical samplers: Zipf-skewed and uniform.
+//!
+//! Web databases are heavily skewed (a few makes/models dominate used-car
+//! listings), which is what gives the query tree its characteristic shape:
+//! popular branches overflow deep, rare branches underflow early. The
+//! synthetic workloads therefore draw categorical values from Zipf
+//! marginals.
+
+use rand::Rng;
+
+/// A Zipf(θ) distribution over `0..n`: `P(i) ∝ 1/(i+1)^θ`.
+///
+/// Sampling is O(log n) via binary search over the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `0..n` with exponent `theta ≥ 0`
+    /// (`theta = 0` is uniform).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(theta >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding keeping the last entry below 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of value `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(10, 1.2);
+        let total: f64 = (0..10).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(z.domain(), 10);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.probability(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_orders_probabilities() {
+        let z = ZipfSampler::new(5, 1.0);
+        for i in 1..5 {
+            assert!(z.probability(i) < z.probability(i - 1));
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match() {
+        let z = ZipfSampler::new(3, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 60_000;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / n as f64;
+            assert!(
+                (freq - z.probability(i)).abs() < 0.01,
+                "value {i}: {freq} vs {}",
+                z.probability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn single_value_domain() {
+        let z = ZipfSampler::new(1, 2.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.probability(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

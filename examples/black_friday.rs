@@ -1,0 +1,87 @@
+//! The Fig 20 scenario: track a (simulated) Amazon watch store through
+//! Thanksgiving week — average price, % men's watches, % wrist watches —
+//! with 1 000 queries per day through a top-100 interface.
+//!
+//! The paper ran this live without ground truth; the simulation injects
+//! the same Black-Friday price dip, and we *can* score the tracker.
+//!
+//! ```sh
+//! cargo run --release --example black_friday
+//! ```
+
+use aggtrack::prelude::*;
+use aggtrack::workloads::amazon::{self, DAY_LABELS, PROMO_DAYS};
+use std::sync::Arc;
+
+/// A self-normalised proportion tracker: AVG of a 0/1 indicator. The
+/// numerator and denominator come from the *same* drill-downs, so shared
+/// sampling noise cancels in the ratio — far tighter than dividing two
+/// independently tracked COUNTs.
+fn proportion_of(
+    attr: AttrId,
+    value: ValueId,
+    tree: &QueryTree,
+    seed: u64,
+) -> RsEstimator {
+    let indicator =
+        TupleFn::Custom(Arc::new(move |t: &TupleView| (t.value(attr) == value) as u8 as f64));
+    let spec = AggregateSpec {
+        kind: AggKind::Avg,
+        value_fn: indicator,
+        condition: ConjunctiveQuery::select_all(),
+        filter: None,
+    };
+    RsEstimator::new(spec, tree.clone(), seed)
+}
+
+fn main() {
+    let (mut db, mut sim) = AmazonSim::build(15_000, 42);
+    let tree = QueryTree::full(&db.schema().clone());
+
+    // Three aggregates, one RS tracker each, budget split three ways.
+    let mut price = RsEstimator::new(
+        AggregateSpec::avg_measure(amazon::PRICE, ConjunctiveQuery::select_all()),
+        tree.clone(),
+        1,
+    );
+    let mut men = proportion_of(amazon::attrs::DEPARTMENT, amazon::attrs::MEN, &tree, 2);
+    let mut wrist = proportion_of(amazon::attrs::STYLE, amazon::attrs::WRIST, &tree, 3);
+
+    let g_per_tracker = 333; // ≈1 000/day split across three trackers
+    println!("day    | AVG price est (truth) | %men est (truth) | %wrist est (truth)");
+    println!("-------+-----------------------+------------------+-------------------");
+    for (day, label) in DAY_LABELS.iter().enumerate() {
+        let batch = sim.batch_for_day(&db, day);
+        db.apply(batch).unwrap();
+
+        let truth_price = AmazonSim::true_avg_price(&db);
+        let truth_men = AmazonSim::true_frac_men(&db);
+        let truth_wrist = AmazonSim::true_frac_wrist(&db);
+
+        let price_est = {
+            let mut s = SearchSession::new(&mut db, g_per_tracker);
+            price.run_round(&mut s).avg().unwrap_or(f64::NAN)
+        };
+        let men_est = {
+            let mut s = SearchSession::new(&mut db, g_per_tracker);
+            men.run_round(&mut s).avg().unwrap_or(f64::NAN)
+        };
+        let wrist_est = {
+            let mut s = SearchSession::new(&mut db, g_per_tracker);
+            wrist.run_round(&mut s).avg().unwrap_or(f64::NAN)
+        };
+
+        let promo = if PROMO_DAYS.contains(&day) { "*" } else { " " };
+        println!(
+            "{label}{promo} | ${price_est:6.0} (${truth_price:6.0})     | {:4.1}% ({:4.1}%)    | {:4.1}% ({:4.1}%)",
+            100.0 * men_est,
+            100.0 * truth_men,
+            100.0 * wrist_est,
+            100.0 * truth_wrist,
+        );
+    }
+    println!();
+    println!("* = promotion day. The tracked average price dips sharply on Nov 28–29");
+    println!("and recovers after, while the men's/wrist proportions stay flat —");
+    println!("exactly the Fig 20 signal, now with ground truth to verify against.");
+}

@@ -1,0 +1,73 @@
+//! The paper's §1 motivation scenario: a third-party economist tracks a
+//! job-listings site — the number of active postings requiring a given
+//! skill, and the average salary offered for it — through the site's
+//! restrictive search form (1 000 queries/day).
+//!
+//! Demonstrates:
+//! * the `workloads::jobs` population with its switchable market boom;
+//! * aggregates with selection conditions (`skill = java`);
+//! * tracking a SUM/AVG measure (salary);
+//! * a market shock mid-stream (Java demand expands, salaries rise).
+//!
+//! ```sh
+//! cargo run --release --example job_postings
+//! ```
+
+use aggtrack::prelude::*;
+use aggtrack::workloads::jobs::{attrs, JobBoardConfig, JobBoardGenerator, SALARY};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut factory = JobBoardGenerator::new(JobBoardConfig::default());
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut db = HiddenDatabase::new(factory.schema().clone(), 100, ScoringPolicy::default());
+    for t in factory.make_many(&mut rng, 40_000) {
+        db.insert(t).unwrap();
+    }
+
+    // Aggregates: COUNT and AVG(salary) of Java postings.
+    let java_cond = ConjunctiveQuery::from_predicates([Predicate::new(attrs::SKILL, attrs::JAVA)]);
+    let tree = QueryTree::full(&db.schema().clone());
+    let mut count_tracker =
+        RsEstimator::new(AggregateSpec::count_where(java_cond.clone()), tree.clone(), 11);
+    let mut salary_tracker =
+        RsEstimator::new(AggregateSpec::avg_measure(SALARY, java_cond.clone()), tree, 12);
+
+    let g = 1_000; // the paper's API-style daily limit
+    println!("day | java postings est (truth) | AVG salary est (truth) | queries");
+    println!("----+---------------------------+------------------------+--------");
+    for day in 1..=14 {
+        // Market shock on day 8: Java postings double in frequency and
+        // gain a 15 % salary premium.
+        if day == 8 {
+            factory.set_boom(true);
+        }
+        let (true_count, true_salary) = JobBoardGenerator::skill_stats(&db, attrs::JAVA);
+
+        let (count_est, spent_a) = {
+            let mut s = SearchSession::new(&mut db, g / 2);
+            let r = count_tracker.run_round(&mut s);
+            (r.count.value, r.queries_spent)
+        };
+        let (salary_est, spent_b) = {
+            let mut s = SearchSession::new(&mut db, g / 2);
+            let r = salary_tracker.run_round(&mut s);
+            (r.avg().unwrap_or(f64::NAN), r.queries_spent)
+        };
+        println!(
+            "{day:3} | {count_est:9.0} ({true_count:9})    | ${salary_est:8.0} (${true_salary:8.0}) | {}",
+            spent_a + spent_b
+        );
+
+        // Daily churn: 600 new postings, 1.5 % filled/expired.
+        let victims = db.sample_alive_keys(&mut rng, (db.len() as f64 * 0.015) as usize);
+        let mut batch = UpdateBatch::empty();
+        batch.deletes = victims;
+        batch.inserts = factory.make_many(&mut rng, 600);
+        db.apply(batch).unwrap();
+    }
+    println!();
+    println!("Watch the estimates follow the day-8 Java boom: postings climb and");
+    println!("the average offered salary jumps ≈15 % — the §1 market-expansion signal.");
+}

@@ -1,0 +1,208 @@
+//! End-to-end integration: the full pipeline from synthetic population
+//! through schedules, sessions, and all three estimators — a scaled-down
+//! version of the paper's default experiment (§6.1).
+
+use aggtrack::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::load_database;
+
+/// Scaled-down default setup: 12 000 of an Autos-like population with 12
+/// attributes, top-100 interface, +30/−0.1 % per round.
+fn autos_fixture(seed: u64) -> (RoundDriver<PerRoundSchedule<AutosGenerator>>, QueryTree) {
+    let mut gen = AutosGenerator::with_attrs(12);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = load_database(&mut gen, &mut rng, 12_000, 100, ScoringPolicy::default());
+    let tree = QueryTree::full(&db.schema().clone());
+    let schedule = PerRoundSchedule::new(gen, 30, DeleteSpec::Fraction(0.001));
+    (RoundDriver::new(db, schedule, seed ^ 0xFEED), tree)
+}
+
+#[test]
+fn all_estimators_track_count_within_budget() {
+    let (mut driver, tree) = autos_fixture(1);
+    let g = 300;
+    let mut restart = RestartEstimator::new(AggregateSpec::count_star(), tree.clone(), 10);
+    let mut reissue = ReissueEstimator::new(AggregateSpec::count_star(), tree.clone(), 11);
+    let mut rs = RsEstimator::new(AggregateSpec::count_star(), tree, 12);
+    let mut final_errs = [0.0f64; 3];
+    for round in 0..8 {
+        let truth = driver.db().exact_count(None) as f64;
+        for (i, est) in [
+            &mut restart as &mut dyn Estimator,
+            &mut reissue,
+            &mut rs,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut session = driver.session(g);
+            let report = est.run_round(&mut session);
+            assert!(
+                report.queries_spent <= g,
+                "{} exceeded budget: {}",
+                est.name(),
+                report.queries_spent
+            );
+            assert_eq!(report.round as usize, round + 1);
+            let err = relative_error(report.count.value, truth);
+            if round == 7 {
+                final_errs[i] = err;
+            }
+        }
+        driver.advance();
+    }
+    // After 8 rounds everyone should be in a sane band; the history-reusing
+    // estimators should be at least as good as the baseline (deterministic
+    // under these seeds).
+    for (name, err) in ["RESTART", "REISSUE", "RS"].iter().zip(final_errs) {
+        assert!(err < 0.30, "{name} final relative error {err}");
+    }
+    assert!(
+        final_errs[1] <= final_errs[0] + 0.05,
+        "REISSUE ({}) should not lose badly to RESTART ({})",
+        final_errs[1],
+        final_errs[0]
+    );
+}
+
+#[test]
+fn sum_with_selection_condition_tracks() {
+    let (mut driver, _) = autos_fixture(2);
+    // Condition on the first attribute's most popular value.
+    let cond = ConjunctiveQuery::from_predicates([Predicate::new(AttrId(0), ValueId(0))]);
+    let tree = QueryTree::full(&driver.db().schema().clone());
+    let spec = AggregateSpec::sum_measure(MeasureId(0), cond.clone());
+    let mut est = ReissueEstimator::new(spec, tree, 21);
+    let mut last = f64::NAN;
+    for _ in 0..5 {
+        let truth = driver
+            .db()
+            .exact_sum(Some(&cond), |t| t.measure(MeasureId(0)));
+        let mut session = driver.session(400);
+        let report = est.run_round(&mut session);
+        last = relative_error(report.sum.value, truth);
+        driver.advance();
+    }
+    assert!(last < 0.35, "SUM w/ condition relative error {last}");
+}
+
+#[test]
+fn subtree_matches_filter_based_conditioning() {
+    // §3.3: a conjunctive condition can be baked into the query tree
+    // (subtree) instead of filtered per tuple. Both must converge to the
+    // same truth.
+    let (mut driver, _) = autos_fixture(3);
+    let cond = ConjunctiveQuery::from_predicates([Predicate::new(AttrId(1), ValueId(0))]);
+    let schema = driver.db().schema().clone();
+    let truth = driver.db().exact_count(Some(&cond)) as f64;
+
+    let full_tree = QueryTree::full(&schema);
+    let sub_tree = QueryTree::subtree(&schema, cond.clone());
+    let mut filtered = RestartEstimator::new(AggregateSpec::count_where(cond.clone()), full_tree, 31);
+    let mut subtree = RestartEstimator::new(AggregateSpec::count_where(cond), sub_tree, 32);
+
+    // Average several rounds of the static database for stability.
+    let mut f_est = 0.0;
+    let mut s_est = 0.0;
+    let rounds = 6;
+    for _ in 0..rounds {
+        let mut s1 = driver.session(300);
+        f_est += filtered.run_round(&mut s1).count.value / rounds as f64;
+        let mut s2 = driver.session(300);
+        s_est += subtree.run_round(&mut s2).count.value / rounds as f64;
+    }
+    let f_err = relative_error(f_est, truth);
+    let s_err = relative_error(s_est, truth);
+    assert!(f_err < 0.2, "filter-based error {f_err}");
+    assert!(s_err < 0.2, "subtree-based error {s_err}");
+}
+
+#[test]
+fn running_average_tracks_trans_round_window() {
+    let (mut driver, tree) = autos_fixture(4);
+    let mut est = RsEstimator::new(AggregateSpec::count_star(), tree, 41);
+    let mut est_ra = RunningAverage::new(3);
+    let mut truth_ra = RunningAverage::new(3);
+    let mut last_pair = (0.0, 0.0);
+    for _ in 0..6 {
+        let truth = driver.db().exact_count(None) as f64;
+        let mut session = driver.session(300);
+        let report = est.run_round(&mut session);
+        last_pair = (
+            est_ra.push(report.count.value),
+            truth_ra.push(truth),
+        );
+        driver.advance();
+    }
+    let err = relative_error(last_pair.0, last_pair.1);
+    assert!(err < 0.25, "running-average error {err}");
+}
+
+#[test]
+fn intra_round_session_keeps_estimators_functional() {
+    // §5.2 / Fig 4: updates land between the estimator's own queries.
+    let (mut driver, tree) = autos_fixture(5);
+    let mut est = ReissueEstimator::new(AggregateSpec::count_star(), tree, 51);
+    let g = 300;
+    let mut last_err = f64::NAN;
+    for _ in 0..5 {
+        let batch = driver.peek_batch();
+        let updates = workloads::spread_evenly(batch);
+        let mut session = IntraRoundSession::new(driver.db_mut(), g, updates);
+        let report = est.run_round(&mut session);
+        session.drain_pending();
+        driver.mark_round();
+        assert!(report.queries_spent <= g);
+        let truth = driver.db().exact_count(None) as f64;
+        last_err = relative_error(report.count.value, truth);
+    }
+    assert!(last_err < 0.3, "intra-round error {last_err}");
+}
+
+#[test]
+fn change_estimates_beat_differencing_for_small_changes() {
+    // The Fig 15/16 phenomenon, miniaturised: tiny net change per round;
+    // REISSUE's paired-difference change estimate must be far more
+    // accurate than RESTART's difference of independent estimates.
+    let mut gen = AutosGenerator::with_attrs(10);
+    let mut rng = StdRng::seed_from_u64(6);
+    let db = load_database(&mut gen, &mut rng, 8_000, 100, ScoringPolicy::default());
+    let tree = QueryTree::full(&db.schema().clone());
+    let schedule = PerRoundSchedule::new(gen, 40, DeleteSpec::Count(20));
+    let mut driver = RoundDriver::new(db, schedule, 66);
+
+    let mut restart = RestartEstimator::new(AggregateSpec::count_star(), tree.clone(), 61);
+    let mut reissue = ReissueEstimator::new(AggregateSpec::count_star(), tree, 62);
+    let mut restart_err = 0.0;
+    let mut reissue_err = 0.0;
+    let mut rounds_measured = 0.0;
+    let mut prev_truth = driver.db().exact_count(None) as f64;
+    for round in 0..6 {
+        let truth = driver.db().exact_count(None) as f64;
+        let true_change = truth - prev_truth;
+        let mut s1 = driver.session(400);
+        let r1 = restart.run_round(&mut s1);
+        let mut s2 = driver.session(400);
+        let r2 = reissue.run_round(&mut s2);
+        if round >= 1 {
+            // Net change is +20/round.
+            let _ = true_change;
+            if let (Some(c1), Some(c2)) = (r1.change_count, r2.change_count) {
+                restart_err += (c1.value - true_change).abs();
+                reissue_err += (c2.value - true_change).abs();
+                rounds_measured += 1.0;
+            }
+        }
+        prev_truth = truth;
+        driver.advance();
+    }
+    assert!(rounds_measured >= 4.0, "change estimates must be reported");
+    restart_err /= rounds_measured;
+    reissue_err /= rounds_measured;
+    assert!(
+        reissue_err < restart_err,
+        "paired differences ({reissue_err:.1}) must beat independent \
+         differencing ({restart_err:.1})"
+    );
+}

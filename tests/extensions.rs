@@ -1,0 +1,143 @@
+//! Integration tests of the extension modules: the multi-aggregate
+//! tracker, the ad-hoc archive (§5.1), stratified sampling, crawling, and
+//! database snapshots — all through the public facade.
+
+use aggtrack::core::{ArchivingTracker, MultiTracker, StratifiedEstimator};
+use aggtrack::prelude::*;
+use aggtrack::query_tree::crawl::crawl;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::load_database;
+
+fn autos_fixture(seed: u64) -> (RoundDriver<PerRoundSchedule<AutosGenerator>>, QueryTree) {
+    let mut gen = AutosGenerator::with_attrs(12);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = load_database(&mut gen, &mut rng, 10_000, 100, ScoringPolicy::default());
+    let tree = QueryTree::full(&db.schema().clone());
+    let schedule = PerRoundSchedule::new(gen, 25, DeleteSpec::Fraction(0.001));
+    (RoundDriver::new(db, schedule, seed ^ 0xD1CE), tree)
+}
+
+#[test]
+fn multi_tracker_tracks_a_workload_end_to_end() {
+    let (mut driver, tree) = autos_fixture(1);
+    let cond = ConjunctiveQuery::from_predicates([Predicate::new(AttrId(0), ValueId(0))]);
+    let specs = vec![
+        AggregateSpec::count_star(),
+        AggregateSpec::count_where(cond.clone()),
+        AggregateSpec::avg_measure(MeasureId(0), ConjunctiveQuery::select_all()),
+    ];
+    let mut tracker = MultiTracker::new(specs.clone(), tree, 2);
+    let mut last = None;
+    for _ in 0..4 {
+        let mut s = driver.session(300);
+        last = Some(tracker.run_round(&mut s));
+        driver.advance();
+    }
+    let report = last.unwrap();
+    let truth_all = driver.db().exact_count(None) as f64;
+    let p0 = report.primary(0, &specs);
+    assert!(
+        relative_error(p0, truth_all) < 0.3,
+        "workload COUNT(*) error: {p0} vs {truth_all}"
+    );
+    assert!(report.queries_spent <= 300);
+}
+
+#[test]
+fn adhoc_archive_answers_queries_about_the_past() {
+    let (mut driver, tree) = autos_fixture(2);
+    let mut tracker = ArchivingTracker::new(tree, 3);
+    let mut truths = Vec::new();
+    for _ in 0..4 {
+        truths.push(driver.db().exact_count(None) as f64);
+        let mut s = driver.session(400);
+        tracker.run_round(&mut s);
+        driver.advance();
+    }
+    // The ad-hoc aggregate arrives after round 4, asking about round 2.
+    let spec = AggregateSpec::count_star();
+    let e2 = tracker.estimate_at(2, &spec).expect("round 2 archived");
+    assert!(
+        relative_error(e2.value, truths[1]) < 0.35,
+        "retro estimate {} vs truth {}",
+        e2.value,
+        truths[1]
+    );
+    // And a conditioned aggregate never registered during tracking.
+    let cond = ConjunctiveQuery::from_predicates([Predicate::new(AttrId(1), ValueId(0))]);
+    let spec_cond = AggregateSpec::count_where(cond);
+    assert!(tracker.estimate_at(3, &spec_cond).is_some());
+}
+
+#[test]
+fn stratified_estimator_competes_with_restart() {
+    let (mut driver, tree) = autos_fixture(3);
+    let schema = driver.db().schema().clone();
+    let truth = driver.db().exact_count(None) as f64;
+    let mut restart_err = 0.0;
+    let mut strat_err = 0.0;
+    let seeds = 12;
+    for seed in 0..seeds {
+        let mut a = RestartEstimator::new(AggregateSpec::count_star(), tree.clone(), seed);
+        let mut s = driver.session(250);
+        restart_err += relative_error(a.run_round(&mut s).count.value, truth) / seeds as f64;
+        let mut b =
+            StratifiedEstimator::new(AggregateSpec::count_star(), &schema, AttrId(1), seed);
+        let mut s = driver.session(250);
+        strat_err += relative_error(b.run_round(&mut s).count.value, truth) / seeds as f64;
+    }
+    // Stratification must be competitive (and usually better) on skewed data.
+    assert!(
+        strat_err < restart_err * 1.25,
+        "stratified {strat_err:.3} vs restart {restart_err:.3}"
+    );
+}
+
+#[test]
+fn crawl_matches_ground_truth_and_costs_more() {
+    let (mut driver, tree) = autos_fixture(4);
+    let truth = driver.db().exact_count(None);
+    let mut s = SearchSession::unlimited(driver.db_mut());
+    let out = crawl(&tree, &mut s);
+    assert!(out.complete);
+    assert_eq!(out.tuples.len() as u64, truth);
+    assert!(
+        out.cost > 300,
+        "crawling 10k tuples should dwarf one estimator round, cost {}",
+        out.cost
+    );
+}
+
+#[test]
+fn snapshot_roundtrip_through_facade() {
+    let (driver, _) = autos_fixture(5);
+    let mut buf = Vec::new();
+    aggtrack::hidden_db::write_snapshot(driver.db(), &mut buf).unwrap();
+    let restored = aggtrack::hidden_db::read_snapshot(&mut buf.as_slice()).unwrap();
+    assert_eq!(restored.len(), driver.db().len());
+    assert_eq!(restored.alive_keys_sorted(), driver.db().alive_keys_sorted());
+}
+
+#[test]
+fn quantile_tracker_summarises_error_distributions() {
+    // Smoke-level integration: P² medians of estimator errors are finite
+    // and ordered sanely vs means under heavy tails.
+    let (mut driver, tree) = autos_fixture(6);
+    let truth = driver.db().exact_count(None) as f64;
+    let mut median = agg_stats::P2Quantile::median();
+    let mut moments = agg_stats::RunningMoments::new();
+    for seed in 0..30 {
+        let mut est = RestartEstimator::new(AggregateSpec::count_star(), tree.clone(), seed);
+        let mut s = driver.session(150);
+        let err = relative_error(est.run_round(&mut s).count.value, truth);
+        median.push(err);
+        moments.push(err);
+    }
+    let med = median.estimate().unwrap();
+    let mean = moments.mean().unwrap();
+    assert!(med.is_finite() && med >= 0.0);
+    assert!(mean.is_finite());
+    // Heavy-tailed error distributions have median ≤ mean (loose check).
+    assert!(med <= mean * 1.5, "median {med} vs mean {mean}");
+}
