@@ -85,13 +85,7 @@ pub fn allocate(groups: &[GroupParams], g_total: f64) -> Vec<f64> {
     // Effective caps: can't exceed budget / cost either.
     let caps: Vec<f64> = groups
         .iter()
-        .map(|g| {
-            if g.cost <= 0.0 || g.cap <= 0.0 {
-                0.0
-            } else {
-                g.cap.min(g_total / g.cost)
-            }
-        })
+        .map(|g| if g.cost <= 0.0 || g.cap <= 0.0 { 0.0 } else { g.cap.min(g_total / g.cost) })
         .collect();
 
     let alloc_at = |lambda: f64, alloc: &mut [f64]| {
@@ -114,13 +108,8 @@ pub fn allocate(groups: &[GroupParams], g_total: f64) -> Vec<f64> {
             };
         }
     };
-    let spend = |alloc: &[f64]| -> f64 {
-        alloc
-            .iter()
-            .zip(groups)
-            .map(|(&c, g)| c * g.cost)
-            .sum::<f64>()
-    };
+    let spend =
+        |alloc: &[f64]| -> f64 { alloc.iter().zip(groups).map(|(&c, g)| c * g.cost).sum::<f64>() };
 
     // λ → 0⁺ maximises spend. If even that fits the budget, take it.
     let mut lo = 1e-300;
@@ -154,15 +143,14 @@ pub fn allocate(groups: &[GroupParams], g_total: f64) -> Vec<f64> {
     // (they absorb fractional budget without changing the KKT structure).
     let leftover = g_total - spend(&alloc);
     if leftover > 0.0 {
-        if let Some((i, g)) = groups
-            .iter()
-            .enumerate()
-            .filter(|(i, g)| g.beta == 0.0 && caps[*i] > alloc[*i])
-            .min_by(|(_, a), (_, b)| {
-                (a.alpha * a.cost)
-                    .partial_cmp(&(b.alpha * b.cost))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        if let Some((i, g)) =
+            groups.iter().enumerate().filter(|(i, g)| g.beta == 0.0 && caps[*i] > alloc[*i]).min_by(
+                |(_, a), (_, b)| {
+                    (a.alpha * a.cost)
+                        .partial_cmp(&(b.alpha * b.cost))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                },
+            )
         {
             alloc[i] = (alloc[i] + leftover / g.cost).min(caps[i]);
         }
@@ -275,18 +263,12 @@ mod tests {
         // "exactly like what REISSUE-ESTIMATOR would do").
         let s = 25.0;
         let h = 30.0;
-        let groups = [
-            GroupParams::new(s, s / h, 2.0, h),
-            GroupParams::new(s, 0.0, 6.0, f64::INFINITY),
-        ];
+        let groups =
+            [GroupParams::new(s, s / h, 2.0, h), GroupParams::new(s, 0.0, 6.0, f64::INFINITY)];
         let alloc = allocate(&groups, 200.0);
         // h1 = min(G/gc, h, h(√(gd/gc)−1)) = min(100, 30, 30·0.732) = 21.96
         let expect = h * ((6.0f64 / 2.0).sqrt() - 1.0);
-        assert!(
-            (alloc[0] - expect).abs() < 0.1,
-            "expected ≈{expect}, got {}",
-            alloc[0]
-        );
+        assert!((alloc[0] - expect).abs() < 0.1, "expected ≈{expect}, got {}", alloc[0]);
     }
 
     #[test]

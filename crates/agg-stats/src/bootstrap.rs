@@ -72,12 +72,7 @@ impl PilotGroup {
         default_cost: f64,
         default_alpha: f64,
     ) -> GroupParams {
-        GroupParams::new(
-            self.alpha(default_alpha),
-            beta,
-            self.mean_cost(default_cost),
-            cap,
-        )
+        GroupParams::new(self.alpha(default_alpha), beta, self.mean_cost(default_cost), cap)
     }
 }
 

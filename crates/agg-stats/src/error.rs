@@ -80,10 +80,7 @@ impl SeriesSummary {
 
     /// Sample standard deviation at `point` (0 with < 2 trials).
     pub fn std(&self, point: usize) -> f64 {
-        self.points[point]
-            .sample_variance()
-            .map(f64::sqrt)
-            .unwrap_or(0.0)
+        self.points[point].sample_variance().map(f64::sqrt).unwrap_or(0.0)
     }
 
     /// Means of all points.

@@ -60,11 +60,7 @@ pub fn combine(components: &[Component]) -> Option<Combined> {
         inv_sum += w;
         weighted += w * c.estimate;
     }
-    Some(Combined {
-        estimate: weighted / inv_sum,
-        variance: 1.0 / inv_sum,
-        used: usable.len(),
-    })
+    Some(Combined { estimate: weighted / inv_sum, variance: 1.0 / inv_sum, used: usable.len() })
 }
 
 /// The optimal first-component weight for the two-estimator case — `w_1` of
@@ -99,11 +95,7 @@ mod tests {
 
     #[test]
     fn combined_variance_never_exceeds_best_component() {
-        let comps = [
-            Component::new(5.0, 3.0),
-            Component::new(6.0, 10.0),
-            Component::new(4.0, 0.5),
-        ];
+        let comps = [Component::new(5.0, 3.0), Component::new(6.0, 10.0), Component::new(4.0, 0.5)];
         let c = combine(&comps).unwrap();
         assert!(c.variance <= 0.5 + 1e-12);
     }

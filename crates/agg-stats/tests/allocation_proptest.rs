@@ -8,9 +8,9 @@ use proptest::prelude::*;
 
 fn group_strategy() -> impl Strategy<Value = GroupParams> {
     (
-        0.01..100.0f64,             // alpha
-        prop_oneof![Just(0.0), 0.01..10.0f64], // beta (often zero)
-        1.0..10.0f64,               // cost
+        0.01..100.0f64,                                                   // alpha
+        prop_oneof![Just(0.0), 0.01..10.0f64],                            // beta (often zero)
+        1.0..10.0f64,                                                     // cost
         prop_oneof![(0.0..60.0f64).boxed(), Just(f64::INFINITY).boxed()], // cap
     )
         .prop_map(|(alpha, beta, cost, cap)| GroupParams::new(alpha, beta, cost, cap))

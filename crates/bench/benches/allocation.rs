@@ -23,7 +23,10 @@ fn groups(n: usize) -> Vec<GroupParams> {
 
 fn bench_allocation(c: &mut Criterion) {
     let mut group = c.benchmark_group("allocation");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
     for n in [2usize, 8, 32] {
         let gs = groups(n);
         group.bench_function(format!("allocate_{n}_groups"), |b| {
@@ -35,19 +38,22 @@ fn bench_allocation(c: &mut Criterion) {
 
 fn bench_combine(c: &mut Criterion) {
     let mut group = c.benchmark_group("combine");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
-    let comps: Vec<Component> = (0..100)
-        .map(|i| Component::new(100.0 + i as f64, 1.0 + (i % 7) as f64))
-        .collect();
-    group.bench_function("combine_100", |b| {
-        b.iter(|| black_box(combine(black_box(&comps))))
-    });
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+    let comps: Vec<Component> =
+        (0..100).map(|i| Component::new(100.0 + i as f64, 1.0 + (i % 7) as f64)).collect();
+    group.bench_function("combine_100", |b| b.iter(|| black_box(combine(black_box(&comps)))));
     group.finish();
 }
 
 fn bench_moments(c: &mut Criterion) {
     let mut group = c.benchmark_group("moments");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
     group.bench_function("welford_push_1k", |b| {
         b.iter(|| {
             let mut m = RunningMoments::new();

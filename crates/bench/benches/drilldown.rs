@@ -14,7 +14,10 @@ use workloads::{load_database, AutosGenerator};
 
 fn bench_drills(c: &mut Criterion) {
     let mut group = c.benchmark_group("drilldown");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
 
     let mut gen = AutosGenerator::with_attrs(16);
     let mut rng = StdRng::seed_from_u64(3);
@@ -46,8 +49,7 @@ fn bench_drills(c: &mut Criterion) {
             j += 1;
             let mut s = SearchSession::unlimited(&mut db);
             black_box(
-                resume_from(&tree, &sigs[idx], depths[idx], ReissuePolicy::Strict, &mut s)
-                    .unwrap(),
+                resume_from(&tree, &sigs[idx], depths[idx], ReissuePolicy::Strict, &mut s).unwrap(),
             );
         })
     });

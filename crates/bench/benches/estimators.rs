@@ -24,17 +24,15 @@ const G: u64 = 200;
 
 fn bench_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("estimator_round");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(400));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(400));
     let (db, tree) = fixture();
 
     group.bench_function("restart_round", |b| {
         b.iter_batched(
-            || {
-                (
-                    db.clone(),
-                    RestartEstimator::new(AggregateSpec::count_star(), tree.clone(), 1),
-                )
-            },
+            || (db.clone(), RestartEstimator::new(AggregateSpec::count_star(), tree.clone(), 1)),
             |(mut db, mut est)| {
                 let mut s = SearchSession::new(&mut db, G);
                 black_box(est.run_round(&mut s));
@@ -86,12 +84,13 @@ fn bench_rounds(c: &mut Criterion) {
 
 fn bench_policy_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("reissue_policy_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(400));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(400));
     let (db, tree) = fixture();
-    for (name, policy) in [
-        ("strict", ReissuePolicy::Strict),
-        ("trusting", ReissuePolicy::Trusting),
-    ] {
+    for (name, policy) in [("strict", ReissuePolicy::Strict), ("trusting", ReissuePolicy::Trusting)]
+    {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {

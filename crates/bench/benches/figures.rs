@@ -29,12 +29,7 @@ fn micro() -> BaseCfg {
 }
 
 fn run_track(cfg: &BaseCfg) {
-    black_box(track(
-        cfg,
-        &standard_algos(),
-        RsConfig::default(),
-        &count_star_tracked,
-    ));
+    black_box(track(cfg, &standard_algos(), RsConfig::default(), &count_star_tracked));
 }
 
 fn run_track_change(cfg: &BaseCfg) {
@@ -44,7 +39,9 @@ fn run_track_change(cfg: &BaseCfg) {
 
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
 
     g.bench_function("fig02_default_tracking", |b| {
         let cfg = micro();
@@ -136,19 +133,10 @@ fn bench_figures(c: &mut Criterion) {
             Tracked {
                 spec: AggregateSpec::sum_measure(MeasureId(0), cond.clone()),
                 tree: QueryTree::subtree(schema, cond.clone()),
-                truth: Box::new(move |db| {
-                    db.exact_sum(Some(&cond), |t| t.measure(MeasureId(0)))
-                }),
+                truth: Box::new(move |db| db.exact_sum(Some(&cond), |t| t.measure(MeasureId(0)))),
             }
         };
-        b.iter(|| {
-            black_box(track(
-                &cfg,
-                &standard_algos(),
-                RsConfig::default(),
-                &tracked_of,
-            ))
-        })
+        b.iter(|| black_box(track(&cfg, &standard_algos(), RsConfig::default(), &tracked_of)))
     });
     g.bench_function("fig14_running_average", |b| {
         let cfg = micro();

@@ -20,17 +20,16 @@ fn autos_db(n: usize, attrs: usize, k: usize) -> hidden_db::HiddenDatabase {
 
 fn bench_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("interface_eval");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
 
     // Cold evaluation: clone the db so each iteration starts cache-empty.
     let base = autos_db(10_000, 12, 100);
     let root = ConjunctiveQuery::select_all();
     group.bench_function("root_cold_10k", |b| {
-        b.iter_batched(
-            || base.clone(),
-            |mut db| black_box(db.answer(&root)),
-            BatchSize::LargeInput,
-        )
+        b.iter_batched(|| base.clone(), |mut db| black_box(db.answer(&root)), BatchSize::LargeInput)
     });
     let depth2 = ConjunctiveQuery::from_predicates([
         Predicate::new(AttrId(0), ValueId(0)),
@@ -46,15 +45,16 @@ fn bench_eval(c: &mut Criterion) {
     // Warm (memoised) evaluation.
     let mut warm = base.clone();
     warm.answer(&root);
-    group.bench_function("root_warm_10k", |b| {
-        b.iter(|| black_box(warm.answer(&root)))
-    });
+    group.bench_function("root_warm_10k", |b| b.iter(|| black_box(warm.answer(&root))));
     group.finish();
 }
 
 fn bench_mutations(c: &mut Criterion) {
     let mut group = c.benchmark_group("interface_mutations");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
     let mut gen = AutosGenerator::with_attrs(12);
     let mut rng = StdRng::seed_from_u64(2);
     let mut db = load_database(&mut gen, &mut rng, 10_000, 100, ScoringPolicy::default());

@@ -1,6 +1,16 @@
-//! Runs every figure harness in sequence (use --scale quick for a smoke
-//! run, the default scale for the committed EXPERIMENTS.md numbers).
+//! Runs every figure harness (use --scale quick for a smoke run, the
+//! default scale for the committed EXPERIMENTS.md numbers).
+//!
+//! Figures are independent, so they run concurrently. The thread budget
+//! (`AGGTRACK_THREADS` or the machine's parallelism) is **divided**
+//! between the two nesting levels — figure-level fan-out × per-figure
+//! trial pools ≈ the budget — so nested pools never multiply into
+//! figures × budget workers. Every figure's CSV is captured per-thread
+//! and printed in figure order, so stdout is byte-identical to the
+//! sequential run; progress lines go to stderr as figures finish.
+use aggtrack_bench::runner::capture_csv;
 use aggtrack_bench::{figures, Cli};
+use aggtrack_parallel::{par_run, Threads};
 
 /// A figure-harness entry: name and runner.
 type FigureEntry = (&'static str, fn(&Cli));
@@ -29,10 +39,29 @@ fn main() {
         ("fig20", figures::fig20),
         ("fig21", figures::fig21),
     ];
-    for (name, f) in figs {
-        eprintln!(">>> {name}");
-        let start = std::time::Instant::now();
-        f(&cli);
-        eprintln!(">>> {name} done in {:.1?}", start.elapsed());
+    let total_start = std::time::Instant::now();
+    // Split the thread budget across the two levels: N budget threads
+    // become F concurrent figures × N/F threads inside each figure's
+    // trial loop (the inner pools read AGGTRACK_THREADS, set here before
+    // any worker spawns).
+    let budget = Threads::Auto.resolve(usize::MAX);
+    let fig_workers = budget.min(figs.len());
+    let inner_threads = (budget / fig_workers).max(1);
+    std::env::set_var("AGGTRACK_THREADS", inner_threads.to_string());
+    let jobs: Vec<Box<dyn FnOnce() -> String + Send>> = figs
+        .into_iter()
+        .map(|(name, f)| {
+            let cli = cli.clone();
+            Box::new(move || {
+                let start = std::time::Instant::now();
+                let csv = capture_csv(|| f(&cli));
+                eprintln!(">>> {name} done in {:.1?}", start.elapsed());
+                csv
+            }) as Box<dyn FnOnce() -> String + Send>
+        })
+        .collect();
+    for csv in par_run(jobs, Threads::fixed(fig_workers)) {
+        print!("{csv}");
     }
+    eprintln!(">>> all figures done in {:.1?}", total_start.elapsed());
 }

@@ -1,0 +1,208 @@
+//! perf_baseline — the standard, committed performance workload.
+//!
+//! Runs two fixed workloads and writes a machine-readable report
+//! (default `BENCH_PR1.json`, see `--out`) so future PRs have a
+//! perf trajectory to beat:
+//!
+//! 1. **Interface microbench** — query throughput of the hidden-database
+//!    substrate on a 10 k-tuple Autos population: one cold pass over a
+//!    distinct-query pool (every answer evaluates) and repeated warm
+//!    passes (every answer is a memo hit), plus insert+delete mutation
+//!    throughput.
+//! 2. **Track workload** — the Fig 2 configuration at `quick` scale
+//!    (8 trials × 10 rounds, three estimators): wall-clock of the
+//!    sequential trial loop vs the parallel runner, with a bitwise
+//!    identity check of every estimator series between the two.
+//!
+//! The workload is fixed on purpose — do not "tune" it in later PRs;
+//! add new sections instead, so the numbers stay comparable.
+
+use std::time::Instant;
+
+use aggtrack_bench::cli::{BaseCfg, Scale};
+use aggtrack_bench::json::Json;
+use aggtrack_bench::runner::{
+    count_star_tracked, standard_algos, track_with_threads, TrackOutcome,
+};
+use aggtrack_core::RsConfig;
+use aggtrack_parallel::Threads;
+use hidden_db::query::{ConjunctiveQuery, Predicate};
+use hidden_db::ranking::ScoringPolicy;
+use hidden_db::tuple::Tuple;
+use hidden_db::value::TupleKey;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::{load_database, AutosGenerator, TupleFactory};
+
+fn main() {
+    let out_path = parse_out_flag().unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    eprintln!(">>> perf_baseline: interface microbench");
+    let micro = interface_microbench();
+    eprintln!(">>> perf_baseline: multi-trial track workload");
+    let track = track_workload();
+    let report = Json::obj()
+        .field("schema_version", 1u64)
+        .field("report", "perf_baseline")
+        .field(
+            "generated_unix_s",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        )
+        .field("build", if cfg!(debug_assertions) { "debug" } else { "release" })
+        .field(
+            "host",
+            Json::obj()
+                .field("cores", std::thread::available_parallelism().map_or(1, usize::from))
+                .field(
+                    "aggtrack_threads_env",
+                    std::env::var("AGGTRACK_THREADS").map(Json::from).unwrap_or(Json::Null),
+                ),
+        )
+        .field("interface_microbench", micro)
+        .field("track_workload", track);
+    std::fs::write(&out_path, report.pretty())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!(">>> perf_baseline: wrote {out_path}");
+}
+
+fn parse_out_flag() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => None,
+        [out, path] if out == "--out" => Some(path.clone()),
+        [help] if help == "--help" || help == "-h" => {
+            eprintln!("flags: --out PATH   (default BENCH_PR1.json)");
+            std::process::exit(0);
+        }
+        other => panic!("unsupported arguments {other:?} (try --help)"),
+    }
+}
+
+/// The microbench's fixed query pool: root, every depth-1 query, and all
+/// depth-2 combinations over the first three attribute pairs.
+fn query_pool(schema: &hidden_db::schema::Schema) -> Vec<ConjunctiveQuery> {
+    let mut pool = vec![ConjunctiveQuery::select_all()];
+    for a in schema.attr_ids() {
+        for v in 0..schema.domain_size(a) {
+            pool.push(ConjunctiveQuery::from_predicates([Predicate::new(
+                a,
+                hidden_db::value::ValueId(v),
+            )]));
+        }
+    }
+    let attrs: Vec<_> = schema.attr_ids().collect();
+    for pair in attrs.windows(2).take(3) {
+        for v0 in 0..schema.domain_size(pair[0]) {
+            for v1 in 0..schema.domain_size(pair[1]) {
+                pool.push(ConjunctiveQuery::from_predicates([
+                    Predicate::new(pair[0], hidden_db::value::ValueId(v0)),
+                    Predicate::new(pair[1], hidden_db::value::ValueId(v1)),
+                ]));
+            }
+        }
+    }
+    pool
+}
+
+fn interface_microbench() -> Json {
+    const N: usize = 10_000;
+    const K: usize = 100;
+    const ATTRS: usize = 12;
+    const WARM_PASSES: usize = 20;
+    const MUTATION_PAIRS: usize = 20_000;
+
+    let mut gen = AutosGenerator::with_attrs(ATTRS);
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut db = load_database(&mut gen, &mut rng, N, K, ScoringPolicy::default());
+    let pool = query_pool(&db.schema().clone());
+
+    // Cold: fresh memo (no query asked since the last mutation) — every
+    // answer runs the streaming evaluator.
+    let t0 = Instant::now();
+    for q in &pool {
+        std::hint::black_box(db.answer(q));
+    }
+    let cold = t0.elapsed();
+
+    // Warm: identical pool again — every answer is a memo hit sharing the
+    // materialised page.
+    let t0 = Instant::now();
+    for _ in 0..WARM_PASSES {
+        for q in &pool {
+            std::hint::black_box(db.answer(q));
+        }
+    }
+    let warm = t0.elapsed();
+    let stats = db.stats();
+    assert!(stats.cache_hits >= (WARM_PASSES * pool.len()) as u64, "warm passes must hit the memo");
+
+    // Mutations: insert+delete pairs through store + index (+ memo drop).
+    let t0 = Instant::now();
+    let mut key = 10_000_000u64;
+    for _ in 0..MUTATION_PAIRS {
+        let t = gen.make(&mut rng);
+        key += 1;
+        let t = Tuple::new(TupleKey(key), t.values().to_vec(), t.measures().to_vec());
+        db.insert(t).expect("unique key");
+        db.delete(TupleKey(key)).expect("alive key");
+    }
+    let mutations = t0.elapsed();
+
+    let per_sec = |count: usize, d: std::time::Duration| count as f64 / d.as_secs_f64();
+    Json::obj()
+        .field("population", N)
+        .field("attrs", ATTRS)
+        .field("k", K)
+        .field("distinct_queries", pool.len())
+        .field("cold_queries_per_sec", per_sec(pool.len(), cold))
+        .field("warm_queries_per_sec", per_sec(WARM_PASSES * pool.len(), warm))
+        .field("mutation_pairs_per_sec", per_sec(MUTATION_PAIRS, mutations))
+        .field("cold_wall_s", cold.as_secs_f64())
+        .field("warm_wall_s", warm.as_secs_f64())
+        .field("mutation_wall_s", mutations.as_secs_f64())
+}
+
+/// Fig 2 config at quick scale, 8 trials: sequential vs parallel runner.
+fn track_workload() -> Json {
+    let mut cfg = BaseCfg::for_scale(Scale::Quick);
+    cfg.trials = 8;
+    let algos = standard_algos();
+    let rs = RsConfig::default();
+
+    let t0 = Instant::now();
+    let seq = track_with_threads(&cfg, &algos, rs, &count_star_tracked, Threads::fixed(1));
+    let seq_wall = t0.elapsed();
+
+    let threads_used = Threads::Auto.resolve(cfg.trials);
+    let t0 = Instant::now();
+    let par = track_with_threads(&cfg, &algos, rs, &count_star_tracked, Threads::Auto);
+    let par_wall = t0.elapsed();
+
+    Json::obj()
+        .field("config", "fig02 quick scale")
+        .field("initial", cfg.initial)
+        .field("rounds", cfg.rounds)
+        .field("trials", cfg.trials)
+        .field("budget_g", cfg.g)
+        .field("sequential_wall_s", seq_wall.as_secs_f64())
+        .field("parallel_wall_s", par_wall.as_secs_f64())
+        .field("parallel_threads", threads_used)
+        .field("speedup", seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(f64::MIN_POSITIVE))
+        .field("bit_identical", outcomes_bit_identical(&seq, &par))
+}
+
+fn outcomes_bit_identical(a: &TrackOutcome, b: &TrackOutcome) -> bool {
+    let bits = |xs: Vec<f64>| xs.into_iter().map(f64::to_bits).collect::<Vec<_>>();
+    if a.algos.len() != b.algos.len() {
+        return false;
+    }
+    bits(a.truth.means()) == bits(b.truth.means())
+        && a.algos.iter().zip(&b.algos).all(|(x, y)| {
+            bits(x.rel_err.means()) == bits(y.rel_err.means())
+                && bits(x.rel_err.stds()) == bits(y.rel_err.stds())
+                && bits(x.ratio.means()) == bits(y.ratio.means())
+                && bits(x.cum_queries.means()) == bits(y.cum_queries.means())
+        })
+}

@@ -47,10 +47,8 @@ impl Cli {
         let mut cli = Cli::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut value = |name: &str| {
-                it.next()
-                    .unwrap_or_else(|| panic!("flag {name} needs a value"))
-            };
+            let mut value =
+                |name: &str| it.next().unwrap_or_else(|| panic!("flag {name} needs a value"));
             match arg.as_str() {
                 "--scale" => {
                     cli.scale = match value("--scale").as_str() {

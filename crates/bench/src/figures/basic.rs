@@ -10,11 +10,8 @@ use crate::runner::{
 };
 
 fn print_rel_err(title: &str, out: &TrackOutcome, rounds: usize) {
-    let columns: Vec<(&str, Vec<f64>)> = out
-        .algos
-        .iter()
-        .map(|a| (a.name, a.rel_err.means()))
-        .collect();
+    let columns: Vec<(&str, Vec<f64>)> =
+        out.algos.iter().map(|a| (a.name, a.rel_err.means())).collect();
     print_csv(title, "round", &round_labels(rounds), &columns);
 }
 
@@ -38,10 +35,8 @@ pub fn fig03(cli: &Cli) {
         columns.push((format!("{}_ratio", a.name), a.ratio.means()));
         columns.push((format!("{}_std", a.name), a.ratio.stds()));
     }
-    let named: Vec<(&str, Vec<f64>)> = columns
-        .iter()
-        .map(|(n, v)| (n.as_str(), v.clone()))
-        .collect();
+    let named: Vec<(&str, Vec<f64>)> =
+        columns.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
     print_csv(
         "Fig 3: estimate/truth ratio with across-trial std (error bars)",
         "round",
@@ -101,9 +96,5 @@ pub fn fig07(cli: &Cli) {
     cfg.initial /= 4;
     cfg.inserts = cfg.initial / 10;
     let out = track(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked);
-    print_rel_err(
-        "Fig 7: relative error per round, big change with k = 1",
-        &out,
-        cfg.rounds,
-    );
+    print_rel_err("Fig 7: relative error per round, big change with k = 1", &out, cfg.rounds);
 }

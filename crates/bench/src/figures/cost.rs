@@ -30,12 +30,7 @@ pub fn fig18(cli: &Cli) {
         let mut cfg = base.clone();
         cfg.g = g;
         let out = track(&cfg, &algos, RsConfig::default(), &count_star_tracked);
-        errs.push(
-            out.algos
-                .iter()
-                .map(|a| tail_mean(&a.rel_err, 5))
-                .collect(),
-        );
+        errs.push(out.algos.iter().map(|a| tail_mean(&a.rel_err, 5)).collect());
     }
     let targets = [0.15f64, 0.2, 0.3];
     let mut columns: Vec<(&'static str, Vec<f64>)> =
@@ -71,10 +66,8 @@ pub fn fig19(cli: &Cli) {
         columns.push((format!("{}_queries", a.name), a.cum_queries.means()));
         columns.push((format!("{}_drills", a.name), a.cum_drills.means()));
     }
-    let named: Vec<(&str, Vec<f64>)> = columns
-        .iter()
-        .map(|(n, v)| (n.as_str(), v.clone()))
-        .collect();
+    let named: Vec<(&str, Vec<f64>)> =
+        columns.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
     print_csv(
         "Fig 19: cumulative drill-downs vs cumulative query cost",
         "round",

@@ -3,16 +3,13 @@
 //! the clean round-update model on the same update stream.
 
 use agg_stats::error::{relative_error, SeriesSummary};
-use aggtrack_core::{
-    AggregateSpec, Estimator, ReissueEstimator, RsEstimator,
-};
+use aggtrack_core::{AggregateSpec, Estimator, ReissueEstimator, RsEstimator};
 use hidden_db::ranking::ScoringPolicy;
 use query_tree::QueryTree;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workloads::{
-    load_database, spread_evenly, AutosGenerator, IntraRoundSession, PerRoundSchedule,
-    RoundDriver,
+    load_database, spread_evenly, AutosGenerator, IntraRoundSession, PerRoundSchedule, RoundDriver,
 };
 
 use crate::cli::{BaseCfg, Cli};
@@ -41,16 +38,10 @@ fn run_line(cfg: &BaseCfg, algo: Algo, mode: Mode, trial: u64, series: &mut Seri
     let mut driver = RoundDriver::new(db, schedule, cfg.seed ^ (trial.wrapping_mul(7919)));
     let tree = QueryTree::full(&driver.db().schema().clone());
     let mut est: Box<dyn Estimator> = match algo {
-        Algo::Reissue => Box::new(ReissueEstimator::new(
-            AggregateSpec::count_star(),
-            tree,
-            cfg.seed ^ trial,
-        )),
-        Algo::Rs => Box::new(RsEstimator::new(
-            AggregateSpec::count_star(),
-            tree,
-            cfg.seed ^ trial,
-        )),
+        Algo::Reissue => {
+            Box::new(ReissueEstimator::new(AggregateSpec::count_star(), tree, cfg.seed ^ trial))
+        }
+        Algo::Rs => Box::new(RsEstimator::new(AggregateSpec::count_star(), tree, cfg.seed ^ trial)),
     };
     for round in 0..cfg.rounds {
         let estimate = match mode {

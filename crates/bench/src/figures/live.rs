@@ -2,7 +2,9 @@
 //! live runs we have ground truth, so both figures also report error.
 
 use agg_stats::error::relative_error;
-use aggtrack_core::{AggKind, AggregateSpec, Estimator, ReissueEstimator, RestartEstimator, RsEstimator, TupleFn};
+use aggtrack_core::{
+    AggKind, AggregateSpec, Estimator, ReissueEstimator, RestartEstimator, RsEstimator, TupleFn,
+};
 use hidden_db::query::ConjunctiveQuery;
 use hidden_db::session::SearchSession;
 use hidden_db::value::ValueId;
@@ -139,20 +141,12 @@ pub fn fig21(cli: &Cli) {
         let batch = sim.batch_for_hour(&db);
         db.apply(batch).unwrap();
     }
-    let mut cols: Vec<(String, Vec<f64>)> = vec![
-        ("true_FIX".to_string(), truth_fix),
-        ("true_BID".to_string(), truth_bid),
-    ];
+    let mut cols: Vec<(String, Vec<f64>)> =
+        vec![("true_FIX".to_string(), truth_fix), ("true_BID".to_string(), truth_bid)];
     for (i, (name, _, _)) in estimators.iter().enumerate() {
         cols.push((name.clone(), est_cols[i].clone()));
         cols.push((format!("{name}_relerr"), err_cols[i].clone()));
     }
-    let named: Vec<(&str, Vec<f64>)> =
-        cols.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-    print_csv(
-        "Fig 21: simulated eBay, AVG price per segment per algorithm",
-        "hour",
-        &xs,
-        &named,
-    );
+    let named: Vec<(&str, Vec<f64>)> = cols.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    print_csv("Fig 21: simulated eBay, AVG price per segment per algorithm", "hour", &xs, &named);
 }

@@ -9,16 +9,14 @@ use query_tree::QueryTree;
 use workloads::DeleteSpec;
 
 use crate::cli::{BaseCfg, Cli, Scale};
-use crate::runner::{
-    count_star_tracked, print_csv, standard_algos, tail_mean, track, Tracked,
-};
+use crate::runner::{count_star_tracked, print_csv, standard_algos, tail_mean, track, Tracked};
 
 /// Averaging window for the "error after N rounds" scalar.
 const TAIL: usize = 5;
 
 fn sweep_rows(
     cfgs: &[(String, BaseCfg)],
-    tracked_of: &dyn Fn(&hidden_db::schema::Schema) -> Tracked,
+    tracked_of: &(dyn Fn(&hidden_db::schema::Schema) -> Tracked + Sync),
 ) -> (Vec<String>, Vec<(&'static str, Vec<f64>)>) {
     let algos = standard_algos();
     let mut columns: Vec<(&'static str, Vec<f64>)> =
@@ -70,12 +68,7 @@ pub fn fig09(cli: &Cli) {
         })
         .collect();
     let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
-    print_csv(
-        "Fig 9: error after tracking horizon vs per-round budget G",
-        "G",
-        &xs,
-        &cols,
-    );
+    print_csv("Fig 9: error after tracking horizon vs per-round budget G", "G", &xs, &cols);
 }
 
 /// Fig 10: net insertions per round from −30 to +30 on a 5 000-tuple
@@ -102,12 +95,7 @@ pub fn fig10(cli: &Cli) {
         })
         .collect();
     let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
-    print_csv(
-        "Fig 10: error after horizon vs net tuples inserted",
-        "net_inserted",
-        &xs,
-        &cols,
-    );
+    print_csv("Fig 10: error after horizon vs net tuples inserted", "net_inserted", &xs, &cols);
 }
 
 /// Fig 11: effect of the attribute count `m` (flat lines).
@@ -127,12 +115,7 @@ pub fn fig11(cli: &Cli) {
         })
         .collect();
     let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
-    print_csv(
-        "Fig 11: error after tracking horizon vs attribute count m",
-        "m",
-        &xs,
-        &cols,
-    );
+    print_csv("Fig 11: error after tracking horizon vs attribute count m", "m", &xs, &cols);
 }
 
 /// Fig 12: effect of the initial database size (m = 50 in the paper; the
@@ -191,9 +174,7 @@ pub fn fig13(cli: &Cli) {
             Tracked {
                 spec,
                 tree,
-                truth: Box::new(move |db| {
-                    db.exact_sum(Some(&cond), |t| t.measure(MeasureId(0)))
-                }),
+                truth: Box::new(move |db| db.exact_sum(Some(&cond), |t| t.measure(MeasureId(0)))),
             }
         };
         let out = track(&base, &algos, RsConfig::default(), &tracked_of);

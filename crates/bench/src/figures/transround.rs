@@ -6,8 +6,7 @@ use workloads::DeleteSpec;
 
 use crate::cli::{BaseCfg, Cli, Scale};
 use crate::runner::{
-    count_star_tracked, print_csv, round_labels, standard_algos, tail_mean, track,
-    TrackOutcome,
+    count_star_tracked, print_csv, round_labels, standard_algos, tail_mean, track, TrackOutcome,
 };
 
 /// Fig 14: running average of COUNT over the last 2/3/4 rounds — error
@@ -25,12 +24,7 @@ pub fn fig14(cli: &Cli) {
             columns[i].1.push(tail_mean(&a.running_avg_err[w], 5));
         }
     }
-    print_csv(
-        "Fig 14: running-average COUNT error vs window size",
-        "window",
-        &xs,
-        &columns,
-    );
+    print_csv("Fig 14: running-average COUNT error vs window size", "window", &xs, &columns);
 }
 
 fn change_cfg(cli: &Cli, insert_frac: f64, delete_frac: f64, default_rounds: usize) -> BaseCfg {
@@ -52,11 +46,8 @@ fn run_change(cfg: &BaseCfg) -> TrackOutcome {
 }
 
 fn print_change_rel(title: &str, out: &TrackOutcome, rounds: usize) {
-    let columns: Vec<(&str, Vec<f64>)> = out
-        .algos
-        .iter()
-        .map(|a| (a.name, a.change_rel_err.means()))
-        .collect();
+    let columns: Vec<(&str, Vec<f64>)> =
+        out.algos.iter().map(|a| (a.name, a.change_rel_err.means())).collect();
     print_csv(title, "round", &round_labels(rounds), &columns);
 }
 

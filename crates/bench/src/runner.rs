@@ -1,11 +1,22 @@
 //! The shared experiment loop: run the three estimators over a scheduled
 //! dynamic database for R rounds × T trials, collecting per-round series.
+//!
+//! Trials are embarrassingly parallel — each owns its database, schedule,
+//! and RNG streams, all derived from `cfg.seed` and the trial index — so
+//! [`track`] fans them out over [`aggtrack_parallel::par_map_indexed`].
+//! Each trial produces a [`TrialOutcome`] (raw per-round records); the
+//! main thread then merges them **in trial-index order**, which makes the
+//! accumulated [`SeriesSummary`] state bit-identical to the sequential
+//! loop for any thread count (Welford accumulation is order-sensitive in
+//! the last bits; replaying records in a fixed order removes the
+//! sensitivity).
 
 use agg_stats::error::{relative_error, SeriesSummary};
 use aggtrack_core::{
     AggregateSpec, Estimator, ReissueEstimator, RestartEstimator, RoundReport, RsConfig,
     RsEstimator,
 };
+use aggtrack_parallel::{par_map_indexed, Threads};
 use hidden_db::database::HiddenDatabase;
 use hidden_db::ranking::ScoringPolicy;
 use hidden_db::schema::Schema;
@@ -137,24 +148,115 @@ pub struct TrackOutcome {
     pub truth_change: SeriesSummary,
 }
 
+/// One trial's worth of records for one series: at most one value per
+/// round, in round order. Raw values (not moments) so the merge can
+/// replay them into [`SeriesSummary`] in trial order.
+struct TrialSeries(Vec<Option<f64>>);
+
+impl TrialSeries {
+    fn new(rounds: usize) -> Self {
+        Self(vec![None; rounds])
+    }
+
+    fn record(&mut self, point: usize, value: f64) {
+        self.0[point] = Some(value);
+    }
+
+    /// Replays this trial's records into the cross-trial summary.
+    fn merge_into(&self, summary: &mut SeriesSummary) {
+        for (point, v) in self.0.iter().enumerate() {
+            if let Some(v) = v {
+                summary.record(point, *v);
+            }
+        }
+    }
+}
+
+/// Per-trial mirror of [`SeriesSet`].
+struct TrialSeriesSet {
+    rel_err: TrialSeries,
+    ratio: TrialSeries,
+    change_rel_err: TrialSeries,
+    change_est: TrialSeries,
+    cum_drills: TrialSeries,
+    cum_queries: TrialSeries,
+    running_avg_err: [TrialSeries; 3],
+}
+
+impl TrialSeriesSet {
+    fn new(rounds: usize) -> Self {
+        Self {
+            rel_err: TrialSeries::new(rounds),
+            ratio: TrialSeries::new(rounds),
+            change_rel_err: TrialSeries::new(rounds),
+            change_est: TrialSeries::new(rounds),
+            cum_drills: TrialSeries::new(rounds),
+            cum_queries: TrialSeries::new(rounds),
+            running_avg_err: [
+                TrialSeries::new(rounds),
+                TrialSeries::new(rounds),
+                TrialSeries::new(rounds),
+            ],
+        }
+    }
+
+    fn merge_into(&self, set: &mut SeriesSet) {
+        self.rel_err.merge_into(&mut set.rel_err);
+        self.ratio.merge_into(&mut set.ratio);
+        self.change_rel_err.merge_into(&mut set.change_rel_err);
+        self.change_est.merge_into(&mut set.change_est);
+        self.cum_drills.merge_into(&mut set.cum_drills);
+        self.cum_queries.merge_into(&mut set.cum_queries);
+        for (w, series) in self.running_avg_err.iter().enumerate() {
+            series.merge_into(&mut set.running_avg_err[w]);
+        }
+    }
+}
+
+/// One trial's complete record set.
+struct TrialOutcome {
+    algos: Vec<TrialSeriesSet>,
+    truth: TrialSeries,
+    truth_change: TrialSeries,
+}
+
 /// Runs `cfg.trials` seeded trials of `cfg.rounds` rounds, tracking the
 /// aggregate built by `tracked_of` with every algorithm in `algos`.
+/// Trials run concurrently ([`Threads::Auto`]: `AGGTRACK_THREADS` or the
+/// machine's parallelism); results are identical to the sequential loop.
 pub fn track(
     cfg: &BaseCfg,
     algos: &[AlgoKind],
     rs_cfg: RsConfig,
-    tracked_of: &dyn Fn(&Schema) -> Tracked,
+    tracked_of: &(dyn Fn(&Schema) -> Tracked + Sync),
+) -> TrackOutcome {
+    track_with_threads(cfg, algos, rs_cfg, tracked_of, Threads::Auto)
+}
+
+/// [`track`] with an explicit thread policy. Estimator output is
+/// **bit-identical** for every policy: trial seeds depend only on the
+/// trial index, and per-round records merge in trial order.
+pub fn track_with_threads(
+    cfg: &BaseCfg,
+    algos: &[AlgoKind],
+    rs_cfg: RsConfig,
+    tracked_of: &(dyn Fn(&Schema) -> Tracked + Sync),
+    threads: Threads,
 ) -> TrackOutcome {
     let mut out = TrackOutcome {
-        algos: algos
-            .iter()
-            .map(|a| SeriesSet::new(a.name(), cfg.rounds))
-            .collect(),
+        algos: algos.iter().map(|a| SeriesSet::new(a.name(), cfg.rounds)).collect(),
         truth: SeriesSummary::new(cfg.rounds),
         truth_change: SeriesSummary::new(cfg.rounds),
     };
-    for trial in 0..cfg.trials {
-        run_trial(cfg, algos, rs_cfg, tracked_of, trial as u64, &mut out);
+    let trials = par_map_indexed(cfg.trials, threads, |trial| {
+        run_trial(cfg, algos, rs_cfg, tracked_of, trial as u64)
+    });
+    for trial in &trials {
+        trial.truth.merge_into(&mut out.truth);
+        trial.truth_change.merge_into(&mut out.truth_change);
+        for (i, algo) in trial.algos.iter().enumerate() {
+            algo.merge_into(&mut out.algos[i]);
+        }
     }
     out
 }
@@ -163,10 +265,14 @@ fn run_trial(
     cfg: &BaseCfg,
     algos: &[AlgoKind],
     rs_cfg: RsConfig,
-    tracked_of: &dyn Fn(&Schema) -> Tracked,
+    tracked_of: &(dyn Fn(&Schema) -> Tracked + Sync),
     trial: u64,
-    out: &mut TrackOutcome,
-) {
+) -> TrialOutcome {
+    let mut out = TrialOutcome {
+        algos: algos.iter().map(|_| TrialSeriesSet::new(cfg.rounds)).collect(),
+        truth: TrialSeries::new(cfg.rounds),
+        truth_change: TrialSeries::new(cfg.rounds),
+    };
     let mut gen = AutosGenerator::with_attrs(cfg.attrs);
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(trial));
     let db = load_database(&mut gen, &mut rng, cfg.initial, cfg.k, ScoringPolicy::default());
@@ -195,16 +301,11 @@ fn run_trial(
     let mut ra_est: Vec<Vec<aggtrack_core::RunningAverage>> = algos
         .iter()
         .map(|_| {
-            RUNNING_AVG_WINDOWS
-                .iter()
-                .map(|&w| aggtrack_core::RunningAverage::new(w))
-                .collect()
+            RUNNING_AVG_WINDOWS.iter().map(|&w| aggtrack_core::RunningAverage::new(w)).collect()
         })
         .collect();
-    let mut ra_truth: Vec<aggtrack_core::RunningAverage> = RUNNING_AVG_WINDOWS
-        .iter()
-        .map(|&w| aggtrack_core::RunningAverage::new(w))
-        .collect();
+    let mut ra_truth: Vec<aggtrack_core::RunningAverage> =
+        RUNNING_AVG_WINDOWS.iter().map(|&w| aggtrack_core::RunningAverage::new(w)).collect();
 
     for round in 0..cfg.rounds {
         let truth = (tracked.truth)(driver.db());
@@ -226,9 +327,7 @@ fn run_trial(
             series.ratio.record(round, primary / truth);
             for (w, ra) in ra_est[i].iter_mut().enumerate() {
                 let avg = ra.push(primary);
-                series
-                    .running_avg_err[w]
-                    .record(round, relative_error(avg, truth_ra[w]));
+                series.running_avg_err[w].record(round, relative_error(avg, truth_ra[w]));
             }
             cum_drills[i] += (report.updated + report.initiated) as u64;
             cum_queries[i] += report.queries_spent;
@@ -236,9 +335,7 @@ fn run_trial(
             series.cum_queries.record(round, cum_queries[i] as f64);
             if round >= 1 {
                 if let Some(change) = report.primary_change(kind) {
-                    series
-                        .change_rel_err
-                        .record(round, relative_error(change, true_change));
+                    series.change_rel_err.record(round, relative_error(change, true_change));
                     series.change_est.record(round, change);
                 }
             }
@@ -246,22 +343,50 @@ fn run_trial(
         prev_truth = truth;
         driver.advance();
     }
+    out
 }
 
-/// Prints a CSV block: header line then one row per x value.
+std::thread_local! {
+    /// When set, [`print_csv`] appends here instead of writing stdout —
+    /// lets `all_figures` run figures concurrently and still emit their
+    /// CSV blocks in figure order.
+    static CSV_SINK: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's CSV output captured, returning it.
+pub fn capture_csv(f: impl FnOnce()) -> String {
+    CSV_SINK.with(|s| *s.borrow_mut() = Some(String::new()));
+    f();
+    CSV_SINK.with(|s| s.borrow_mut().take().expect("sink installed above"))
+}
+
+fn emit_line(line: std::fmt::Arguments<'_>) {
+    CSV_SINK.with(|s| match &mut *s.borrow_mut() {
+        Some(buf) => {
+            use std::fmt::Write;
+            writeln!(buf, "{line}").expect("string write cannot fail");
+        }
+        None => println!("{line}"),
+    });
+}
+
+/// Prints a CSV block: header line then one row per x value. Output goes
+/// to stdout, or to the thread's [`capture_csv`] buffer when one is
+/// installed.
 pub fn print_csv(title: &str, x_name: &str, x: &[String], columns: &[(&str, Vec<f64>)]) {
-    println!("# {title}");
+    emit_line(format_args!("# {title}"));
     let mut header = vec![x_name.to_string()];
     header.extend(columns.iter().map(|(n, _)| n.to_string()));
-    println!("{}", header.join(","));
+    emit_line(format_args!("{}", header.join(",")));
     for (i, xv) in x.iter().enumerate() {
         let mut row = vec![xv.clone()];
         for (_, col) in columns {
             row.push(format!("{:.6}", col.get(i).copied().unwrap_or(f64::NAN)));
         }
-        println!("{}", row.join(","));
+        emit_line(format_args!("{}", row.join(",")));
     }
-    println!();
+    emit_line(format_args!(""));
 }
 
 /// Rounds 1..=n as x-axis labels.
@@ -271,14 +396,17 @@ pub fn round_labels(n: usize) -> Vec<String> {
 
 /// Mean of the last `w` finite values of a series' means — the "error
 /// after N rounds" scalar used by the sweep figures (8, 9, 11, 12, 13).
+///
+/// Window semantics (pinned by `tail_mean_window_is_chronologically_last`):
+/// the window is selected from the **end** of the series — the `rev()`
+/// walks backwards from the final round, `filter` skips NaN (unrecorded)
+/// points wherever they sit, and `take(w)` stops after `w` finite values.
+/// The collected tail is therefore in reverse chronological order, which
+/// is irrelevant to a mean; what matters is that the values are the last
+/// `w` finite rounds, never the first.
 pub fn tail_mean(series: &SeriesSummary, w: usize) -> f64 {
     let means = series.means();
-    let tail: Vec<f64> = means
-        .into_iter()
-        .rev()
-        .filter(|v| v.is_finite())
-        .take(w)
-        .collect();
+    let tail: Vec<f64> = means.into_iter().rev().filter(|v| v.is_finite()).take(w).collect();
     if tail.is_empty() {
         f64::NAN
     } else {
@@ -297,12 +425,7 @@ mod tests {
         cfg.rounds = 4;
         cfg.trials = 2;
         cfg.initial = 1_500;
-        let out = track(
-            &cfg,
-            &standard_algos(),
-            RsConfig::default(),
-            &count_star_tracked,
-        );
+        let out = track(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked);
         assert_eq!(out.algos.len(), 3);
         for a in &out.algos {
             for r in 0..cfg.rounds {
@@ -317,6 +440,27 @@ mod tests {
         // Truth tracks the schedule: +8 −0.1 % per round from 1 500.
         assert!(out.truth.mean(0) == 1_500.0);
         assert!(out.truth.mean(3) > 1_500.0);
+    }
+
+    #[test]
+    fn tail_mean_window_is_chronologically_last() {
+        // An asymmetric series where a front-window bug would be loud:
+        // means [40, 30, 2, 4]. The last-2 window must average 2 and 4,
+        // not 40 and 30 (front) nor 30 and 2 (off-by-one).
+        let mut s = SeriesSummary::new(4);
+        for (i, v) in [40.0, 30.0, 2.0, 4.0].into_iter().enumerate() {
+            s.record(i, v);
+        }
+        assert_eq!(tail_mean(&s, 2), 3.0);
+        assert_eq!(tail_mean(&s, 1), 4.0);
+        assert_eq!(tail_mean(&s, 4), 19.0);
+        // A NaN hole in the tail widens the window backwards: last 2
+        // finite of [40, 30, NaN(unrecorded), 4] are 30 and 4.
+        let mut holey = SeriesSummary::new(4);
+        holey.record(0, 40.0);
+        holey.record(1, 30.0);
+        holey.record(3, 4.0);
+        assert_eq!(tail_mean(&holey, 2), 17.0);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Parallel-vs-sequential determinism: the parallel trial runner must be
+//! a pure performance optimisation — same `BaseCfg` + seed must produce
+//! **bit-identical** summaries at every thread count.
+
+use aggtrack_bench::cli::{BaseCfg, Scale};
+use aggtrack_bench::runner::{
+    count_star_tracked, standard_algos, track_with_threads, TrackOutcome,
+};
+use aggtrack_core::RsConfig;
+use aggtrack_parallel::Threads;
+
+fn run(threads: Threads) -> TrackOutcome {
+    let mut cfg = BaseCfg::for_scale(Scale::Quick);
+    cfg.initial = 1_200;
+    cfg.rounds = 4;
+    cfg.trials = 5; // more trials than workers, so workers multiplex
+    track_with_threads(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked, threads)
+}
+
+/// Bitwise comparison (plain `==` would conflate NaNs and miss sign/ulp
+/// differences — the whole point is catching accumulation-order drift).
+fn assert_bits_equal(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}[{i}]: {x} != {y} (bitwise)");
+    }
+}
+
+#[test]
+fn parallel_track_is_bit_identical_to_sequential() {
+    let seq = run(Threads::fixed(1));
+    for workers in [2, 4, 7] {
+        let par = run(Threads::fixed(workers));
+        assert_eq!(seq.algos.len(), par.algos.len());
+        assert_bits_equal(&seq.truth.means(), &par.truth.means(), "truth means");
+        assert_bits_equal(&seq.truth.stds(), &par.truth.stds(), "truth stds");
+        assert_bits_equal(
+            &seq.truth_change.means(),
+            &par.truth_change.means(),
+            "truth_change means",
+        );
+        for (s, p) in seq.algos.iter().zip(&par.algos) {
+            assert_eq!(s.name, p.name);
+            let tag = |metric: &str| format!("{} {metric} ({workers} threads)", s.name);
+            assert_bits_equal(&s.rel_err.means(), &p.rel_err.means(), &tag("rel_err μ"));
+            assert_bits_equal(&s.rel_err.stds(), &p.rel_err.stds(), &tag("rel_err σ"));
+            assert_bits_equal(&s.ratio.means(), &p.ratio.means(), &tag("ratio μ"));
+            assert_bits_equal(&s.ratio.stds(), &p.ratio.stds(), &tag("ratio σ"));
+            assert_bits_equal(
+                &s.change_rel_err.means(),
+                &p.change_rel_err.means(),
+                &tag("change_rel_err μ"),
+            );
+            assert_bits_equal(&s.change_est.means(), &p.change_est.means(), &tag("change_est μ"));
+            assert_bits_equal(&s.cum_drills.means(), &p.cum_drills.means(), &tag("cum_drills μ"));
+            assert_bits_equal(
+                &s.cum_queries.means(),
+                &p.cum_queries.means(),
+                &tag("cum_queries μ"),
+            );
+            for w in 0..s.running_avg_err.len() {
+                assert_bits_equal(
+                    &s.running_avg_err[w].means(),
+                    &p.running_avg_err[w].means(),
+                    &tag(&format!("running_avg_err[{w}] μ")),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    let a = run(Threads::fixed(3));
+    let b = run(Threads::fixed(3));
+    for (x, y) in a.algos.iter().zip(&b.algos) {
+        assert_bits_equal(&x.rel_err.means(), &y.rel_err.means(), "rerun rel_err");
+    }
+}

@@ -156,9 +156,8 @@ impl ArchivingTracker {
         }
         let cur = self.estimate_at(round, spec)?;
         let prev = self.estimate_at(round - 1, spec)?;
-        (cur.is_usable() && prev.is_usable()).then(|| {
-            EstimateWithVar::new(cur.value - prev.value, cur.variance + prev.variance)
-        })
+        (cur.is_usable() && prev.is_usable())
+            .then(|| EstimateWithVar::new(cur.value - prev.value, cur.variance + prev.variance))
     }
 }
 
@@ -208,11 +207,7 @@ mod tests {
         let spec = AggregateSpec::sum_measure(MeasureId(0), cond.clone());
         let truth = db.exact_sum(Some(&cond), |t| t.measure(MeasureId(0)));
         let e = tracker.estimate_at(1, &spec).unwrap();
-        assert!(
-            (e.value - truth).abs() / truth < 0.5,
-            "ad-hoc SUM {} vs truth {truth}",
-            e.value
-        );
+        assert!((e.value - truth).abs() / truth < 0.5, "ad-hoc SUM {} vs truth {truth}", e.value);
     }
 
     #[test]

@@ -109,22 +109,12 @@ impl AggregateSpec {
 
     /// `SELECT SUM(measure) FROM D WHERE cond`.
     pub fn sum_measure(m: MeasureId, cond: ConjunctiveQuery) -> Self {
-        Self {
-            kind: AggKind::Sum,
-            value_fn: TupleFn::Measure(m),
-            condition: cond,
-            filter: None,
-        }
+        Self { kind: AggKind::Sum, value_fn: TupleFn::Measure(m), condition: cond, filter: None }
     }
 
     /// `SELECT AVG(measure) FROM D WHERE cond`.
     pub fn avg_measure(m: MeasureId, cond: ConjunctiveQuery) -> Self {
-        Self {
-            kind: AggKind::Avg,
-            value_fn: TupleFn::Measure(m),
-            condition: cond,
-            filter: None,
-        }
+        Self { kind: AggKind::Avg, value_fn: TupleFn::Measure(m), condition: cond, filter: None }
     }
 
     /// Adds an arbitrary per-tuple predicate.
@@ -137,8 +127,7 @@ impl AggregateSpec {
     /// Whether tuple `t` satisfies the selection condition (conjunctive
     /// part and custom filter).
     pub fn selects(&self, t: &TupleView) -> bool {
-        self.condition.matches_values(t.values())
-            && self.filter.as_ref().is_none_or(|f| f(t))
+        self.condition.matches_values(t.values()) && self.filter.as_ref().is_none_or(|f| f(t))
     }
 }
 
@@ -230,9 +219,10 @@ mod tests {
 
     #[test]
     fn selection_condition_and_filter() {
-        let spec = AggregateSpec::count_where(ConjunctiveQuery::from_predicates([
-            Predicate::new(AttrId(0), ValueId(0)),
-        ]));
+        let spec = AggregateSpec::count_where(ConjunctiveQuery::from_predicates([Predicate::new(
+            AttrId(0),
+            ValueId(0),
+        )]));
         assert!(spec.selects(&view(1, &[0, 1], 5.0)));
         assert!(!spec.selects(&view(2, &[1, 1], 5.0)));
         let spec = spec.with_filter(Arc::new(|t: &TupleView| t.measure(MeasureId(0)) > 10.0));
@@ -244,7 +234,7 @@ mod tests {
     fn ht_sample_scales_by_inverse_probability() {
         let tr = tree();
         let ts = vec![view(1, &[0, 0], 10.0), view(2, &[0, 0], 30.0)];
-        let drill = DrillOutcome { depth: 2, outcome: QueryOutcome::Valid(ts), cost: 3 };
+        let drill = DrillOutcome { depth: 2, outcome: QueryOutcome::Valid(ts.into()), cost: 3 };
         // p(depth 2) = 1/(2·3) = 1/6.
         let spec = AggregateSpec::sum_measure(MeasureId(0), ConjunctiveQuery::select_all());
         let s = ht_sample(&spec, &tr, &drill);
@@ -264,10 +254,11 @@ mod tests {
     fn ht_sample_applies_condition() {
         let tr = tree();
         let ts = vec![view(1, &[0, 0], 10.0), view(2, &[1, 0], 30.0)];
-        let drill = DrillOutcome { depth: 0, outcome: QueryOutcome::Valid(ts), cost: 1 };
-        let spec = AggregateSpec::count_where(ConjunctiveQuery::from_predicates([
-            Predicate::new(AttrId(0), ValueId(1)),
-        ]));
+        let drill = DrillOutcome { depth: 0, outcome: QueryOutcome::Valid(ts.into()), cost: 1 };
+        let spec = AggregateSpec::count_where(ConjunctiveQuery::from_predicates([Predicate::new(
+            AttrId(0),
+            ValueId(1),
+        )]));
         let s = ht_sample(&spec, &tr, &drill);
         assert_eq!(s.count, 1.0); // p(root) = 1
     }

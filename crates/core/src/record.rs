@@ -44,12 +44,7 @@ mod tests {
     use super::*;
 
     fn rec(round: u32) -> DrillRecord {
-        DrillRecord::new(
-            Signature::from_choices(vec![0]),
-            0,
-            round,
-            HtSample::default(),
-        )
+        DrillRecord::new(Signature::from_choices(vec![0]), 0, round, HtSample::default())
     }
 
     #[test]

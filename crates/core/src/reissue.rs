@@ -53,14 +53,7 @@ impl ReissueEstimator {
         seed: u64,
         policy: ReissuePolicy,
     ) -> Self {
-        Self {
-            spec,
-            tree,
-            policy,
-            rng: StdRng::seed_from_u64(seed),
-            pool: Vec::new(),
-            round: 0,
-        }
+        Self { spec, tree, policy, rng: StdRng::seed_from_u64(seed), pool: Vec::new(), round: 0 }
     }
 
     /// Number of drill-downs currently remembered.
@@ -121,8 +114,7 @@ impl Estimator for ReissueEstimator {
             match drill_from_root(&self.tree, &sig, backend) {
                 Ok(out) => {
                     let sample = ht_sample(&self.spec, &self.tree, &out);
-                    self.pool
-                        .push(DrillRecord::new(sig, out.depth, j, sample));
+                    self.pool.push(DrillRecord::new(sig, out.depth, j, sample));
                     initiated += 1;
                 }
                 Err(_) => break,
@@ -199,8 +191,7 @@ mod tests {
         let mut grand = agg_stats::moments::RunningMoments::new();
         for seed in 0..30 {
             let mut db_t = db.clone();
-            let mut est =
-                ReissueEstimator::new(AggregateSpec::count_star(), tree.clone(), seed);
+            let mut est = ReissueEstimator::new(AggregateSpec::count_star(), tree.clone(), seed);
             {
                 let mut s = SearchSession::new(&mut db_t, 150);
                 est.run_round(&mut s);
@@ -214,10 +205,7 @@ mod tests {
         }
         let mean = grand.mean().unwrap();
         let se = grand.variance_of_mean().unwrap_or(100.0).sqrt();
-        assert!(
-            (mean - 40.0).abs() < 5.0 * se + 2.0,
-            "mean change {mean} (se {se}) vs truth 40"
-        );
+        assert!((mean - 40.0).abs() < 5.0 * se + 2.0, "mean change {mean} (se {se}) vs truth 40");
         let _ = &mut db;
     }
 
@@ -227,8 +215,7 @@ mod tests {
         for seed in 0..30 {
             let mut db = hashed_db(90, 16, seed);
             let tree = QueryTree::full(&db.schema().clone());
-            let mut est =
-                ReissueEstimator::new(AggregateSpec::count_star(), tree, seed ^ 0xAB);
+            let mut est = ReissueEstimator::new(AggregateSpec::count_star(), tree, seed ^ 0xAB);
             {
                 let mut s = SearchSession::new(&mut db, 120);
                 est.run_round(&mut s);
@@ -241,10 +228,7 @@ mod tests {
         }
         let mean_err = grand.mean().unwrap();
         let se = grand.variance_of_mean().unwrap().sqrt();
-        assert!(
-            mean_err.abs() < 5.0 * se + 1.0,
-            "bias {mean_err} (se {se}) after mass deletion"
-        );
+        assert!(mean_err.abs() < 5.0 * se + 1.0, "bias {mean_err} (se {se}) after mass deletion");
     }
 
     #[test]

@@ -269,10 +269,7 @@ fn group_component(
     if !base.is_usable() {
         return None;
     }
-    Some(Component::new(
-        base.value + mean,
-        base.variance + inflation + vom,
-    ))
+    Some(Component::new(base.value + mean, base.variance + inflation + vom))
 }
 
 impl Estimator for RsEstimator {
@@ -293,8 +290,7 @@ impl Estimator for RsEstimator {
         // ---- group setup -------------------------------------------------
         // Reservoir-style forgetting: drop records whose last update is
         // too far in the past (see RsConfig::max_staleness).
-        self.pool
-            .retain(|r| j.saturating_sub(r.round) <= self.config.max_staleness);
+        self.pool.retain(|r| j.saturating_sub(r.round) <= self.config.max_staleness);
         let mut groups: Vec<(u32, GroupWork)> = group_by_age(&self.pool)
             .into_iter()
             .map(|(x, mut idxs)| {
@@ -311,23 +307,24 @@ impl Estimator for RsEstimator {
         // ---- phase 1: bootstrap pilots (Algorithm 2, lines 3–7) ----------
         // Pilot *drills* are capped to a fraction of the budget (assuming
         // ≈2 queries per update) so many age groups cannot starve phase 3.
-        let mut pilot_drills_left = (((self.config.pilot_budget_frac
-            * backend.remaining() as f64)
-            / 2.0)
-            .ceil() as usize)
-            .max(self.config.pilot_per_group);
+        let mut pilot_drills_left =
+            (((self.config.pilot_budget_frac * backend.remaining() as f64) / 2.0).ceil() as usize)
+                .max(self.config.pilot_per_group);
         'pilot: {
             for (_x, work) in groups.iter_mut() {
-                let quota = self
-                    .config
-                    .pilot_per_group
-                    .min(work.remaining.len())
-                    .min(pilot_drills_left);
+                let quota =
+                    self.config.pilot_per_group.min(work.remaining.len()).min(pilot_drills_left);
                 for _ in 0..quota {
                     let idx = work.remaining.pop().expect("quota bounds the loop");
                     pilot_drills_left = pilot_drills_left.saturating_sub(1);
                     match Self::update_record(
-                        &self.tree, &self.spec, policy, &mut self.pool, idx, j, backend,
+                        &self.tree,
+                        &self.spec,
+                        policy,
+                        &mut self.pool,
+                        idx,
+                        j,
+                        backend,
                     ) {
                         Ok((diff, cost)) => {
                             work.diffs.push(diff);
@@ -343,7 +340,12 @@ impl Estimator for RsEstimator {
             }
             for _ in 0..self.config.pilot_per_group {
                 match Self::fresh_drill(
-                    &self.tree, &self.spec, &mut self.pool, &mut self.rng, j, backend,
+                    &self.tree,
+                    &self.spec,
+                    &mut self.pool,
+                    &mut self.rng,
+                    j,
+                    backend,
                 ) {
                     Ok((sample, cost)) => {
                         fresh.push(sample);
@@ -424,7 +426,13 @@ impl Estimator for RsEstimator {
                 match item {
                     Plan::Update { group, idx } => {
                         match Self::update_record(
-                            &self.tree, &self.spec, policy, &mut self.pool, idx, j, backend,
+                            &self.tree,
+                            &self.spec,
+                            policy,
+                            &mut self.pool,
+                            idx,
+                            j,
+                            backend,
                         ) {
                             Ok((diff, cost)) => {
                                 groups[group].1.diffs.push(diff);
@@ -436,7 +444,12 @@ impl Estimator for RsEstimator {
                     }
                     Plan::Fresh => {
                         match Self::fresh_drill(
-                            &self.tree, &self.spec, &mut self.pool, &mut self.rng, j, backend,
+                            &self.tree,
+                            &self.spec,
+                            &mut self.pool,
+                            &mut self.rng,
+                            j,
+                            backend,
                         ) {
                             Ok((sample, cost)) => {
                                 fresh.push(sample);
@@ -451,7 +464,12 @@ impl Estimator for RsEstimator {
             // Any remaining budget: keep drilling fresh.
             while backend.remaining() > 0 {
                 match Self::fresh_drill(
-                    &self.tree, &self.spec, &mut self.pool, &mut self.rng, j, backend,
+                    &self.tree,
+                    &self.spec,
+                    &mut self.pool,
+                    &mut self.rng,
+                    j,
+                    backend,
                 ) {
                     Ok((sample, cost)) => {
                         fresh.push(sample);
@@ -488,7 +506,8 @@ impl Estimator for RsEstimator {
         }
         let fresh_count = (pooled.n() > 0).then(|| pooled.count_estimate());
         let fresh_sum = (pooled.n() > 0).then(|| pooled.sum_estimate());
-        let fallback = |prev: Option<&RoundEstimate>, pick: fn(&RoundEstimate) -> EstimateWithVar| {
+        let fallback = |prev: Option<&RoundEstimate>,
+                        pick: fn(&RoundEstimate) -> EstimateWithVar| {
             // Nothing usable this round: carry the previous estimate with
             // inflated variance (better than reporting nothing).
             prev.map(|h| {
@@ -550,15 +569,12 @@ impl Estimator for RsEstimator {
                 };
                 // Direct components: paired diffs of the (j−1) group.
                 let direct_of = |pick: fn(&GroupWork) -> &RunningMoments| {
-                    groups
-                        .iter()
-                        .find(|(x, _)| *x == j - 1)
-                        .and_then(|(_, w)| {
-                            let m = pick(w);
-                            let mean = m.mean()?;
-                            let vom = m.variance_of_mean().unwrap_or(f64::INFINITY);
-                            Some(Component::new(mean, vom))
-                        })
+                    groups.iter().find(|(x, _)| *x == j - 1).and_then(|(_, w)| {
+                        let m = pick(w);
+                        let mean = m.mean()?;
+                        let vom = m.variance_of_mean().unwrap_or(f64::INFINITY);
+                        Some(Component::new(mean, vom))
+                    })
                 };
                 // Indirect pool: fresh samples only (old groups' indirect
                 // paths share Q̃ bases with the direct one — excluded to
@@ -575,25 +591,16 @@ impl Estimator for RsEstimator {
                 } else {
                     vec![]
                 };
-                change_count = mk_change(
-                    direct_of(|w| &w.diffs.count),
-                    &fresh_count_comp,
-                    prev.count,
-                );
-                change_sum = mk_change(
-                    direct_of(|w| &w.diffs.sum),
-                    &fresh_sum_comp,
-                    prev.sum,
-                );
+                change_count =
+                    mk_change(direct_of(|w| &w.diffs.count), &fresh_count_comp, prev.count);
+                change_sum = mk_change(direct_of(|w| &w.diffs.sum), &fresh_sum_comp, prev.sum);
             }
         }
 
         // Record this round's direct-evidence variance-of-mean as the
         // process-noise scale for future staleness inflation.
-        if let (Some(c), Some(s)) = (
-            pooled.count.variance_of_mean(),
-            pooled.sum.variance_of_mean(),
-        ) {
+        if let (Some(c), Some(s)) = (pooled.count.variance_of_mean(), pooled.sum.variance_of_mean())
+        {
             self.last_fresh_vom = Some((c, s));
         }
 

@@ -110,8 +110,7 @@ impl Estimator for StratifiedEstimator {
             }
         }
         // Combine: sum of covered strata means, inflated for coverage.
-        let covered: Vec<&SampleMoments> =
-            per_stratum.iter().filter(|m| m.n() > 0).collect();
+        let covered: Vec<&SampleMoments> = per_stratum.iter().filter(|m| m.n() > 0).collect();
         let (count, sum) = if covered.is_empty() {
             (EstimateWithVar::unknown(), EstimateWithVar::unknown())
         } else {
@@ -211,10 +210,7 @@ mod tests {
         }
         let vp = plain.sample_variance().unwrap();
         let vs = strat.sample_variance().unwrap();
-        assert!(
-            vs < vp * 1.2,
-            "stratified variance {vs} should not exceed plain {vp} materially"
-        );
+        assert!(vs < vp * 1.2, "stratified variance {vs} should not exceed plain {vp} materially");
     }
 
     #[test]
@@ -224,12 +220,8 @@ mod tests {
         let schema = db.schema().clone();
         let mut grand = RunningMoments::new();
         for seed in 0..60 {
-            let mut est = StratifiedEstimator::new(
-                AggregateSpec::count_star(),
-                &schema,
-                AttrId(1),
-                seed,
-            );
+            let mut est =
+                StratifiedEstimator::new(AggregateSpec::count_star(), &schema, AttrId(1), seed);
             // Budget for roughly one stratum only.
             let mut s = SearchSession::new(&mut db, 4);
             let r = est.run_round(&mut s);
@@ -253,11 +245,6 @@ mod tests {
         let cond = hidden_db::query::ConjunctiveQuery::from_predicates([
             hidden_db::query::Predicate::new(AttrId(1), ValueId(0)),
         ]);
-        let _ = StratifiedEstimator::new(
-            AggregateSpec::count_where(cond),
-            &schema,
-            AttrId(1),
-            0,
-        );
+        let _ = StratifiedEstimator::new(AggregateSpec::count_where(cond), &schema, AttrId(1), 0);
     }
 }

@@ -36,12 +36,7 @@ pub fn hashed_db(n: u64, k: usize, seed: u64) -> HiddenDatabase {
         let price = 10.0 + ((h >> 24) % 90) as f64;
         db.insert(Tuple::new(
             TupleKey(t),
-            vec![
-                ValueId(a0 as u32),
-                ValueId(a1 as u32),
-                ValueId(a2),
-                ValueId(a3),
-            ],
+            vec![ValueId(a0 as u32), ValueId(a1 as u32), ValueId(a2), ValueId(a3)],
             vec![price],
         ))
         .unwrap();

@@ -113,10 +113,7 @@ impl MultiTracker {
     }
 
     fn samples_of(&self, out: &DrillOutcome) -> Vec<HtSample> {
-        self.specs
-            .iter()
-            .map(|spec| ht_sample(spec, &self.tree, out))
-            .collect()
+        self.specs.iter().map(|spec| ht_sample(spec, &self.tree, out)).collect()
     }
 
     /// Runs one round: update pass over the pool, then fresh drill-downs,
@@ -139,11 +136,8 @@ impl MultiTracker {
                 Ok(out) => {
                     rec.depth = out.depth;
                     rec.round = j;
-                    rec.samples = self
-                        .specs
-                        .iter()
-                        .map(|spec| ht_sample(spec, &self.tree, &out))
-                        .collect();
+                    rec.samples =
+                        self.specs.iter().map(|spec| ht_sample(spec, &self.tree, &out)).collect();
                     updated += 1;
                 }
                 Err(_) => break,
@@ -176,10 +170,7 @@ impl MultiTracker {
             queries_spent: backend.spent(),
             updated,
             initiated,
-            estimates: moments
-                .iter()
-                .map(|m| (m.count_estimate(), m.sum_estimate()))
-                .collect(),
+            estimates: moments.iter().map(|m| (m.count_estimate(), m.sum_estimate())).collect(),
         }
     }
 }
@@ -210,9 +201,7 @@ mod tests {
         let mut db = hashed_db(150, 16, 0);
         let tree = QueryTree::full(&db.schema().clone());
         let specs = workload();
-        let cond = match &specs[1].condition {
-            c => c.clone(),
-        };
+        let cond = specs[1].condition.clone();
         let mut tracker = MultiTracker::new(specs.clone(), tree, 7);
         let mut last = None;
         for _ in 0..3 {

@@ -170,14 +170,10 @@ pub fn read_snapshot(r: &mut impl Read) -> io::Result<HiddenDatabase> {
     let n = read_u64(r)?;
     for _ in 0..n {
         let key = TupleKey(read_u64(r)?);
-        let values: Vec<ValueId> = (0..attr_count)
-            .map(|_| read_u32(r).map(ValueId))
-            .collect::<io::Result<_>>()?;
-        let ms: Vec<f64> = (0..measure_count)
-            .map(|_| read_f64(r))
-            .collect::<io::Result<_>>()?;
-        db.insert(Tuple::new(key, values, ms))
-            .map_err(|e| bad(&e.to_string()))?;
+        let values: Vec<ValueId> =
+            (0..attr_count).map(|_| read_u32(r).map(ValueId)).collect::<io::Result<_>>()?;
+        let ms: Vec<f64> = (0..measure_count).map(|_| read_f64(r)).collect::<io::Result<_>>()?;
+        db.insert(Tuple::new(key, values, ms)).map_err(|e| bad(&e.to_string()))?;
     }
     Ok(db)
 }
@@ -196,10 +192,7 @@ mod tests {
         for t in 0..n {
             db.insert(Tuple::new(
                 TupleKey(t * 3), // non-contiguous keys
-                vec![
-                    ValueId(rng.random_range(0..3)),
-                    ValueId(rng.random_range(0..4)),
-                ],
+                vec![ValueId(rng.random_range(0..3)), ValueId(rng.random_range(0..4))],
                 vec![rng.random_range(0..500) as f64, rng.random_range(0..9) as f64],
             ))
             .unwrap();
@@ -217,10 +210,7 @@ mod tests {
         assert_eq!(restored.len(), original.len());
         assert_eq!(restored.k(), original.k());
         assert_eq!(restored.alive_keys_sorted(), original.alive_keys_sorted());
-        assert_eq!(
-            restored.schema().attr_count(),
-            original.schema().attr_count()
-        );
+        assert_eq!(restored.schema().attr_count(), original.schema().attr_count());
         // Interface answers (incl. hidden ranking) must be identical.
         for q in [
             ConjunctiveQuery::select_all(),

@@ -12,11 +12,10 @@
 //!   having estimators depend only on the [`crate::session::SearchBackend`]
 //!   trait.
 
-use std::collections::HashMap;
-
 use crate::errors::DbError;
 use crate::index::InvertedIndex;
-use crate::interface::{evaluate, CachedEval, QueryOutcome};
+use crate::interface::{evaluate_streaming, CachedEval, QueryOutcome};
+use crate::memo::QueryMemo;
 use crate::query::ConjunctiveQuery;
 use crate::ranking::ScoringPolicy;
 use crate::schema::Schema;
@@ -68,7 +67,7 @@ pub struct HiddenDatabase {
     scoring: ScoringPolicy,
     k: usize,
     version: u64,
-    cache: HashMap<ConjunctiveQuery, CachedEval>,
+    cache: QueryMemo,
     stats: InterfaceStats,
 }
 
@@ -85,7 +84,7 @@ impl HiddenDatabase {
             scoring,
             k,
             version: 0,
-            cache: HashMap::new(),
+            cache: QueryMemo::default(),
             stats: InterfaceStats::default(),
         }
     }
@@ -155,9 +154,7 @@ impl HiddenDatabase {
         }
         for (i, &v) in t.values().iter().enumerate() {
             if !self.schema.value_in_domain(AttrId(i as u16), v) {
-                return Err(DbError::TupleMismatch(format!(
-                    "value {v} outside domain of A{i}"
-                )));
+                return Err(DbError::TupleMismatch(format!("value {v} outside domain of A{i}")));
             }
         }
         Ok(())
@@ -179,9 +176,8 @@ impl HiddenDatabase {
     /// Deletes one tuple by key.
     pub fn delete(&mut self, key: TupleKey) -> Result<(), DbError> {
         let slot = self.store.slot_of(key).ok_or(DbError::UnknownKey(key))?;
-        let values: Vec<ValueId> = (0..self.schema.attr_count())
-            .map(|a| ValueId(self.store.value_at(a, slot)))
-            .collect();
+        let values: Vec<ValueId> =
+            (0..self.schema.attr_count()).map(|a| ValueId(self.store.value_at(a, slot))).collect();
         self.store.delete(key)?;
         self.index.delete(slot, &values, &self.store);
         self.bump_version();
@@ -239,9 +235,8 @@ impl HiddenDatabase {
 
     fn delete_inner(&mut self, key: TupleKey) -> Result<(), DbError> {
         let slot = self.store.slot_of(key).ok_or(DbError::UnknownKey(key))?;
-        let values: Vec<ValueId> = (0..self.schema.attr_count())
-            .map(|a| ValueId(self.store.value_at(a, slot)))
-            .collect();
+        let values: Vec<ValueId> =
+            (0..self.schema.attr_count()).map(|a| ValueId(self.store.value_at(a, slot))).collect();
         self.store.delete(key)?;
         self.index.delete(slot, &values, &self.store);
         Ok(())
@@ -267,19 +262,20 @@ impl HiddenDatabase {
     /// If the query references attributes/values outside the schema — that
     /// is a caller bug, not a runtime condition.
     pub fn answer(&mut self, query: &ConjunctiveQuery) -> QueryOutcome {
-        query
-            .validate(&self.schema)
-            .expect("search query must be valid for the schema");
+        query.validate(&self.schema).expect("search query must be valid for the schema");
         self.stats.answered += 1;
-        if let Some(cached) = self.cache.get(query) {
+        // One fast fingerprint per answer; the memo never re-hashes the
+        // query and only clones it on a confirmed miss.
+        let hash = QueryMemo::hash_of(query);
+        if let Some(cached) = self.cache.get_mut(hash, query) {
             self.stats.cache_hits += 1;
-            let out = cached.to_outcome(&self.store);
+            let out = cached.outcome(&self.store);
             self.count_outcome(&out);
             return out;
         }
-        let eval = self.evaluate_uncached(query);
-        let out = eval.to_outcome(&self.store);
-        self.cache.insert(query.clone(), eval);
+        let mut eval = self.evaluate_uncached(query);
+        let out = eval.outcome(&self.store);
+        self.cache.insert(hash, query, eval);
         self.count_outcome(&out);
         out
     }
@@ -294,21 +290,24 @@ impl HiddenDatabase {
 
     fn evaluate_uncached(&self, query: &ConjunctiveQuery) -> CachedEval {
         if query.is_empty() {
-            let candidates: Vec<Slot> = self.store.alive_slots().collect();
-            return evaluate(query, &self.store, self.k, candidates);
+            // Root query: stream the alive-slot scan straight into the
+            // ranking heap — no candidate vector.
+            return evaluate_streaming(query, &self.store, self.k, |sink| {
+                for slot in self.store.alive_slots() {
+                    sink(slot);
+                }
+            });
         }
-        // Drive the scan with the rarest predicate's posting list.
+        // Drive the scan with the rarest predicate's posting list,
+        // streamed directly off the index.
         let driver = query
             .predicates()
             .iter()
             .min_by_key(|p| self.index.estimated_len(p.attr, p.value))
             .expect("non-empty query has a predicate");
-        let mut candidates: Vec<Slot> = Vec::new();
-        self.index
-            .for_each_live(driver.attr, driver.value, &self.store, |s| {
-                candidates.push(s)
-            });
-        evaluate(query, &self.store, self.k, candidates)
+        evaluate_streaming(query, &self.store, self.k, |sink| {
+            self.index.for_each_live(driver.attr, driver.value, &self.store, sink);
+        })
     }
 
     // ----- ground truth (experiments/tests only) --------------------------
@@ -355,9 +354,7 @@ impl HiddenDatabase {
 
     /// Borrowing accessor for an alive tuple by key (owner API).
     pub fn get(&self, key: TupleKey) -> Option<TupleRef<'_>> {
-        self.store
-            .slot_of(key)
-            .map(|slot| TupleRef { store: &self.store, slot })
+        self.store.slot_of(key).map(|slot| TupleRef { store: &self.store, slot })
     }
 
     /// Samples `count` distinct alive tuple keys uniformly at random,
@@ -467,12 +464,59 @@ mod tests {
     }
 
     #[test]
+    fn memo_never_serves_stale_results_across_apply_batches() {
+        // Regression guard for the pre-hashed memo + shared-view cache:
+        // every `apply` must drop the memo, so answers after each batch
+        // reflect the new state exactly (classification, keys, measures).
+        let mut d = db();
+        let root = ConjunctiveQuery::select_all();
+        let probe = q(&[(0, 0)]);
+        for batch_no in 0..10u64 {
+            let key = TupleKey(batch_no);
+            let batch = UpdateBatch::empty().insert(t(batch_no, 0, 0, batch_no as f64));
+            let batch = if batch_no >= 3 {
+                batch
+                    .delete(TupleKey(batch_no - 3))
+                    .update_measures(TupleKey(batch_no - 1), vec![batch_no as f64 * 10.0])
+            } else {
+                batch
+            };
+            d.apply(batch).unwrap();
+            // Warm the memo…
+            let first = d.answer(&root);
+            let probed = d.answer(&probe);
+            // …and check the warm answers against ground truth.
+            assert_eq!(first.returned_count().min(d.k()), d.len().min(d.k()));
+            assert_eq!(probed.tuples().len() as u64, d.exact_count(Some(&probe)).min(d.k() as u64));
+            assert!(probed.keys().any(|k2| k2 == key), "new tuple visible");
+            if batch_no >= 3 {
+                assert!(
+                    probed.keys().all(|k2| k2 != TupleKey(batch_no - 3)),
+                    "deleted tuple must not be served from the memo"
+                );
+                let updated = d.get(TupleKey(batch_no - 1)).unwrap();
+                let served = probed
+                    .tuples()
+                    .iter()
+                    .find(|t| t.key() == TupleKey(batch_no - 1))
+                    .expect("updated tuple in page");
+                assert_eq!(
+                    served.measure(MeasureId(0)),
+                    updated.measure(MeasureId(0)),
+                    "measure update must invalidate cached views"
+                );
+            }
+            // A second identical ask is a cache hit and must be identical.
+            assert_eq!(d.answer(&probe), probed);
+            assert!(d.stats().cache_hits > 0);
+        }
+    }
+
+    #[test]
     fn batch_apply_order_allows_delete_then_reinsert() {
         let mut d = db();
         d.insert(t(1, 0, 0, 1.0)).unwrap();
-        let batch = UpdateBatch::empty()
-            .delete(TupleKey(1))
-            .insert(t(1, 1, 1, 2.0));
+        let batch = UpdateBatch::empty().delete(TupleKey(1)).insert(t(1, 1, 1, 2.0));
         let s = d.apply(batch).unwrap();
         assert_eq!(s.deleted, 1);
         assert_eq!(s.inserted, 1);
@@ -507,8 +551,7 @@ mod tests {
         use rand::SeedableRng;
         let mut d = db();
         for key in 0..50 {
-            d.insert(t(key, (key % 2) as u32, (key % 3) as u32, key as f64))
-                .unwrap();
+            d.insert(t(key, (key % 2) as u32, (key % 3) as u32, key as f64)).unwrap();
         }
         for key in 0..25 {
             d.delete(TupleKey(key)).unwrap();

@@ -19,6 +19,44 @@ const COMPACT_DEAD_FRACTION: f64 = 0.4;
 /// lists).
 const COMPACT_MIN_LEN: usize = 64;
 
+/// Above this many candidate postings, duplicate suppression switches
+/// from a linear probe to a `HashSet` (a linear probe on a handful of
+/// elements beats hashing; beyond that the O(n²) worst case bites).
+const DEDUP_LINEAR_MAX: usize = 24;
+
+/// Adaptive seen-set for duplicate suppression in
+/// [`InvertedIndex::for_each_live`].
+enum SeenSlots {
+    Small(Vec<Slot>),
+    Large(std::collections::HashSet<Slot>),
+}
+
+impl SeenSlots {
+    fn with_expected(candidates: usize) -> Self {
+        if candidates <= DEDUP_LINEAR_MAX {
+            Self::Small(Vec::with_capacity(candidates))
+        } else {
+            Self::Large(std::collections::HashSet::with_capacity(candidates))
+        }
+    }
+
+    /// Records `slot`; returns whether it was new.
+    #[inline]
+    fn insert(&mut self, slot: Slot) -> bool {
+        match self {
+            Self::Small(v) => {
+                if v.contains(&slot) {
+                    false
+                } else {
+                    v.push(slot);
+                    true
+                }
+            }
+            Self::Large(set) => set.insert(slot),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct PostingList {
     /// Slots that at some point carried the value. May contain tombstones.
@@ -77,8 +115,7 @@ impl InvertedIndex {
     }
 
     fn compact(list: &mut PostingList, attr_idx: usize, value: ValueId, store: &Store) {
-        list.slots
-            .retain(|&s| store.is_alive(s) && store.value_at(attr_idx, s) == value.0);
+        list.slots.retain(|&s| store.is_alive(s) && store.value_at(attr_idx, s) == value.0);
         list.slots.sort_unstable();
         list.slots.dedup();
         list.dead = 0;
@@ -91,13 +128,17 @@ impl InvertedIndex {
     }
 
     /// Scans the posting list for `(attr, value)`, invoking `f` for every
-    /// slot that is alive *and still carries the value* (tombstone-safe).
-    /// Duplicate slots (possible after slot reuse without compaction) are
-    /// suppressed by re-validation plus the caller's predicate checks being
-    /// idempotent — but to be exact we deduplicate here via a monotonic
-    /// check only when the list is sorted; unsorted lists are deduplicated
-    /// during compaction. To guarantee no duplicates reach `f`, we detect
-    /// re-validated duplicates with a local scratch check.
+    /// slot that is alive *and still carries the value* (tombstone-safe),
+    /// each exactly once.
+    ///
+    /// Duplicates can only arise when a slot appears twice in one list:
+    /// that happens iff the slot was freed and re-inserted with the same
+    /// value while the stale posting was still present (both postings then
+    /// pass re-validation). A list with no recorded tombstones cannot hold
+    /// duplicates, so the common case pays nothing. When duplicates are
+    /// possible, suppression is a linear probe for short lists and a
+    /// `HashSet` beyond [`DEDUP_LINEAR_MAX`] — the previous
+    /// `Vec::contains` scheme degraded to O(n²) on long tombstoned lists.
     pub fn for_each_live(
         &self,
         attr: AttrId,
@@ -106,21 +147,17 @@ impl InvertedIndex {
         mut f: impl FnMut(Slot),
     ) {
         let list = &self.lists[attr.index()][value.index()];
-        // Duplicates can only arise when a slot appears twice in one list:
-        // that happens iff the slot was freed and re-inserted with the same
-        // value while the stale posting was still present. Both postings
-        // then pass validation. We deduplicate exactly with a small seen-set
-        // only when duplicates are possible (list not compacted since).
-        let mut seen: Vec<Slot> = Vec::new();
-        let may_have_dups = list.dead > 0;
-        for &s in &list.slots {
-            if store.is_alive(s) && store.value_at(attr.index(), s) == value.0 {
-                if may_have_dups {
-                    if seen.contains(&s) {
-                        continue;
-                    }
-                    seen.push(s);
+        if list.dead == 0 {
+            for &s in &list.slots {
+                if store.is_alive(s) && store.value_at(attr.index(), s) == value.0 {
+                    f(s);
                 }
+            }
+            return;
+        }
+        let mut seen = SeenSlots::with_expected(list.slots.len());
+        for &s in &list.slots {
+            if store.is_alive(s) && store.value_at(attr.index(), s) == value.0 && seen.insert(s) {
                 f(s);
             }
         }
@@ -159,9 +196,7 @@ mod tests {
 
     fn ins(store: &mut Store, index: &mut InvertedIndex, key: u64, vals: &[u32]) -> Slot {
         let values: Vec<ValueId> = vals.iter().map(|&v| ValueId(v)).collect();
-        let slot = store
-            .insert(Tuple::new(TupleKey(key), values.clone(), vec![]), key)
-            .unwrap();
+        let slot = store.insert(Tuple::new(TupleKey(key), values.clone(), vec![]), key).unwrap();
         index.insert(slot, &values);
         slot
     }
@@ -188,9 +223,7 @@ mod tests {
     fn delete_hides_tuple_without_compaction() {
         let (_s, mut store, mut index) = setup();
         let values = vec![ValueId(0), ValueId(1)];
-        let slot = store
-            .insert(Tuple::new(TupleKey(1), values.clone(), vec![]), 1)
-            .unwrap();
+        let slot = store.insert(Tuple::new(TupleKey(1), values.clone(), vec![]), 1).unwrap();
         index.insert(slot, &values);
         store.delete(TupleKey(1)).unwrap();
         index.delete(slot, &values, &store);
@@ -201,17 +234,13 @@ mod tests {
     fn slot_reuse_with_different_value_is_filtered() {
         let (_s, mut store, mut index) = setup();
         let v_old = vec![ValueId(0), ValueId(0)];
-        let slot = store
-            .insert(Tuple::new(TupleKey(1), v_old.clone(), vec![]), 1)
-            .unwrap();
+        let slot = store.insert(Tuple::new(TupleKey(1), v_old.clone(), vec![]), 1).unwrap();
         index.insert(slot, &v_old);
         store.delete(TupleKey(1)).unwrap();
         index.delete(slot, &v_old, &store);
         // Reuse the same slot with a different A0 value.
         let v_new = vec![ValueId(1), ValueId(0)];
-        let slot2 = store
-            .insert(Tuple::new(TupleKey(2), v_new.clone(), vec![]), 2)
-            .unwrap();
+        let slot2 = store.insert(Tuple::new(TupleKey(2), v_new.clone(), vec![]), 2).unwrap();
         assert_eq!(slot, slot2);
         index.insert(slot2, &v_new);
         // Old posting for (A0,u0) must not resurrect the new occupant.
@@ -223,15 +252,11 @@ mod tests {
     fn slot_reuse_with_same_value_does_not_duplicate() {
         let (_s, mut store, mut index) = setup();
         let vals = vec![ValueId(1), ValueId(2)];
-        let slot = store
-            .insert(Tuple::new(TupleKey(1), vals.clone(), vec![]), 1)
-            .unwrap();
+        let slot = store.insert(Tuple::new(TupleKey(1), vals.clone(), vec![]), 1).unwrap();
         index.insert(slot, &vals);
         store.delete(TupleKey(1)).unwrap();
         index.delete(slot, &vals, &store);
-        let slot2 = store
-            .insert(Tuple::new(TupleKey(2), vals.clone(), vec![]), 2)
-            .unwrap();
+        let slot2 = store.insert(Tuple::new(TupleKey(2), vals.clone(), vec![]), 2).unwrap();
         assert_eq!(slot, slot2);
         index.insert(slot2, &vals);
         // The stale and fresh postings both point at the same alive slot

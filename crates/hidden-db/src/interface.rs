@@ -9,24 +9,50 @@
 //!
 //! Crucially the interface does **not** disclose the matching count — the
 //! whole point of the paper is estimating aggregates without it.
+//!
+//! ## Evaluation is streaming and allocation-lean
+//!
+//! [`evaluate_streaming`] consumes candidates by internal iteration (the
+//! producer pushes slots into the ranking heap), so callers never
+//! materialise an intermediate `Vec<Slot>` — the root query streams the
+//! alive-slot scan and predicate queries stream a posting list directly.
+//! Result pages are materialised into [`TupleView`]s **once** per cache
+//! entry and shared behind an `Arc`, so repeated (memoised) answers to the
+//! same query cost one atomic increment instead of `k` fresh allocations.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::query::ConjunctiveQuery;
 use crate::store::{Slot, Store};
 use crate::tuple::TupleView;
+use crate::value::TupleKey;
+
+/// The classification of an answer, without its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutcomeClass {
+    /// No tuple matched.
+    Underflow,
+    /// 1..=k tuples matched; the page is complete.
+    Valid,
+    /// More than `k` matched; the page is truncated.
+    Overflow,
+}
 
 /// The interface's answer to one search query.
+///
+/// Result pages are shared (`Arc`) with the database's memo cache:
+/// cloning an outcome, and re-asking a memoised query, are O(1).
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryOutcome {
     /// No tuple matched.
     Underflow,
     /// All matching tuples (1..=k of them), ranked best-first.
-    Valid(Vec<TupleView>),
+    Valid(Arc<[TupleView]>),
     /// More than `k` tuples matched; the top-`k` by hidden score,
     /// best-first.
-    Overflow(Vec<TupleView>),
+    Overflow(Arc<[TupleView]>),
 }
 
 impl QueryOutcome {
@@ -45,12 +71,27 @@ impl QueryOutcome {
         matches!(self, Self::Valid(_))
     }
 
+    /// The outcome's classification, without the payload.
+    pub fn class(&self) -> OutcomeClass {
+        match self {
+            Self::Underflow => OutcomeClass::Underflow,
+            Self::Valid(_) => OutcomeClass::Valid,
+            Self::Overflow(_) => OutcomeClass::Overflow,
+        }
+    }
+
     /// The returned tuples (empty for underflow).
     pub fn tuples(&self) -> &[TupleView] {
         match self {
             Self::Underflow => &[],
             Self::Valid(ts) | Self::Overflow(ts) => ts,
         }
+    }
+
+    /// Keys of the returned tuples, best-first — for callers that only
+    /// need identity (drill bookkeeping), not values or measures.
+    pub fn keys(&self) -> impl Iterator<Item = TupleKey> + '_ {
+        self.tuples().iter().map(|t| t.key())
     }
 
     /// Number of returned tuples (NOT the matching count for overflows).
@@ -60,36 +101,76 @@ impl QueryOutcome {
 }
 
 /// Raw evaluation result kept in the per-version memo cache: whether the
-/// query overflowed and which slots to materialise.
+/// query overflowed, which slots form the page, and (lazily) the
+/// materialised page shared with every outcome handed out for this entry.
 #[derive(Debug, Clone)]
 pub(crate) struct CachedEval {
     pub(crate) overflow: bool,
     /// Result slots, best-first. For overflow: exactly `k`. For valid: all
     /// matches. For underflow: empty.
     pub(crate) slots: Vec<Slot>,
+    /// Materialised page, filled on first demand. Safe to cache because
+    /// every mutation bumps the database version and drops the memo.
+    views: Option<Arc<[TupleView]>>,
 }
 
 impl CachedEval {
-    pub(crate) fn to_outcome(&self, store: &Store) -> QueryOutcome {
+    pub(crate) fn new(overflow: bool, slots: Vec<Slot>) -> Self {
+        Self { overflow, slots, views: None }
+    }
+
+    /// The outcome, materialising tuple views on first use and sharing
+    /// them on every subsequent cache hit.
+    pub(crate) fn outcome(&mut self, store: &Store) -> QueryOutcome {
         if self.slots.is_empty() {
-            QueryOutcome::Underflow
+            return QueryOutcome::Underflow;
+        }
+        let views = self
+            .views
+            .get_or_insert_with(|| self.slots.iter().map(|&s| store.view(s)).collect())
+            .clone();
+        if self.overflow {
+            QueryOutcome::Overflow(views)
         } else {
-            let views = self.slots.iter().map(|&s| store.view(s)).collect();
-            if self.overflow {
-                QueryOutcome::Overflow(views)
-            } else {
-                QueryOutcome::Valid(views)
-            }
+            QueryOutcome::Valid(views)
         }
     }
 }
 
-/// Evaluates `query` against the store, returning the cacheable result.
-///
-/// `candidates` drives iteration: the caller passes the cheapest stream of
-/// candidate slots (a posting list, or all alive slots for the root query);
-/// every candidate is re-checked against all predicates, so supersets are
-/// safe.
+/// Evaluates `query` against the store with candidates delivered by
+/// internal iteration: `feed` is called once with a sink and pushes every
+/// candidate slot into it. Each candidate is re-checked against all
+/// predicates, so superset producers are safe. No intermediate candidate
+/// collection is allocated.
+pub(crate) fn evaluate_streaming(
+    query: &ConjunctiveQuery,
+    store: &Store,
+    k: usize,
+    feed: impl FnOnce(&mut dyn FnMut(Slot)),
+) -> CachedEval {
+    // Min-heap of (score, slot) keeping the k best seen so far. With
+    // capacity k+1: if total matches ≤ k the heap simply holds them all.
+    let mut heap: BinaryHeap<Reverse<(u64, Slot)>> = BinaryHeap::with_capacity(k + 1);
+    let mut matched: usize = 0;
+    feed(&mut |slot| {
+        if !slot_matches(query, store, slot) {
+            return;
+        }
+        matched += 1;
+        heap.push(Reverse((store.score_at(slot), slot)));
+        if heap.len() > k {
+            heap.pop();
+        }
+    });
+    let mut slots: Vec<Slot> = heap.into_iter().map(|Reverse((_, s))| s).collect();
+    // Best-first: sort by score descending (ties by slot for determinism).
+    slots.sort_unstable_by_key(|&s| Reverse((store.score_at(s), s)));
+    CachedEval::new(matched > k, slots)
+}
+
+/// External-iteration convenience over [`evaluate_streaming`] for callers
+/// that already hold a candidate collection (tests, ad-hoc tools).
+#[cfg(test)]
 pub(crate) fn evaluate<I>(
     query: &ConjunctiveQuery,
     store: &Store,
@@ -99,24 +180,11 @@ pub(crate) fn evaluate<I>(
 where
     I: IntoIterator<Item = Slot>,
 {
-    // Min-heap of (score, slot) keeping the k best seen so far. With
-    // capacity k+0: if total matches ≤ k the heap simply holds them all.
-    let mut heap: BinaryHeap<Reverse<(u64, Slot)>> = BinaryHeap::with_capacity(k + 1);
-    let mut matched: usize = 0;
-    for slot in candidates {
-        if !slot_matches(query, store, slot) {
-            continue;
+    evaluate_streaming(query, store, k, |sink| {
+        for slot in candidates {
+            sink(slot);
         }
-        matched += 1;
-        heap.push(Reverse((store.score_at(slot), slot)));
-        if heap.len() > k {
-            heap.pop();
-        }
-    }
-    let mut slots: Vec<Slot> = heap.into_iter().map(|Reverse((_, s))| s).collect();
-    // Best-first: sort by score descending (ties by slot for determinism).
-    slots.sort_unstable_by_key(|&s| Reverse((store.score_at(s), s)));
-    CachedEval { overflow: matched > k, slots }
+    })
 }
 
 #[inline]
@@ -124,10 +192,7 @@ fn slot_matches(query: &ConjunctiveQuery, store: &Store, slot: Slot) -> bool {
     if !store.is_alive(slot) {
         return false;
     }
-    query
-        .predicates()
-        .iter()
-        .all(|p| store.value_at(p.attr.index(), slot) == p.value.0)
+    query.predicates().iter().all(|p| store.value_at(p.attr.index(), slot) == p.value.0)
 }
 
 #[cfg(test)]
@@ -151,7 +216,11 @@ mod tests {
     }
 
     fn eval_all(q: &ConjunctiveQuery, store: &Store, k: usize) -> CachedEval {
-        evaluate(q, store, k, store.alive_slots().collect::<Vec<_>>())
+        evaluate_streaming(q, store, k, |sink| {
+            for slot in store.alive_slots() {
+                sink(slot);
+            }
+        })
     }
 
     #[test]
@@ -217,13 +286,29 @@ mod tests {
     #[test]
     fn outcome_materialisation() {
         let store = store_with(2);
-        let r = eval_all(&ConjunctiveQuery::select_all(), &store, 10);
-        let out = r.to_outcome(&store);
+        let mut r = eval_all(&ConjunctiveQuery::select_all(), &store, 10);
+        let out = r.outcome(&store);
         assert!(out.is_valid());
+        assert_eq!(out.class(), OutcomeClass::Valid);
         assert_eq!(out.returned_count(), 2);
         assert_eq!(out.tuples()[0].key(), TupleKey(1));
+        assert_eq!(out.keys().collect::<Vec<_>>(), vec![TupleKey(1), TupleKey(0)]);
 
-        let r = CachedEval { overflow: false, slots: vec![] };
-        assert!(r.to_outcome(&store).is_underflow());
+        let mut r = CachedEval::new(false, vec![]);
+        let o = r.outcome(&store);
+        assert!(o.is_underflow());
+        assert_eq!(o.class(), OutcomeClass::Underflow);
+    }
+
+    #[test]
+    fn repeated_outcomes_share_one_materialisation() {
+        let store = store_with(3);
+        let mut r = eval_all(&ConjunctiveQuery::select_all(), &store, 10);
+        let a = r.outcome(&store);
+        let b = r.outcome(&store);
+        let (QueryOutcome::Valid(va), QueryOutcome::Valid(vb)) = (&a, &b) else {
+            panic!("expected valid outcomes");
+        };
+        assert!(Arc::ptr_eq(va, vb), "cache hits must share the page");
     }
 }

@@ -59,6 +59,7 @@ pub mod database;
 pub mod errors;
 pub mod index;
 pub mod interface;
+mod memo;
 pub mod query;
 pub mod ranking;
 pub mod schema;
@@ -73,7 +74,7 @@ pub use budget::QueryBudget;
 pub use codec::{read_snapshot, write_snapshot};
 pub use database::{HiddenDatabase, TupleRef};
 pub use errors::{BudgetExhausted, DbError, SchemaError};
-pub use interface::QueryOutcome;
+pub use interface::{OutcomeClass, QueryOutcome};
 pub use query::{ConjunctiveQuery, Predicate};
 pub use ranking::ScoringPolicy;
 pub use schema::{AttributeDef, MeasureDef, Schema};

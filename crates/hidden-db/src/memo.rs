@@ -1,0 +1,148 @@
+//! The per-version query memo: a pre-hashed map from
+//! [`ConjunctiveQuery`] to its cached evaluation.
+//!
+//! The memo sits on the hot path of every [`crate::database::HiddenDatabase::answer`]
+//! call, so it avoids two costs a plain `HashMap<ConjunctiveQuery, _>`
+//! pays:
+//!
+//! * **Double (Sip-)hashing.** The default hasher walks the predicate
+//!   vector with SipHash on both the lookup and the insert. Here the
+//!   caller computes a fast 64-bit fingerprint exactly once per answer
+//!   ([`QueryMemo::hash_of`]) and the map is keyed by that fingerprint
+//!   through an identity hasher.
+//! * **Speculative key clones.** Entry-style APIs demand an owned key up
+//!   front even when the query is already cached. The memo clones the
+//!   query only on a confirmed miss, when the key is actually stored.
+//!
+//! Fingerprint collisions are handled, not assumed away: each bucket
+//! holds `(query, eval)` pairs and lookups confirm structural equality.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::interface::CachedEval;
+use crate::query::ConjunctiveQuery;
+
+/// Hasher that passes a pre-computed `u64` through unchanged.
+#[derive(Default)]
+pub(crate) struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("identity hasher is only fed pre-hashed u64 keys");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// The memo. Cleared wholesale on every database version bump.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct QueryMemo {
+    buckets: HashMap<u64, Vec<(ConjunctiveQuery, CachedEval)>, BuildHasherDefault<IdentityHasher>>,
+}
+
+impl QueryMemo {
+    /// Fast 64-bit fingerprint of a query (FxHash-style multiply-rotate
+    /// over the sorted predicate list; queries are canonical by
+    /// construction so structurally equal queries fingerprint equal).
+    #[inline]
+    pub(crate) fn hash_of(query: &ConjunctiveQuery) -> u64 {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ query.predicates().len() as u64;
+        for p in query.predicates() {
+            let word = (u64::from(p.attr.0) << 32) | u64::from(p.value.0);
+            h = (h.rotate_left(5) ^ word).wrapping_mul(K);
+        }
+        h
+    }
+
+    /// Cached evaluation for `query`, if present. Mutable so the entry can
+    /// lazily materialise (and then share) its tuple views.
+    #[inline]
+    pub(crate) fn get_mut(
+        &mut self,
+        hash: u64,
+        query: &ConjunctiveQuery,
+    ) -> Option<&mut CachedEval> {
+        self.buckets.get_mut(&hash)?.iter_mut().find(|(q, _)| q == query).map(|(_, eval)| eval)
+    }
+
+    /// Inserts a confirmed-missing entry (caller has already probed with
+    /// [`QueryMemo::get_mut`]; this is the one place the query is cloned).
+    pub(crate) fn insert(&mut self, hash: u64, query: &ConjunctiveQuery, eval: CachedEval) {
+        self.buckets.entry(hash).or_default().push((query.clone(), eval));
+    }
+
+    /// Drops every entry (version bump).
+    pub(crate) fn clear(&mut self) {
+        self.buckets.clear();
+    }
+
+    /// Number of cached queries (test/diagnostic use).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+    use crate::value::{AttrId, ValueId};
+
+    fn q(pairs: &[(u16, u32)]) -> ConjunctiveQuery {
+        ConjunctiveQuery::from_predicates(
+            pairs.iter().map(|&(a, v)| Predicate::new(AttrId(a), ValueId(v))),
+        )
+    }
+
+    #[test]
+    fn fingerprints_are_structural() {
+        let a = q(&[(0, 1), (2, 3)]);
+        let b = q(&[(2, 3), (0, 1)]);
+        assert_eq!(QueryMemo::hash_of(&a), QueryMemo::hash_of(&b));
+        let c = q(&[(0, 1), (2, 4)]);
+        assert_ne!(QueryMemo::hash_of(&a), QueryMemo::hash_of(&c));
+        assert_ne!(QueryMemo::hash_of(&ConjunctiveQuery::select_all()), QueryMemo::hash_of(&a));
+    }
+
+    #[test]
+    fn insert_then_get_roundtrip() {
+        let mut memo = QueryMemo::default();
+        let query = q(&[(1, 2)]);
+        let h = QueryMemo::hash_of(&query);
+        assert!(memo.get_mut(h, &query).is_none());
+        memo.insert(h, &query, CachedEval::new(true, vec![3, 1]));
+        let eval = memo.get_mut(h, &query).expect("entry present");
+        assert!(eval.overflow);
+        assert_eq!(eval.slots, vec![3, 1]);
+        assert_eq!(memo.len(), 1);
+        memo.clear();
+        assert!(memo.get_mut(h, &query).is_none());
+        assert_eq!(memo.len(), 0);
+    }
+
+    #[test]
+    fn colliding_fingerprints_disambiguate_by_equality() {
+        // Force a collision by inserting two different queries under the
+        // same fingerprint (possible in principle; simulated here).
+        let mut memo = QueryMemo::default();
+        let a = q(&[(0, 0)]);
+        let b = q(&[(0, 1)]);
+        let h = 42;
+        memo.insert(h, &a, CachedEval::new(false, vec![1]));
+        memo.insert(h, &b, CachedEval::new(true, vec![2]));
+        assert_eq!(memo.get_mut(h, &a).unwrap().slots, vec![1]);
+        assert_eq!(memo.get_mut(h, &b).unwrap().slots, vec![2]);
+        assert_eq!(memo.len(), 2);
+    }
+}

@@ -122,9 +122,7 @@ impl ConjunctiveQuery {
     /// Whether `other`'s predicate set is a superset of this query's —
     /// i.e. `other` is *at least as restrictive* and `Sel(other) ⊆ Sel(self)`.
     pub fn subsumes(&self, other: &Self) -> bool {
-        self.predicates
-            .iter()
-            .all(|p| other.value_for(p.attr) == Some(p.value))
+        self.predicates.iter().all(|p| other.value_for(p.attr) == Some(p.value))
     }
 }
 

@@ -82,12 +82,7 @@ mod tests {
     fn f64_ordering_preserved() {
         let vals = [-1e9, -1.5, -0.0, 0.0, 0.25, 3.0, 1e18];
         for w in vals.windows(2) {
-            assert!(
-                f64_to_ordered(w[0]) <= f64_to_ordered(w[1]),
-                "{} vs {}",
-                w[0],
-                w[1]
-            );
+            assert!(f64_to_ordered(w[0]) <= f64_to_ordered(w[1]), "{} vs {}", w[0], w[1]);
         }
         assert!(f64_to_ordered(f64::NAN) < f64_to_ordered(-1e300));
     }

@@ -161,10 +161,7 @@ mod tests {
 
     #[test]
     fn rejects_empty_attribute_list() {
-        assert!(matches!(
-            Schema::with_domain_sizes(&[], &[]),
-            Err(SchemaError::NoAttributes)
-        ));
+        assert!(matches!(Schema::with_domain_sizes(&[], &[]), Err(SchemaError::NoAttributes)));
     }
 
     #[test]

@@ -90,8 +90,7 @@ mod tests {
         let schema = Schema::with_domain_sizes(&[2], &[]).unwrap();
         let mut d = HiddenDatabase::new(schema, 5, ScoringPolicy::default());
         for key in 0..3 {
-            d.insert(Tuple::new(TupleKey(key), vec![ValueId(0)], vec![]))
-                .unwrap();
+            d.insert(Tuple::new(TupleKey(key), vec![ValueId(0)], vec![])).unwrap();
         }
         d
     }

@@ -147,10 +147,7 @@ impl Store {
 
     /// Deletes the alive tuple with `key`, returning the freed slot.
     pub fn delete(&mut self, key: TupleKey) -> Result<Slot, DbError> {
-        let slot = self
-            .key_to_slot
-            .remove(&key.0)
-            .ok_or(DbError::UnknownKey(key))?;
+        let slot = self.key_to_slot.remove(&key.0).ok_or(DbError::UnknownKey(key))?;
         self.alive[slot as usize] = false;
         self.free.push(slot);
         self.alive_count -= 1;
@@ -176,22 +173,14 @@ impl Store {
     /// Materialises a read-only view of the tuple at `slot`.
     pub fn view(&self, slot: Slot) -> TupleView {
         let i = slot as usize;
-        let values: Box<[ValueId]> = self
-            .columns
-            .iter()
-            .map(|col| ValueId(col[i]))
-            .collect();
+        let values: Box<[ValueId]> = self.columns.iter().map(|col| ValueId(col[i])).collect();
         let measures: Box<[f64]> = self.measure_cols.iter().map(|col| col[i]).collect();
         TupleView::new(TupleKey(self.keys[i]), values, measures)
     }
 
     /// Iterates over the slots of all alive tuples.
     pub fn alive_slots(&self) -> impl Iterator<Item = Slot> + '_ {
-        self.alive
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a)
-            .map(|(i, _)| i as Slot)
+        self.alive.iter().enumerate().filter(|(_, &a)| a).map(|(i, _)| i as Slot)
     }
 
     /// Iterates over `(key, slot)` of all alive tuples in unspecified order.
@@ -205,11 +194,7 @@ mod tests {
     use super::*;
 
     fn t(key: u64, vals: &[u32], ms: &[f64]) -> Tuple {
-        Tuple::new(
-            TupleKey(key),
-            vals.iter().map(|&v| ValueId(v)).collect(),
-            ms.to_vec(),
-        )
+        Tuple::new(TupleKey(key), vals.iter().map(|&v| ValueId(v)).collect(), ms.to_vec())
     }
 
     #[test]
@@ -231,10 +216,7 @@ mod tests {
     fn duplicate_key_rejected() {
         let mut s = Store::new(1, 0);
         s.insert(t(1, &[0], &[]), 0).unwrap();
-        assert!(matches!(
-            s.insert(t(1, &[0], &[]), 0),
-            Err(DbError::DuplicateKey(TupleKey(1)))
-        ));
+        assert!(matches!(s.insert(t(1, &[0], &[]), 0), Err(DbError::DuplicateKey(TupleKey(1)))));
     }
 
     #[test]
@@ -254,10 +236,7 @@ mod tests {
     #[test]
     fn delete_unknown_key_errors() {
         let mut s = Store::new(1, 0);
-        assert!(matches!(
-            s.delete(TupleKey(9)),
-            Err(DbError::UnknownKey(TupleKey(9)))
-        ));
+        assert!(matches!(s.delete(TupleKey(9)), Err(DbError::UnknownKey(TupleKey(9)))));
         s.insert(t(9, &[0], &[]), 0).unwrap();
         s.delete(TupleKey(9)).unwrap();
         assert!(s.delete(TupleKey(9)).is_err(), "double delete must fail");

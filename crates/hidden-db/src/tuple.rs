@@ -98,11 +98,7 @@ mod tests {
 
     #[test]
     fn tuple_accessors() {
-        let t = Tuple::new(
-            TupleKey(7),
-            vec![ValueId(1), ValueId(0)],
-            vec![19.5],
-        );
+        let t = Tuple::new(TupleKey(7), vec![ValueId(1), ValueId(0)], vec![19.5]);
         assert_eq!(t.key(), TupleKey(7));
         assert_eq!(t.value(AttrId(0)), ValueId(1));
         assert_eq!(t.value(AttrId(1)), ValueId(0));

@@ -14,11 +14,20 @@ const DOMAINS: [u32; 2] = [2, 3];
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { a0: u32, a1: u32, m: i32 },
+    Insert {
+        a0: u32,
+        a1: u32,
+        m: i32,
+    },
     /// Deletes the `idx % alive`-th alive key (no-op when empty).
-    Delete { idx: usize },
+    Delete {
+        idx: usize,
+    },
     /// Updates measures of the `idx % alive`-th alive key (no-op when empty).
-    Update { idx: usize, m: i32 },
+    Update {
+        idx: usize,
+        m: i32,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -46,11 +55,8 @@ impl Model {
 
     /// Reference answer: matching rows ranked newest-first, truncated at k.
     fn answer(&self, q: &[(usize, u32)], k: usize) -> (bool, Vec<u64>) {
-        let mut matches: Vec<&(u64, [u32; 2], f64)> = self
-            .rows
-            .iter()
-            .filter(|(_, vals, _)| q.iter().all(|&(a, v)| vals[a] == v))
-            .collect();
+        let mut matches: Vec<&(u64, [u32; 2], f64)> =
+            self.rows.iter().filter(|(_, vals, _)| q.iter().all(|&(a, v)| vals[a] == v)).collect();
         matches.sort_by_key(|r| std::cmp::Reverse(r.0));
         let overflow = matches.len() > k;
         (overflow, matches.iter().take(k).map(|r| r.0).collect())
@@ -62,12 +68,8 @@ fn apply(db: &mut HiddenDatabase, model: &mut Model, op: &Op) {
         Op::Insert { a0, a1, m } => {
             let key = model.next_key;
             model.next_key += 1;
-            db.insert(Tuple::new(
-                TupleKey(key),
-                vec![ValueId(a0), ValueId(a1)],
-                vec![m as f64],
-            ))
-            .expect("insert valid tuple");
+            db.insert(Tuple::new(TupleKey(key), vec![ValueId(a0), ValueId(a1)], vec![m as f64]))
+                .expect("insert valid tuple");
             model.rows.push((key, [a0, a1], m as f64));
         }
         Op::Delete { idx } => {
@@ -85,8 +87,7 @@ fn apply(db: &mut HiddenDatabase, model: &mut Model, op: &Op) {
             }
             let keys = model.alive_sorted_keys();
             let key = keys[idx % keys.len()];
-            db.update_measures(TupleKey(key), vec![m as f64])
-                .expect("update alive key");
+            db.update_measures(TupleKey(key), vec![m as f64]).expect("update alive key");
             for r in &mut model.rows {
                 if r.0 == key {
                     r.2 = m as f64;

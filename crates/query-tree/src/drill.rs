@@ -328,12 +328,8 @@ mod tests {
         let mut db = HiddenDatabase::new(schema, 1, ScoringPolicy::default());
         // Two tuples share A0=0, splitting at A1: (0,0,0) and (0,1,0).
         for (i, vals) in [(0, [0, 0, 0]), (1, [0, 1, 0])].iter() {
-            db.insert(Tuple::new(
-                TupleKey(*i),
-                vals.iter().map(|&v| ValueId(v)).collect(),
-                vec![],
-            ))
-            .unwrap();
+            db.insert(Tuple::new(TupleKey(*i), vals.iter().map(|&v| ValueId(v)).collect(), vec![]))
+                .unwrap();
         }
         let tree = QueryTree::full(&db.schema().clone());
         let sig = Signature::from_choices(vec![0, 0, 0]);

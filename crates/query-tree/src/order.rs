@@ -160,10 +160,7 @@ mod tests {
                 let p = tree.selection_probability(out.depth);
                 mean += out.outcome.returned_count() as f64 / p / sigs.len() as f64;
             }
-            assert!(
-                (mean - 50.0).abs() < 1e-6,
-                "{heur:?}: exhaustive mean {mean} != 50"
-            );
+            assert!((mean - 50.0).abs() < 1e-6, "{heur:?}: exhaustive mean {mean} != 50");
         }
     }
 }

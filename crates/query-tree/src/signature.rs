@@ -21,10 +21,7 @@ pub struct Signature {
 impl Signature {
     /// Samples a signature uniformly at random for `tree`.
     pub fn sample<R: Rng + ?Sized>(tree: &QueryTree, rng: &mut R) -> Self {
-        let choices = tree
-            .level_domain_sizes()
-            .map(|d| rng.random_range(0..d))
-            .collect();
+        let choices = tree.level_domain_sizes().map(|d| rng.random_range(0..d)).collect();
         Self { choices }
     }
 
@@ -53,11 +50,7 @@ impl Signature {
     /// choice inside its level's domain).
     pub fn valid_for(&self, tree: &QueryTree) -> bool {
         self.choices.len() == tree.depth()
-            && self
-                .choices
-                .iter()
-                .zip(tree.level_domain_sizes())
-                .all(|(&c, d)| c < d)
+            && self.choices.iter().zip(tree.level_domain_sizes()).all(|(&c, d)| c < d)
     }
 }
 
@@ -67,10 +60,7 @@ impl Signature {
 pub fn enumerate_all(tree: &QueryTree) -> Vec<Signature> {
     let sizes: Vec<u32> = tree.level_domain_sizes().collect();
     let total: u64 = sizes.iter().map(|&d| d as u64).product();
-    assert!(
-        total <= (1 << 22),
-        "refusing to enumerate {total} signatures"
-    );
+    assert!(total <= (1 << 22), "refusing to enumerate {total} signatures");
     let mut out = Vec::with_capacity(total as usize);
     let mut current = vec![0u32; sizes.len()];
     loop {

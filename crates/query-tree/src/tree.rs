@@ -32,13 +32,9 @@ impl QueryTree {
     /// The subtree under `fixed`: its predicates are baked into every node
     /// and the remaining attributes become the levels, in schema order.
     pub fn subtree(schema: &Schema, fixed: ConjunctiveQuery) -> Self {
-        fixed
-            .validate(schema)
-            .expect("selection condition must be valid for the schema");
-        let levels: Vec<AttrId> = schema
-            .attr_ids()
-            .filter(|a| fixed.value_for(*a).is_none())
-            .collect();
+        fixed.validate(schema).expect("selection condition must be valid for the schema");
+        let levels: Vec<AttrId> =
+            schema.attr_ids().filter(|a| fixed.value_for(*a).is_none()).collect();
         let level_sizes = levels.iter().map(|&a| schema.domain_size(a)).collect();
         Self { fixed, levels, level_sizes }
     }
@@ -93,10 +89,7 @@ impl QueryTree {
     /// that a uniformly drawn signature drills through it (§3.1).
     pub fn selection_probability(&self, depth: usize) -> f64 {
         debug_assert!(depth <= self.depth());
-        self.level_sizes[..depth]
-            .iter()
-            .map(|&d| 1.0 / f64::from(d))
-            .product()
+        self.level_sizes[..depth].iter().map(|&d| 1.0 / f64::from(d)).product()
     }
 
     /// Natural log of the number of leaves (for diagnostics; the count

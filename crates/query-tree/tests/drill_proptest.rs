@@ -16,12 +16,8 @@ fn db_from_rows(rows: &[(u32, u32, u32)], k: usize) -> HiddenDatabase {
     let schema = Schema::with_domain_sizes(&DOMAINS, &[]).unwrap();
     let mut db = HiddenDatabase::new(schema, k, ScoringPolicy::default());
     for (i, &(a, b, c)) in rows.iter().enumerate() {
-        db.insert(Tuple::new(
-            TupleKey(i as u64),
-            vec![ValueId(a), ValueId(b), ValueId(c)],
-            vec![],
-        ))
-        .unwrap();
+        db.insert(Tuple::new(TupleKey(i as u64), vec![ValueId(a), ValueId(b), ValueId(c)], vec![]))
+            .unwrap();
     }
     db
 }

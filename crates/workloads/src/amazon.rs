@@ -155,11 +155,7 @@ impl AmazonSim {
                 }
                 if Self::in_promo_cohort(t.key()) {
                     let base = t.measure(BASE_PRICE);
-                    let price = if promo_today {
-                        (base * PROMO_MULTIPLIER).round()
-                    } else {
-                        base
-                    };
+                    let price = if promo_today { (base * PROMO_MULTIPLIER).round() } else { base };
                     batch.measure_updates.push((t.key(), vec![price, base]));
                 }
             });
@@ -187,25 +183,13 @@ impl AmazonSim {
     /// Ground truth: fraction of men's watches.
     pub fn true_frac_men(db: &HiddenDatabase) -> f64 {
         let n = db.len() as f64;
-        db.exact_sum(None, |t| {
-            if t.value(attrs::DEPARTMENT) == attrs::MEN {
-                1.0
-            } else {
-                0.0
-            }
-        }) / n
+        db.exact_sum(None, |t| if t.value(attrs::DEPARTMENT) == attrs::MEN { 1.0 } else { 0.0 }) / n
     }
 
     /// Ground truth: fraction of wrist watches.
     pub fn true_frac_wrist(db: &HiddenDatabase) -> f64 {
         let n = db.len() as f64;
-        db.exact_sum(None, |t| {
-            if t.value(attrs::STYLE) == attrs::WRIST {
-                1.0
-            } else {
-                0.0
-            }
-        }) / n
+        db.exact_sum(None, |t| if t.value(attrs::STYLE) == attrs::WRIST { 1.0 } else { 0.0 }) / n
     }
 }
 
@@ -236,20 +220,14 @@ mod tests {
             db.apply(batch).unwrap();
         }
         let during = AmazonSim::true_avg_price(&db);
-        assert!(
-            during < before * 0.88,
-            "promotion should drop average price: {before} → {during}"
-        );
+        assert!(during < before * 0.88, "promotion should drop average price: {before} → {during}");
         // Days 3 (still promo), 4 (revert).
         for day in 3..=4 {
             let batch = sim.batch_for_day(&db, day);
             db.apply(batch).unwrap();
         }
         let after = AmazonSim::true_avg_price(&db);
-        assert!(
-            (after - before).abs() < before * 0.06,
-            "price should revert: {before} → {after}"
-        );
+        assert!((after - before).abs() < before * 0.06, "price should revert: {before} → {after}");
     }
 
     #[test]
@@ -269,9 +247,7 @@ mod tests {
 
     #[test]
     fn cohort_is_deterministic_and_near_half() {
-        let in_cohort = (0..10_000u64)
-            .filter(|&k| AmazonSim::in_promo_cohort(TupleKey(k)))
-            .count();
+        let in_cohort = (0..10_000u64).filter(|&k| AmazonSim::in_promo_cohort(TupleKey(k))).count();
         assert!((4_500..5_500).contains(&in_cohort), "{in_cohort}");
         assert_eq!(
             AmazonSim::in_promo_cohort(TupleKey(42)),

@@ -96,12 +96,9 @@ impl AutosGenerator {
         assert!(config.classes >= 1);
         assert!((0.0..=1.0).contains(&config.class_coherence));
         let sizes: Vec<u32> = (0..config.attrs).map(autos_domain_size).collect();
-        let schema = Schema::with_domain_sizes(&sizes, &["price"])
-            .expect("autos schema is always valid");
-        let marginals = sizes
-            .iter()
-            .map(|&d| ZipfSampler::new(d as usize, config.skew))
-            .collect();
+        let schema =
+            Schema::with_domain_sizes(&sizes, &["price"]).expect("autos schema is always valid");
+        let marginals = sizes.iter().map(|&d| ZipfSampler::new(d as usize, config.skew)).collect();
         let class_sampler = ZipfSampler::new(config.classes, 1.05);
         // Per-class deterministic value tables and base prices, derived by
         // hashing so they are stable under the seed.
@@ -117,15 +114,7 @@ impl AutosGenerator {
             let h = mix(config.seed ^ 0xBEEF ^ (c as u64));
             class_price.push(4_000.0 + (h % 36_000) as f64);
         }
-        Self {
-            schema,
-            config,
-            marginals,
-            class_sampler,
-            class_values,
-            class_price,
-            next_key: 0,
-        }
+        Self { schema, config, marginals, class_sampler, class_values, class_price, next_key: 0 }
     }
 
     /// The configuration in force.
@@ -231,11 +220,8 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let ts = g.generate(&mut rng, 4_000);
         let attr = AttrId(5); // domain 37
-        let zero = ts
-            .iter()
-            .filter(|t| t.values()[attr.index()] == ValueId(0))
-            .count() as f64
-            / 4_000.0;
+        let zero =
+            ts.iter().filter(|t| t.values()[attr.index()] == ValueId(0)).count() as f64 / 4_000.0;
         assert!(zero > 2.0 / 37.0, "value 0 frequency {zero} not skewed");
     }
 
@@ -278,8 +264,8 @@ mod tests {
             *m2.entry(v2).or_default() += 1;
         }
         let max_joint = *joint.values().max().unwrap() as f64 / n;
-        let indep = (*m1.values().max().unwrap() as f64 / n)
-            * (*m2.values().max().unwrap() as f64 / n);
+        let indep =
+            (*m1.values().max().unwrap() as f64 / n) * (*m2.values().max().unwrap() as f64 / n);
         assert!(
             max_joint > 1.3 * indep,
             "joint concentration {max_joint} vs independence baseline {indep}"

@@ -36,9 +36,7 @@ impl BooleanGenerator {
     }
 
     fn make_one<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Tuple {
-        let values = (0..self.attrs)
-            .map(|_| ValueId(rng.random_range(0..2u32)))
-            .collect();
+        let values = (0..self.attrs).map(|_| ValueId(rng.random_range(0..2u32))).collect();
         let key = self.next_key;
         self.next_key += 1;
         Tuple::new(TupleKey(key), values, vec![])
@@ -72,11 +70,7 @@ mod tests {
         let mut g = BooleanGenerator::new(6);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let ts = g.generate(&mut rng, 2_000);
-        let ones = ts
-            .iter()
-            .filter(|t| t.values()[0] == ValueId(1))
-            .count() as f64
-            / 2_000.0;
+        let ones = ts.iter().filter(|t| t.values()[0] == ValueId(1)).count() as f64 / 2_000.0;
         assert!((ones - 0.5).abs() < 0.05, "A0=1 frequency {ones}");
         for t in &ts {
             assert!(t.values().iter().all(|v| v.0 < 2));

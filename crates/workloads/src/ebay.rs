@@ -71,11 +71,8 @@ impl EbaySim {
     /// Builds the pool with `fix` Buy-It-Now and `bid` auction listings,
     /// k = 100 as in the paper's live run.
     pub fn build(fix: usize, bid: usize, seed: u64) -> (HiddenDatabase, EbaySim) {
-        let mut sim = EbaySim {
-            schema: Self::schema(),
-            next_key: 0,
-            rng: StdRng::seed_from_u64(seed),
-        };
+        let mut sim =
+            EbaySim { schema: Self::schema(), next_key: 0, rng: StdRng::seed_from_u64(seed) };
         let mut db = HiddenDatabase::new(sim.schema.clone(), 100, ScoringPolicy::default());
         for _ in 0..fix {
             let t = sim.mint(attrs::FIX);
@@ -193,10 +190,7 @@ mod tests {
         assert!(bid_survival < 0.55, "BID survival {bid_survival}");
     }
 
-    fn collect_segment(
-        db: &HiddenDatabase,
-        lt: ValueId,
-    ) -> std::collections::HashSet<u64> {
+    fn collect_segment(db: &HiddenDatabase, lt: ValueId) -> std::collections::HashSet<u64> {
         let mut out = std::collections::HashSet::new();
         db.for_each_alive(|t| {
             if t.value(attrs::LISTING_TYPE) == lt {

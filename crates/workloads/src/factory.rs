@@ -47,10 +47,7 @@ mod tests {
     #[test]
     fn make_many_produces_distinct_keys() {
         use rand::SeedableRng;
-        let mut f = ConstFactory {
-            schema: Schema::with_domain_sizes(&[2], &[]).unwrap(),
-            next: 0,
-        };
+        let mut f = ConstFactory { schema: Schema::with_domain_sizes(&[2], &[]).unwrap(), next: 0 };
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let ts = f.make_many(&mut rng, 5);
         let mut keys: Vec<u64> = ts.iter().map(|t| t.key().0).collect();

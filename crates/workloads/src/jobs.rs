@@ -62,8 +62,8 @@ pub struct JobBoardGenerator {
 impl JobBoardGenerator {
     /// Creates the generator (boom off).
     pub fn new(config: JobBoardConfig) -> Self {
-        let schema = Schema::with_domain_sizes(&[8, 10, 4, 2], &["salary"])
-            .expect("job board schema valid");
+        let schema =
+            Schema::with_domain_sizes(&[8, 10, 4, 2], &["salary"]).expect("job board schema valid");
         Self { schema, config, next_key: 0, boom: false }
     }
 
@@ -108,10 +108,7 @@ impl JobBoardGenerator {
 
     /// Ground truth helpers: count and average salary of postings
     /// requiring `skill`.
-    pub fn skill_stats(
-        db: &hidden_db::database::HiddenDatabase,
-        skill: ValueId,
-    ) -> (u64, f64) {
+    pub fn skill_stats(db: &hidden_db::database::HiddenDatabase, skill: ValueId) -> (u64, f64) {
         let cond = hidden_db::query::ConjunctiveQuery::from_predicates([
             hidden_db::query::Predicate::new(attrs::SKILL, skill),
         ]);
@@ -145,8 +142,7 @@ mod tests {
 
     fn load(gen: &mut JobBoardGenerator, n: usize, seed: u64) -> HiddenDatabase {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut db =
-            HiddenDatabase::new(gen.schema().clone(), 100, ScoringPolicy::default());
+        let mut db = HiddenDatabase::new(gen.schema().clone(), 100, ScoringPolicy::default());
         for t in gen.make_many(&mut rng, n) {
             db.insert(t).unwrap();
         }
@@ -173,10 +169,7 @@ mod tests {
         let (count_after, avg_after) = JobBoardGenerator::skill_stats(&db_after, attrs::JAVA);
         let frac = count_after as f64 / 6_000.0;
         assert!(frac > 0.18, "boom frequency {frac}");
-        assert!(
-            avg_after > avg_before * 1.08,
-            "boom salary {avg_after} vs {avg_before}"
-        );
+        assert!(avg_after > avg_before * 1.08, "boom salary {avg_after} vs {avg_before}");
     }
 
     #[test]

@@ -57,10 +57,7 @@ pub fn spread_evenly(batch: UpdateBatch) -> Vec<TimedUpdate> {
     }
     let n_upd = batch.measure_updates.len();
     for (l, (k, m)) in batch.measure_updates.into_iter().enumerate() {
-        out.push(TimedUpdate {
-            at: l as f64 / n_upd as f64,
-            op: MicroOp::UpdateMeasures(k, m),
-        });
+        out.push(TimedUpdate { at: l as f64 / n_upd as f64, op: MicroOp::UpdateMeasures(k, m) });
     }
     out.sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap_or(std::cmp::Ordering::Equal));
     out

@@ -17,12 +17,7 @@ use std::sync::Arc;
 /// numerator and denominator come from the *same* drill-downs, so shared
 /// sampling noise cancels in the ratio — far tighter than dividing two
 /// independently tracked COUNTs.
-fn proportion_of(
-    attr: AttrId,
-    value: ValueId,
-    tree: &QueryTree,
-    seed: u64,
-) -> RsEstimator {
+fn proportion_of(attr: AttrId, value: ValueId, tree: &QueryTree, seed: u64) -> RsEstimator {
     let indicator =
         TupleFn::Custom(Arc::new(move |t: &TupleView| (t.value(attr) == value) as u8 as f64));
     let spec = AggregateSpec {

@@ -49,10 +49,7 @@ fn main() {
             let report = est.run_round(&mut session);
             err += relative_error(report.count.value, truth) / runs as f64;
         }
-        println!(
-            "{g:8} | {err:15.3} | {:14.2}%",
-            100.0 * g as f64 / crawl_cost as f64
-        );
+        println!("{g:8} | {err:15.3} | {:14.2}%", 100.0 * g as f64 / crawl_cost as f64);
     }
     println!();
     println!("A few hundred queries buy a few-percent estimate; exactness costs");

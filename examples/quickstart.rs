@@ -37,11 +37,7 @@ fn main() {
     for round in 1..=10 {
         let truth = driver.db().exact_count(None) as f64;
         let mut row: Vec<(f64, f64)> = Vec::new();
-        for est in [
-            &mut restart as &mut dyn Estimator,
-            &mut reissue,
-            &mut rs,
-        ] {
+        for est in [&mut restart as &mut dyn Estimator, &mut reissue, &mut rs] {
             let mut session = driver.session(g);
             let report = est.run_round(&mut session);
             assert!(report.queries_spent <= g, "budget violated");

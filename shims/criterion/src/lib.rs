@@ -1,0 +1,275 @@
+//! A self-contained, API-compatible subset of `criterion`, used because
+//! the build environment has no registry access. Implements the harness
+//! surface this workspace's benches use — benchmark groups with
+//! `sample_size` / `measurement_time` / `warm_up_time`, `bench_function`,
+//! `Bencher::iter` / `iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: per sample, the routine runs in a timed batch whose
+//! iteration count is calibrated so one sample costs roughly
+//! `measurement_time / sample_size`; the reported figure is the median
+//! per-iteration time across samples. No statistics beyond min/median/max,
+//! no plots, no baselines — read trends from the printed table.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the shim uses them
+/// only to bound how many setup outputs are pre-built per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output: batches may be large.
+    SmallInput,
+    /// Large setup output: batches are capped low to bound memory.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn cap(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 256,
+            BatchSize::LargeInput => 16,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Collected timing for one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Estimate {
+    min: Duration,
+    median: Duration,
+    max: Duration,
+}
+
+/// The per-benchmark measurement driver handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    estimate: Option<Estimate>,
+}
+
+impl Bencher {
+    /// Times `routine` (no per-iteration setup).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and calibration: count iterations that fit the warm-up
+        // window to size measurement batches.
+        let warm_end = Instant::now() + self.warm_up_time.max(Duration::from_millis(1));
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_end {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / (warm_iters.max(1) as u32);
+        let batch = batch_size_for(per_iter, self.measurement_time, self.samples);
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed() / (batch as u32));
+        }
+        self.estimate = Some(summarise(&mut samples));
+    }
+
+    /// Times `routine` with fresh per-iteration input from `setup`;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
+        let per_sample_budget =
+            self.measurement_time.max(Duration::from_millis(1)) / (self.samples.max(1) as u32);
+        for _ in 0..self.samples {
+            let mut spent = Duration::ZERO;
+            let mut iters: u64 = 0;
+            while spent < per_sample_budget && iters < size.cap() {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                spent += t0.elapsed();
+                iters += 1;
+            }
+            samples.push(spent / (iters.max(1) as u32));
+        }
+        self.estimate = Some(summarise(&mut samples));
+    }
+}
+
+fn batch_size_for(per_iter: Duration, measurement: Duration, samples: usize) -> u64 {
+    let per_sample = measurement.max(Duration::from_millis(1)) / (samples.max(1) as u32);
+    let per_iter_ns = per_iter.as_nanos().max(1);
+    ((per_sample.as_nanos() / per_iter_ns) as u64).clamp(1, 1_000_000)
+}
+
+fn summarise(samples: &mut [Duration]) -> Estimate {
+    samples.sort_unstable();
+    Estimate {
+        min: samples[0],
+        median: samples[samples.len() / 2],
+        max: samples[samples.len() - 1],
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up/calibration budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.measurement_time, self.warm_up_time, f);
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: &str,
+    samples: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { samples, measurement_time, warm_up_time, estimate: None };
+    f(&mut b);
+    match b.estimate {
+        Some(e) => println!(
+            "bench: {name:<44} median {:>12} (min {}, max {}, {} samples)",
+            fmt_dur(e.median),
+            fmt_dur(e.min),
+            fmt_dur(e.max),
+            samples
+        ),
+        None => println!("bench: {name:<44} (no measurement taken)"),
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    ran: usize,
+}
+
+impl Criterion {
+    /// Opens a named group with default settings (10 samples, 2 s
+    /// measurement, 400 ms warm-up).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(400),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark with default settings.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into(), 10, Duration::from_secs(2), Duration::from_millis(400), f);
+        self.ran += 1;
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($fun(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_estimate() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,218 @@
+//! A self-contained, API-compatible subset of `proptest`, used because the
+//! build environment has no registry access. Provides the pieces this
+//! workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`;
+//! * [`strategy::Strategy`] with `prop_map` / `boxed`, range and tuple
+//!   strategies, [`strategy::Just`], [`prop_oneof!`],
+//!   [`collection::vec`], and [`any`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from real proptest: failing cases are **not shrunk** — the
+//! panic message reports the case number and seed so a failure replays
+//! deterministically (cases derive from a fixed per-test seed).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+use strategy::Strategy;
+
+/// `prop::…` paths as real proptest's prelude exposes them.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` et al.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for primitives (samples the standard distribution).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_primitive {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut crate::test_runner::CaseRng) -> $t {
+                rand::Rng::random(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_primitive!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Weighted choice between strategies of one value type.
+///
+/// `prop_oneof![a, b]` and `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (without
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Declares property tests: each argument is drawn from its strategy and
+/// the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::TestRunner::new(config).run(
+                    stringify!($name),
+                    |rng| {
+                        $(let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), rng);)+
+                        #[allow(unused_mut)]
+                        let mut case = move ||
+                            -> ::std::result::Result<(), $crate::test_runner::TestCaseError>
+                        {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        };
+                        case()
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn composite() -> impl Strategy<Value = (u32, f64)> {
+        (0..10u32, 0.0..1.0f64)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1..7usize, y in -5..5i32) {
+            prop_assert!((1..7).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0..100u32, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            for x in &v {
+                prop_assert!(*x < 100);
+            }
+        }
+
+        #[test]
+        fn maps_and_unions_compose(
+            z in prop_oneof![2 => Just(0u32), 1 => 10..20u32].prop_map(|v| v * 2),
+            pair in composite(),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(z == 0 || (20..40).contains(&z));
+            prop_assert!(pair.0 < 10 && pair.1 < 1.0);
+            let _ = flag;
+        }
+
+        #[test]
+        fn early_ok_return_works(n in 0..10u32) {
+            if n > 100 {
+                return Ok(());
+            }
+            prop_assert_eq!(n.min(9), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prop assertion failed")]
+    fn failures_report_case() {
+        crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4))
+            .run("always_fails", |_rng| Err(TestCaseError::fail("forced".to_string())));
+    }
+}

@@ -1,0 +1,100 @@
+//! Case execution: configuration, the per-case RNG, and the runner loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies for one test case.
+pub type CaseRng = StdRng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// Alias kept for API compatibility with real proptest.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runs a closure over `cases` deterministic seeded cases.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// Builds a runner.
+    pub fn new(config: Config) -> Self {
+        Self { config }
+    }
+
+    /// Runs `case` once per configured case; panics (normal `#[test]`
+    /// failure) on the first `Err`, reporting case index and seed.
+    ///
+    /// Seeds derive from a stable hash of the test name plus the case
+    /// index, so every failure replays by rerunning the same test binary.
+    /// `PROPTEST_BASE_SEED` (decimal u64) perturbs all seeds to explore
+    /// fresh cases.
+    pub fn run<F>(&mut self, name: &str, mut case: F)
+    where
+        F: FnMut(&mut CaseRng) -> Result<(), TestCaseError>,
+    {
+        let base = std::env::var("PROPTEST_BASE_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        let name_tag = fnv1a(name.as_bytes());
+        for i in 0..self.config.cases {
+            let seed = name_tag ^ base.wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9));
+            let mut rng = CaseRng::seed_from_u64(seed);
+            if let Err(e) = case(&mut rng) {
+                panic!(
+                    "prop assertion failed in {name}, case {i}/{} (seed {seed:#x}): {e}",
+                    self.config.cases
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}

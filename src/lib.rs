@@ -33,8 +33,8 @@ pub mod prelude {
     pub use agg_stats::{relative_error, SeriesSummary};
     pub use aggtrack_core::{
         AggKind, AggregateSpec, ArchivingTracker, Estimator, MultiTracker, ReissueEstimator,
-        RestartEstimator, RoundReport, RsConfig, RsEstimator, RunningAverage,
-        StratifiedEstimator, TrackingTarget, TupleFilter, TupleFn, WorkloadReport,
+        RestartEstimator, RoundReport, RsConfig, RsEstimator, RunningAverage, StratifiedEstimator,
+        TrackingTarget, TupleFilter, TupleFn, WorkloadReport,
     };
     pub use hidden_db::{
         AttrId, ConjunctiveQuery, HiddenDatabase, MeasureId, Predicate, QueryOutcome, Schema,
@@ -44,7 +44,7 @@ pub mod prelude {
     pub use query_tree::{QueryTree, ReissuePolicy, Signature};
     pub use workloads::{
         AmazonSim, AutosGenerator, BooleanGenerator, DeleteSpec, EbaySim, IntraRoundSession,
-        JobBoardConfig, JobBoardGenerator, NoChangeSchedule, PerRoundSchedule,
-        RegenerateSchedule, RoundDriver, TupleFactory, UpdateSchedule,
+        JobBoardConfig, JobBoardGenerator, NoChangeSchedule, PerRoundSchedule, RegenerateSchedule,
+        RoundDriver, TupleFactory, UpdateSchedule,
     };
 }

@@ -28,13 +28,8 @@ fn all_estimators_track_count_within_budget() {
     let mut final_errs = [0.0f64; 3];
     for round in 0..8 {
         let truth = driver.db().exact_count(None) as f64;
-        for (i, est) in [
-            &mut restart as &mut dyn Estimator,
-            &mut reissue,
-            &mut rs,
-        ]
-        .into_iter()
-        .enumerate()
+        for (i, est) in
+            [&mut restart as &mut dyn Estimator, &mut reissue, &mut rs].into_iter().enumerate()
         {
             let mut session = driver.session(g);
             let report = est.run_round(&mut session);
@@ -76,9 +71,7 @@ fn sum_with_selection_condition_tracks() {
     let mut est = ReissueEstimator::new(spec, tree, 21);
     let mut last = f64::NAN;
     for _ in 0..5 {
-        let truth = driver
-            .db()
-            .exact_sum(Some(&cond), |t| t.measure(MeasureId(0)));
+        let truth = driver.db().exact_sum(Some(&cond), |t| t.measure(MeasureId(0)));
         let mut session = driver.session(400);
         let report = est.run_round(&mut session);
         last = relative_error(report.sum.value, truth);
@@ -99,7 +92,8 @@ fn subtree_matches_filter_based_conditioning() {
 
     let full_tree = QueryTree::full(&schema);
     let sub_tree = QueryTree::subtree(&schema, cond.clone());
-    let mut filtered = RestartEstimator::new(AggregateSpec::count_where(cond.clone()), full_tree, 31);
+    let mut filtered =
+        RestartEstimator::new(AggregateSpec::count_where(cond.clone()), full_tree, 31);
     let mut subtree = RestartEstimator::new(AggregateSpec::count_where(cond), sub_tree, 32);
 
     // Average several rounds of the static database for stability.
@@ -129,10 +123,7 @@ fn running_average_tracks_trans_round_window() {
         let truth = driver.db().exact_count(None) as f64;
         let mut session = driver.session(300);
         let report = est.run_round(&mut session);
-        last_pair = (
-            est_ra.push(report.count.value),
-            truth_ra.push(truth),
-        );
+        last_pair = (est_ra.push(report.count.value), truth_ra.push(truth));
         driver.advance();
     }
     let err = relative_error(last_pair.0, last_pair.1);

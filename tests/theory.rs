@@ -133,8 +133,7 @@ fn example2_total_change_shrinks_reissue_advantage() {
         let db = load_database(&mut gen, &mut rng, 4_000, 25, ScoringPolicy::default());
         let tree = QueryTree::full(&db.schema().clone());
         let g = 150;
-        let mut restart =
-            RestartEstimator::new(AggregateSpec::count_star(), tree.clone(), 10);
+        let mut restart = RestartEstimator::new(AggregateSpec::count_star(), tree.clone(), 10);
         let mut reissue = ReissueEstimator::new(AggregateSpec::count_star(), tree, 11);
         let mut ratio_sum = 0.0;
         let rounds = 4;
@@ -204,8 +203,7 @@ fn light_change_reissue_no_worse_than_restart() {
         let schedule = PerRoundSchedule::new(gen, 15, DeleteSpec::Fraction(0.001));
         let mut driver = RoundDriver::new(db, schedule, 200 + seed);
         let mut restart = RestartEstimator::new(AggregateSpec::count_star(), tree.clone(), seed);
-        let mut reissue =
-            ReissueEstimator::new(AggregateSpec::count_star(), tree, seed ^ 0xAA);
+        let mut reissue = ReissueEstimator::new(AggregateSpec::count_star(), tree, seed ^ 0xAA);
         for round in 0..5 {
             let truth = driver.db().exact_count(None) as f64;
             let r1 = {

@@ -34,21 +34,14 @@ fn random_db(seed: u64, n: u64, k: usize) -> HiddenDatabase {
 
 /// Mean estimate over ALL signatures (exact expectation over the uniform
 /// signature distribution).
-fn exhaustive_mean(
-    db: &mut HiddenDatabase,
-    tree: &QueryTree,
-    spec: &AggregateSpec,
-) -> (f64, f64) {
+fn exhaustive_mean(db: &mut HiddenDatabase, tree: &QueryTree, spec: &AggregateSpec) -> (f64, f64) {
     let sigs = enumerate_all(tree);
     let mut count = 0.0;
     let mut sum = 0.0;
     for sig in &sigs {
         let mut session = SearchSession::unlimited(db);
         let out = drill_from_root(tree, sig, &mut session).unwrap();
-        assert!(
-            !out.outcome.is_overflow(),
-            "fixture must not leaf-overflow (k too small)"
-        );
+        assert!(!out.outcome.is_overflow(), "fixture must not leaf-overflow (k too small)");
         let s = ht_sample(spec, tree, &out);
         count += s.count / sigs.len() as f64;
         sum += s.sum / sigs.len() as f64;
@@ -86,17 +79,11 @@ fn unbiased_with_selection_conditions() {
         let tree = QueryTree::full(&db.schema().clone());
         let spec = AggregateSpec::count_where(cond.clone());
         let (count, _) = exhaustive_mean(&mut db, &tree, &spec);
-        assert!(
-            (count - truth).abs() < 1e-6,
-            "filtered: {count} != {truth} (seed {seed})"
-        );
+        assert!((count - truth).abs() < 1e-6, "filtered: {count} != {truth} (seed {seed})");
         // Subtree-based (§3.3).
         let sub = QueryTree::subtree(&db.schema().clone(), cond.clone());
         let (count, _) = exhaustive_mean(&mut db, &sub, &spec);
-        assert!(
-            (count - truth).abs() < 1e-6,
-            "subtree: {count} != {truth} (seed {seed})"
-        );
+        assert!((count - truth).abs() < 1e-6, "subtree: {count} != {truth} (seed {seed})");
     }
 }
 
@@ -140,8 +127,7 @@ fn reissue_update_is_exactly_unbiased_after_change() {
         let mut mean = 0.0;
         for (sig, &depth) in sigs.iter().zip(&depths) {
             let mut session = SearchSession::unlimited(&mut db);
-            let out =
-                resume_from(&tree, sig, depth, ReissuePolicy::Strict, &mut session).unwrap();
+            let out = resume_from(&tree, sig, depth, ReissuePolicy::Strict, &mut session).unwrap();
             assert!(!out.outcome.is_overflow());
             mean += ht_sample(&spec, &tree, &out).count / sigs.len() as f64;
         }
@@ -182,10 +168,7 @@ fn trusting_policy_can_be_biased_strict_cannot() {
         let out = resume_from(&tree, sig, d, ReissuePolicy::Trusting, &mut s).unwrap();
         trusting_mean += ht_sample(&spec, &tree, &out).count / sigs.len() as f64;
     }
-    assert!(
-        (strict_mean - 1.0).abs() < 1e-9,
-        "strict exhaustive mean {strict_mean} must equal 1"
-    );
+    assert!((strict_mean - 1.0).abs() < 1e-9, "strict exhaustive mean {strict_mean} must equal 1");
     assert!(
         (trusting_mean - 1.0).abs() > 0.01,
         "fixture should expose trusting bias, got {trusting_mean}"
