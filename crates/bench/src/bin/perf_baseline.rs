@@ -1,8 +1,8 @@
 //! perf_baseline — the standard, committed performance workload.
 //!
-//! Runs two fixed workloads and writes a machine-readable report
-//! (default `BENCH_PR1.json`, see `--out`) so future PRs have a
-//! perf trajectory to beat:
+//! Runs fixed workloads and writes a machine-readable report (default
+//! `BENCH_PR2.json`, see `--out`) so future PRs have a perf trajectory
+//! to beat:
 //!
 //! 1. **Interface microbench** — query throughput of the hidden-database
 //!    substrate on a 10 k-tuple Autos population: one cold pass over a
@@ -12,10 +12,20 @@
 //! 2. **Track workload** — the Fig 2 configuration at `quick` scale
 //!    (8 trials × 10 rounds, three estimators): wall-clock of the
 //!    sequential trial loop vs the parallel runner, with a bitwise
-//!    identity check of every estimator series between the two.
+//!    identity check of every estimator series between the two, and a
+//!    second identity check of incremental vs wholesale memo
+//!    invalidation.
+//! 3. **Memo little-change workload** (PR 2) — Fig 5-style rounds where
+//!    a small batch mutates the database and a fixed overlapping query
+//!    pool is re-asked each round, once per invalidation policy: hit
+//!    rate, wall-clock, invalidation counters, and a cross-policy
+//!    answer-fingerprint consistency check.
+//! 4. **Memo adversarial stream** (PR 2) — a distinct-query flood
+//!    against a small memo capacity: the memo must stay bounded and
+//!    evict.
 //!
-//! The workload is fixed on purpose — do not "tune" it in later PRs;
-//! add new sections instead, so the numbers stay comparable.
+//! The workloads are fixed on purpose — do not "tune" them in later
+//! PRs; add new sections instead, so the numbers stay comparable.
 
 use std::time::Instant;
 
@@ -29,17 +39,23 @@ use aggtrack_parallel::Threads;
 use hidden_db::query::{ConjunctiveQuery, Predicate};
 use hidden_db::ranking::ScoringPolicy;
 use hidden_db::tuple::Tuple;
+use hidden_db::updates::UpdateBatch;
 use hidden_db::value::TupleKey;
+use hidden_db::{InvalidationPolicy, QueryOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workloads::{load_database, AutosGenerator, TupleFactory};
 
 fn main() {
-    let out_path = parse_out_flag().unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let out_path = parse_out_flag().unwrap_or_else(|| "BENCH_PR2.json".to_string());
     eprintln!(">>> perf_baseline: interface microbench");
     let micro = interface_microbench();
     eprintln!(">>> perf_baseline: multi-trial track workload");
     let track = track_workload();
+    eprintln!(">>> perf_baseline: memo little-change workload");
+    let memo_little = memo_little_change();
+    eprintln!(">>> perf_baseline: memo adversarial distinct-query stream");
+    let memo_adv = memo_adversarial();
     let report = Json::obj()
         .field("schema_version", 1u64)
         .field("report", "perf_baseline")
@@ -61,7 +77,9 @@ fn main() {
                 ),
         )
         .field("interface_microbench", micro)
-        .field("track_workload", track);
+        .field("track_workload", track)
+        .field("memo_little_change", memo_little)
+        .field("memo_adversarial", memo_adv);
     std::fs::write(&out_path, report.pretty())
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!(">>> perf_baseline: wrote {out_path}");
@@ -73,7 +91,7 @@ fn parse_out_flag() -> Option<String> {
         [] => None,
         [out, path] if out == "--out" => Some(path.clone()),
         [help] if help == "--help" || help == "-h" => {
-            eprintln!("flags: --out PATH   (default BENCH_PR1.json)");
+            eprintln!("flags: --out PATH   (default BENCH_PR2.json)");
             std::process::exit(0);
         }
         other => panic!("unsupported arguments {other:?} (try --help)"),
@@ -164,7 +182,9 @@ fn interface_microbench() -> Json {
         .field("mutation_wall_s", mutations.as_secs_f64())
 }
 
-/// Fig 2 config at quick scale, 8 trials: sequential vs parallel runner.
+/// Fig 2 config at quick scale, 8 trials: sequential vs parallel runner,
+/// plus the PR 2 cross-policy identity check (incremental memo
+/// invalidation vs the wholesale-clear baseline).
 fn track_workload() -> Json {
     let mut cfg = BaseCfg::for_scale(Scale::Quick);
     cfg.trials = 8;
@@ -180,6 +200,15 @@ fn track_workload() -> Json {
     let par = track_with_threads(&cfg, &algos, rs, &count_star_tracked, Threads::Auto);
     let par_wall = t0.elapsed();
 
+    // Same track with the legacy wholesale-clear policy: estimator
+    // records must be bit-identical — caching is invisible to figures.
+    let mut wholesale_cfg = cfg.clone();
+    wholesale_cfg.memo_policy = InvalidationPolicy::Wholesale;
+    let t0 = Instant::now();
+    let wholesale =
+        track_with_threads(&wholesale_cfg, &algos, rs, &count_star_tracked, Threads::fixed(1));
+    let wholesale_wall = t0.elapsed();
+
     Json::obj()
         .field("config", "fig02 quick scale")
         .field("initial", cfg.initial)
@@ -191,6 +220,164 @@ fn track_workload() -> Json {
         .field("parallel_threads", threads_used)
         .field("speedup", seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(f64::MIN_POSITIVE))
         .field("bit_identical", outcomes_bit_identical(&seq, &par))
+        .field("wholesale_sequential_wall_s", wholesale_wall.as_secs_f64())
+        .field("bit_identical_across_policies", outcomes_bit_identical(&seq, &wholesale))
+}
+
+/// Order-sensitive FNV-1a-style fold of one answer into a running
+/// fingerprint: classification, page keys, and raw measure bits.
+fn fold_outcome(mut h: u64, out: &QueryOutcome) -> u64 {
+    const P: u64 = 0x0000_0100_0000_01B3;
+    let mut eat = |word: u64| {
+        h ^= word;
+        h = h.wrapping_mul(P);
+    };
+    eat(match out {
+        QueryOutcome::Underflow => 1,
+        QueryOutcome::Valid(_) => 2,
+        QueryOutcome::Overflow(_) => 3,
+    });
+    for t in out.tuples() {
+        eat(t.key().0);
+        for m in t.measures() {
+            eat(m.to_bits());
+        }
+    }
+    h
+}
+
+/// Fig 5-style little-change rounds: a small batch mutates the database,
+/// then a fixed overlapping query pool is re-asked — once per policy.
+/// This is the workload incremental invalidation exists for: wholesale
+/// clears pay a full cold pool every round, incremental keeps everything
+/// the batch didn't touch warm.
+fn memo_little_change() -> Json {
+    const N: usize = 4_000;
+    const K: usize = 100;
+    const ATTRS: usize = 12;
+    const ROUNDS: usize = 30;
+    const INSERTS_PER_ROUND: usize = 4;
+
+    let run = |policy: InvalidationPolicy| {
+        let mut gen = AutosGenerator::with_attrs(ATTRS);
+        let mut rng = StdRng::seed_from_u64(0xF165);
+        let mut db = load_database(&mut gen, &mut rng, N, K, ScoringPolicy::default());
+        db.set_invalidation_policy(policy);
+        let pool = query_pool(&db.schema().clone());
+        let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+        let mut fresh_key = 20_000_000u64;
+        let t0 = Instant::now();
+        for round in 0..ROUNDS {
+            // Little-change batch: 4 inserts, 2 deletes, 2 measure
+            // updates (disjoint victims: one sample, split).
+            let victims = db.sample_alive_keys(&mut rng, 4);
+            let mut batch = UpdateBatch::empty();
+            for key in victims.iter().take(2) {
+                batch = batch.delete(*key);
+            }
+            for key in victims.iter().skip(2) {
+                batch = batch.update_measures(*key, vec![round as f64]);
+            }
+            for _ in 0..INSERTS_PER_ROUND {
+                let t = gen.make(&mut rng);
+                fresh_key += 1;
+                batch = batch.insert(Tuple::new(
+                    TupleKey(fresh_key),
+                    t.values().to_vec(),
+                    t.measures().to_vec(),
+                ));
+            }
+            db.apply(batch).expect("little-change batch is valid");
+            for q in &pool {
+                fingerprint = fold_outcome(fingerprint, &db.answer(q));
+            }
+        }
+        let wall = t0.elapsed();
+        (db, fingerprint, wall, pool.len())
+    };
+
+    let (inc_db, inc_fp, inc_wall, pool_len) = run(InvalidationPolicy::Incremental);
+    let (who_db, who_fp, who_wall, _) = run(InvalidationPolicy::Wholesale);
+    let (_, dis_fp, dis_wall, _) = run(InvalidationPolicy::Disabled);
+
+    let inc_rate = inc_db.stats().cache_hit_rate();
+    let who_rate = who_db.stats().cache_hit_rate();
+    let policy_json = |db: &hidden_db::HiddenDatabase, wall: std::time::Duration| {
+        let s = db.stats();
+        let m = db.memo_stats();
+        Json::obj()
+            .field("wall_s", wall.as_secs_f64())
+            .field("answered", s.answered)
+            .field("cache_hits", s.cache_hits)
+            .field("hit_rate", s.cache_hit_rate())
+            .field("memo_len_final", db.memo_len())
+            .field("invalidated", m.invalidated)
+            .field("retained", m.retained)
+            .field("evicted", m.evicted)
+            .field("wholesale_clears", m.wholesale_clears)
+    };
+    Json::obj()
+        .field("population", N)
+        .field("rounds", ROUNDS)
+        .field("pool_distinct_queries", pool_len)
+        .field("batch_per_round", "4 inserts, 2 deletes, 2 measure updates")
+        .field("incremental", policy_json(&inc_db, inc_wall))
+        .field("wholesale", policy_json(&who_db, who_wall))
+        .field("disabled_wall_s", dis_wall.as_secs_f64())
+        .field("memo_consistent", inc_fp == who_fp && inc_fp == dis_fp)
+        .field("memo_hit_rate_improved", inc_rate > who_rate)
+        .field("hit_rate_gain", inc_rate - who_rate)
+}
+
+/// A distinct-query flood against a deliberately small memo capacity:
+/// the CLOCK admission policy must keep the memo bounded (and actually
+/// evict) instead of growing without limit as it did pre-PR-2.
+fn memo_adversarial() -> Json {
+    const N: usize = 2_000;
+    const K: usize = 50;
+    const ATTRS: usize = 12;
+    const CAPACITY: usize = 512;
+    const TARGET_QUERIES: usize = 4_096;
+
+    let mut gen = AutosGenerator::with_attrs(ATTRS);
+    let mut rng = StdRng::seed_from_u64(0xAD7E);
+    let mut db = load_database(&mut gen, &mut rng, N, K, ScoringPolicy::default());
+    db.set_memo_capacity(CAPACITY);
+    let schema = db.schema().clone();
+    let attrs: Vec<_> = schema.attr_ids().collect();
+
+    let mut issued = 0usize;
+    let mut max_len = 0usize;
+    let t0 = Instant::now();
+    'outer: for (i, &a0) in attrs.iter().enumerate() {
+        for &a1 in attrs.iter().skip(i + 1) {
+            for v0 in 0..schema.domain_size(a0) {
+                for v1 in 0..schema.domain_size(a1) {
+                    let q = ConjunctiveQuery::from_predicates([
+                        Predicate::new(a0, hidden_db::value::ValueId(v0)),
+                        Predicate::new(a1, hidden_db::value::ValueId(v1)),
+                    ]);
+                    db.answer(&q);
+                    issued += 1;
+                    max_len = max_len.max(db.memo_len());
+                    if issued >= TARGET_QUERIES {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    let wall = t0.elapsed();
+    let m = db.memo_stats();
+    Json::obj()
+        .field("population", N)
+        .field("capacity", CAPACITY)
+        .field("distinct_queries", issued)
+        .field("queries_per_sec", issued as f64 / wall.as_secs_f64())
+        .field("max_memo_len", max_len)
+        .field("memo_len_final", db.memo_len())
+        .field("evicted", m.evicted)
+        .field("memo_bounded", max_len <= CAPACITY && m.evicted > 0)
 }
 
 fn outcomes_bit_identical(a: &TrackOutcome, b: &TrackOutcome) -> bool {

@@ -5,8 +5,12 @@
 //! * `--trials N` — override trials per configuration;
 //! * `--rounds N` — override tracked rounds;
 //! * `--budget N` — override the per-round query budget `G`;
-//! * `--seed N` — base seed.
+//! * `--seed N` — base seed;
+//! * `--memo incremental|wholesale|disabled` — the database's memo
+//!   invalidation policy (outcome-invariant; pinned by the determinism
+//!   suite).
 
+use hidden_db::InvalidationPolicy;
 use workloads::DeleteSpec;
 
 /// Experiment size preset.
@@ -34,6 +38,8 @@ pub struct Cli {
     pub budget: Option<u64>,
     /// Seed override.
     pub seed: Option<u64>,
+    /// Memo invalidation policy override.
+    pub memo: Option<InvalidationPolicy>,
 }
 
 impl Cli {
@@ -62,10 +68,18 @@ impl Cli {
                 "--rounds" => cli.rounds = Some(value("--rounds").parse().expect("usize")),
                 "--budget" => cli.budget = Some(value("--budget").parse().expect("u64")),
                 "--seed" => cli.seed = Some(value("--seed").parse().expect("u64")),
+                "--memo" => {
+                    cli.memo = Some(match value("--memo").as_str() {
+                        "incremental" => InvalidationPolicy::Incremental,
+                        "wholesale" => InvalidationPolicy::Wholesale,
+                        "disabled" => InvalidationPolicy::Disabled,
+                        other => panic!("unknown memo policy {other:?}"),
+                    })
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale quick|default|paper  --trials N  --rounds N  \
-                         --budget N  --seed N"
+                         --budget N  --seed N  --memo incremental|wholesale|disabled"
                     );
                     std::process::exit(0);
                 }
@@ -97,6 +111,10 @@ pub struct BaseCfg {
     pub delete: DeleteSpec,
     /// Base seed (trial t uses `seed + t`).
     pub seed: u64,
+    /// Memo invalidation policy for every trial database. Outcome-
+    /// invariant (estimator records are bit-identical across policies);
+    /// only wall-clock and cache counters change.
+    pub memo_policy: InvalidationPolicy,
 }
 
 impl BaseCfg {
@@ -113,6 +131,7 @@ impl BaseCfg {
                 inserts: 8,
                 delete: DeleteSpec::Fraction(0.001),
                 seed: 0x5EED,
+                memo_policy: InvalidationPolicy::Incremental,
             },
             Scale::Default => Self {
                 initial: 30_000,
@@ -125,6 +144,7 @@ impl BaseCfg {
                 inserts: 53,
                 delete: DeleteSpec::Fraction(0.001),
                 seed: 0x5EED,
+                memo_policy: InvalidationPolicy::Incremental,
             },
             Scale::Paper => Self {
                 initial: 170_000,
@@ -136,6 +156,7 @@ impl BaseCfg {
                 inserts: 300,
                 delete: DeleteSpec::Fraction(0.001),
                 seed: 0x5EED,
+                memo_policy: InvalidationPolicy::Incremental,
             },
         }
     }
@@ -153,6 +174,9 @@ impl BaseCfg {
         }
         if let Some(s) = cli.seed {
             self.seed = s;
+        }
+        if let Some(p) = cli.memo {
+            self.memo_policy = p;
         }
         self
     }
@@ -194,6 +218,25 @@ mod tests {
         let cfg = BaseCfg::from_cli(&cli);
         assert_eq!(cfg.rounds, 7);
         assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.memo_policy, InvalidationPolicy::Incremental, "default policy");
+    }
+
+    #[test]
+    fn memo_policy_flag_parses_and_applies() {
+        let cli = parse(&["--memo", "wholesale"]);
+        assert_eq!(cli.memo, Some(InvalidationPolicy::Wholesale));
+        let cfg = BaseCfg::from_cli(&cli);
+        assert_eq!(cfg.memo_policy, InvalidationPolicy::Wholesale);
+        assert_eq!(
+            BaseCfg::from_cli(&parse(&["--memo", "disabled"])).memo_policy,
+            InvalidationPolicy::Disabled
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown memo policy")]
+    fn unknown_memo_policy_panics() {
+        parse(&["--memo", "sometimes"]);
     }
 
     #[test]

@@ -275,7 +275,10 @@ fn run_trial(
     };
     let mut gen = AutosGenerator::with_attrs(cfg.attrs);
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(trial));
-    let db = load_database(&mut gen, &mut rng, cfg.initial, cfg.k, ScoringPolicy::default());
+    let mut db = load_database(&mut gen, &mut rng, cfg.initial, cfg.k, ScoringPolicy::default());
+    // Outcome-invariant (pinned by the determinism suite): the policy only
+    // changes wall-clock and cache counters, never estimator records.
+    db.set_invalidation_policy(cfg.memo_policy);
     let schedule = PerRoundSchedule::new(gen, cfg.inserts, cfg.delete);
     let mut driver = RoundDriver::new(db, schedule, cfg.seed ^ (trial.wrapping_mul(7919)));
 

@@ -15,14 +15,14 @@
 use crate::errors::DbError;
 use crate::index::InvertedIndex;
 use crate::interface::{evaluate_streaming, CachedEval, QueryOutcome};
-use crate::memo::QueryMemo;
+use crate::memo::{InvalidationPolicy, QueryMemo};
 use crate::query::ConjunctiveQuery;
 use crate::ranking::ScoringPolicy;
 use crate::schema::Schema;
-use crate::stats::InterfaceStats;
+use crate::stats::{InterfaceStats, MemoStats};
 use crate::store::{Slot, Store};
 use crate::tuple::Tuple;
-use crate::updates::{UpdateBatch, UpdateSummary};
+use crate::updates::{UpdateBatch, UpdateFootprint, UpdateSummary};
 use crate::value::{AttrId, MeasureId, TupleKey, ValueId};
 
 /// A lightweight, allocation-free view of one stored tuple, used by the
@@ -68,6 +68,7 @@ pub struct HiddenDatabase {
     k: usize,
     version: u64,
     cache: QueryMemo,
+    policy: InvalidationPolicy,
     stats: InterfaceStats,
 }
 
@@ -85,6 +86,7 @@ impl HiddenDatabase {
             k,
             version: 0,
             cache: QueryMemo::default(),
+            policy: InvalidationPolicy::default(),
             stats: InterfaceStats::default(),
         }
     }
@@ -99,16 +101,54 @@ impl HiddenDatabase {
         self.k
     }
 
-    /// Changes `k` (used by the Fig 8 parameter sweep). Invalidates the
-    /// memo cache.
+    /// Changes `k` (used by the Fig 8 parameter sweep). `k` affects every
+    /// cached classification, so this is the one mutation that still
+    /// clears the memo wholesale.
     pub fn set_k(&mut self, k: usize) {
         self.k = k;
         self.bump_version();
     }
 
-    /// Monotonic data version; bumps on every mutation.
+    /// Monotonic data version; bumps on every *effective* mutation (an
+    /// empty batch, which changes nothing, leaves it — and the memo —
+    /// untouched).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// How the query memo reacts to mutations (default:
+    /// [`InvalidationPolicy::Incremental`]).
+    pub fn invalidation_policy(&self) -> InvalidationPolicy {
+        self.policy
+    }
+
+    /// Switches the memo policy. Conservatively clears the memo (cheap,
+    /// and policies differ in what they guarantee about existing entries).
+    pub fn set_invalidation_policy(&mut self, policy: InvalidationPolicy) {
+        self.policy = policy;
+        self.bump_version();
+    }
+
+    /// Caps the number of memoised queries (admission/eviction bound;
+    /// default [`crate::DEFAULT_MEMO_CAPACITY`]). `0` disables admission
+    /// entirely.
+    pub fn set_memo_capacity(&mut self, capacity: usize) {
+        self.cache.set_capacity(capacity);
+    }
+
+    /// Number of queries currently memoised.
+    pub fn memo_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The memo's entry cap.
+    pub fn memo_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Memo lifecycle counters (invalidations, evictions, clears).
+    pub fn memo_stats(&self) -> MemoStats {
+        self.cache.stats()
     }
 
     /// `|D|`: number of alive tuples.
@@ -132,9 +172,32 @@ impl HiddenDatabase {
         self.scoring
     }
 
+    /// Version bump with a wholesale memo clear — for mutations that can
+    /// affect *every* cached entry (`set_k`, policy switches).
     fn bump_version(&mut self) {
         self.version += 1;
         self.cache.clear();
+    }
+
+    /// Commits a mutation's footprint: bumps the version and invalidates
+    /// the memo according to the active policy. A no-op for an empty
+    /// footprint — a mutation that changed nothing invalidates nothing.
+    ///
+    /// This runs on the error path of [`HiddenDatabase::apply`] too:
+    /// a batch that fails mid-way leaves its applied prefix in place, and
+    /// the memo must see that prefix's footprint or it would keep serving
+    /// pages containing the prefix's deleted tuples.
+    fn finish_mutation(&mut self, mut footprint: UpdateFootprint) {
+        if footprint.is_empty() {
+            return;
+        }
+        self.version += 1;
+        match self.policy {
+            InvalidationPolicy::Incremental => self.cache.invalidate(&mut footprint, self.version),
+            InvalidationPolicy::Wholesale => self.cache.clear(),
+            // Disabled: the memo never holds entries; nothing to drop.
+            InvalidationPolicy::Disabled => {}
+        }
     }
 
     fn validate_tuple(&self, t: &Tuple) -> Result<(), DbError> {
@@ -164,29 +227,107 @@ impl HiddenDatabase {
 
     /// Inserts one tuple.
     pub fn insert(&mut self, tuple: Tuple) -> Result<(), DbError> {
-        self.validate_tuple(&tuple)?;
-        let score = self.scoring.score(tuple.key(), tuple.measures());
-        let values: Vec<ValueId> = tuple.values().to_vec();
-        let slot = self.store.insert(tuple, score)?;
-        self.index.insert(slot, &values);
-        self.bump_version();
-        Ok(())
+        let mut footprint = UpdateFootprint::default();
+        let result = self.insert_inner(tuple, &mut footprint);
+        self.finish_mutation(footprint);
+        result
     }
 
     /// Deletes one tuple by key.
     pub fn delete(&mut self, key: TupleKey) -> Result<(), DbError> {
-        let slot = self.store.slot_of(key).ok_or(DbError::UnknownKey(key))?;
-        let values: Vec<ValueId> =
-            (0..self.schema.attr_count()).map(|a| ValueId(self.store.value_at(a, slot))).collect();
-        self.store.delete(key)?;
-        self.index.delete(slot, &values, &self.store);
-        self.bump_version();
-        Ok(())
+        let mut footprint = UpdateFootprint::default();
+        let result = self.delete_inner(key, &mut footprint);
+        self.finish_mutation(footprint);
+        result
     }
 
     /// Overwrites the measures of an alive tuple (its position in the query
     /// tree is unchanged; its rank may change under measure-based scoring).
     pub fn update_measures(&mut self, key: TupleKey, measures: Vec<f64>) -> Result<(), DbError> {
+        let mut footprint = UpdateFootprint::default();
+        let result = self.update_measures_inner(key, &measures, &mut footprint);
+        self.finish_mutation(footprint);
+        result
+    }
+
+    /// Applies a batch: deletes, then measure updates, then inserts; bumps
+    /// the version once. Fails atomically per element (earlier elements
+    /// stay applied — batches from schedules are pre-validated), and the
+    /// memo is invalidated for whatever prefix applied, **even on the
+    /// error path** — a failed batch must not leave cached pages serving
+    /// its already-deleted tuples.
+    ///
+    /// An empty batch is a true no-op: no version bump, memo retained —
+    /// a round in which nothing changes costs nothing.
+    pub fn apply(&mut self, batch: UpdateBatch) -> Result<UpdateSummary, DbError> {
+        if batch.is_empty() {
+            return Ok(UpdateSummary::default());
+        }
+        let mut footprint = UpdateFootprint::default();
+        let result = self.apply_batch(batch, &mut footprint);
+        self.finish_mutation(footprint);
+        result
+    }
+
+    fn apply_batch(
+        &mut self,
+        batch: UpdateBatch,
+        footprint: &mut UpdateFootprint,
+    ) -> Result<UpdateSummary, DbError> {
+        let mut summary = UpdateSummary::default();
+        for key in &batch.deletes {
+            self.delete_inner(*key, footprint)?;
+            summary.deleted += 1;
+        }
+        for (key, measures) in &batch.measure_updates {
+            self.update_measures_inner(*key, measures, footprint)?;
+            summary.measures_updated += 1;
+        }
+        for tuple in batch.inserts {
+            self.insert_inner(tuple, footprint)?;
+            summary.inserted += 1;
+        }
+        Ok(summary)
+    }
+
+    fn insert_inner(
+        &mut self,
+        tuple: Tuple,
+        footprint: &mut UpdateFootprint,
+    ) -> Result<(), DbError> {
+        self.validate_tuple(&tuple)?;
+        let score = self.scoring.score(tuple.key(), tuple.measures());
+        let values: Vec<ValueId> = tuple.values().to_vec();
+        let slot = self.store.insert(tuple, score)?;
+        self.index.insert(slot, &values);
+        footprint.record(slot, &values);
+        Ok(())
+    }
+
+    /// The full value row of the (alive) tuple at `slot`, in schema order.
+    fn row_of(&self, slot: Slot) -> Vec<ValueId> {
+        (0..self.schema.attr_count()).map(|a| ValueId(self.store.value_at(a, slot))).collect()
+    }
+
+    fn delete_inner(
+        &mut self,
+        key: TupleKey,
+        footprint: &mut UpdateFootprint,
+    ) -> Result<(), DbError> {
+        let slot = self.store.slot_of(key).ok_or(DbError::UnknownKey(key))?;
+        let values = self.row_of(slot);
+        self.store.delete(key)?;
+        self.index.delete(slot, &values, &self.store);
+        footprint.record(slot, &values);
+        Ok(())
+    }
+
+    fn update_measures_inner(
+        &mut self,
+        key: TupleKey,
+        measures: &[f64],
+        footprint: &mut UpdateFootprint,
+    ) -> Result<(), DbError> {
         if measures.len() != self.schema.measure_count() {
             return Err(DbError::TupleMismatch(format!(
                 "expected {} measures, got {}",
@@ -194,62 +335,15 @@ impl HiddenDatabase {
                 measures.len()
             )));
         }
-        let slot = self.store.update_measures(key, &measures)?;
-        // Rank score may depend on measures; recompute.
-        let key_at = self.store.key_at(slot);
-        let score = self.scoring.score(key_at, &measures);
-        self.store.set_score(slot, score);
-        self.bump_version();
-        Ok(())
-    }
-
-    /// Applies a batch: deletes, then measure updates, then inserts; bumps
-    /// the version once. Fails atomically per element (earlier elements
-    /// stay applied — batches from schedules are pre-validated).
-    pub fn apply(&mut self, batch: UpdateBatch) -> Result<UpdateSummary, DbError> {
-        let mut summary = UpdateSummary::default();
-        for key in &batch.deletes {
-            self.delete_inner(*key)?;
-            summary.deleted += 1;
-        }
-        for (key, measures) in &batch.measure_updates {
-            self.update_measures_inner(*key, measures)?;
-            summary.measures_updated += 1;
-        }
-        for tuple in batch.inserts {
-            self.insert_inner(tuple)?;
-            summary.inserted += 1;
-        }
-        self.bump_version();
-        Ok(summary)
-    }
-
-    fn insert_inner(&mut self, tuple: Tuple) -> Result<(), DbError> {
-        self.validate_tuple(&tuple)?;
-        let score = self.scoring.score(tuple.key(), tuple.measures());
-        let values: Vec<ValueId> = tuple.values().to_vec();
-        let slot = self.store.insert(tuple, score)?;
-        self.index.insert(slot, &values);
-        Ok(())
-    }
-
-    fn delete_inner(&mut self, key: TupleKey) -> Result<(), DbError> {
-        let slot = self.store.slot_of(key).ok_or(DbError::UnknownKey(key))?;
-        let values: Vec<ValueId> =
-            (0..self.schema.attr_count()).map(|a| ValueId(self.store.value_at(a, slot))).collect();
-        self.store.delete(key)?;
-        self.index.delete(slot, &values, &self.store);
-        Ok(())
-    }
-
-    fn update_measures_inner(&mut self, key: TupleKey, measures: &[f64]) -> Result<(), DbError> {
-        if measures.len() != self.schema.measure_count() {
-            return Err(DbError::TupleMismatch("measure arity".into()));
-        }
         let slot = self.store.update_measures(key, measures)?;
+        // Rank score may depend on measures; recompute.
         let key_at = self.store.key_at(slot);
         let score = self.scoring.score(key_at, measures);
         self.store.set_score(slot, score);
+        // The tuple's measures (served in cached pages) and rank (cached
+        // page order) changed: its full row enters the footprint.
+        let values = self.row_of(slot);
+        footprint.record(slot, &values);
         Ok(())
     }
 
@@ -264,10 +358,17 @@ impl HiddenDatabase {
     pub fn answer(&mut self, query: &ConjunctiveQuery) -> QueryOutcome {
         query.validate(&self.schema).expect("search query must be valid for the schema");
         self.stats.answered += 1;
+        if matches!(self.policy, InvalidationPolicy::Disabled) {
+            // The memo-free oracle path: every answer re-evaluates.
+            let mut eval = self.evaluate_uncached(query);
+            let out = eval.outcome(&self.store);
+            self.count_outcome(&out);
+            return out;
+        }
         // One fast fingerprint per answer; the memo never re-hashes the
         // query and only clones it on a confirmed miss.
         let hash = QueryMemo::hash_of(query);
-        if let Some(cached) = self.cache.get_mut(hash, query) {
+        if let Some(cached) = self.cache.get_mut(hash, query, self.version) {
             self.stats.cache_hits += 1;
             let out = cached.outcome(&self.store);
             self.count_outcome(&out);
@@ -275,7 +376,7 @@ impl HiddenDatabase {
         }
         let mut eval = self.evaluate_uncached(query);
         let out = eval.outcome(&self.store);
-        self.cache.insert(hash, query, eval);
+        self.cache.insert(hash, query, eval, self.version);
         self.count_outcome(&out);
         out
     }
@@ -466,8 +567,9 @@ mod tests {
     #[test]
     fn memo_never_serves_stale_results_across_apply_batches() {
         // Regression guard for the pre-hashed memo + shared-view cache:
-        // every `apply` must drop the memo, so answers after each batch
-        // reflect the new state exactly (classification, keys, measures).
+        // every `apply` must invalidate the affected memo entries, so
+        // answers after each batch reflect the new state exactly
+        // (classification, keys, measures).
         let mut d = db();
         let root = ConjunctiveQuery::select_all();
         let probe = q(&[(0, 0)]);
@@ -577,6 +679,159 @@ mod tests {
         let mut d = db();
         d.insert(t(1, 0, 0, 1.0)).unwrap();
         d.answer(&q(&[(0, 5)]));
+    }
+
+    #[test]
+    fn failed_partial_batch_still_invalidates_memo() {
+        // Regression (PR 2 satellite): `apply` used to return `Err`
+        // mid-batch *without* invalidating, even though earlier elements
+        // stayed applied — the memo then served pages containing deleted
+        // tuples.
+        let mut d = db();
+        d.insert(t(1, 0, 0, 10.0)).unwrap();
+        d.insert(t(2, 0, 1, 20.0)).unwrap();
+        let probe = q(&[(0, 0)]);
+        let before = d.answer(&probe);
+        assert!(before.keys().any(|k| k == TupleKey(1)), "tuple 1 visible before the batch");
+        let v_before = d.version();
+
+        // Delete key 1 (applies), then fail on an unknown key.
+        let batch = UpdateBatch::empty().delete(TupleKey(1)).delete(TupleKey(999));
+        assert!(d.apply(batch).is_err());
+        assert!(d.version() > v_before, "partial batch must bump the version");
+        assert!(d.get(TupleKey(1)).is_none(), "prefix stayed applied");
+
+        let after = d.answer(&probe);
+        assert!(
+            after.keys().all(|k| k != TupleKey(1)),
+            "deleted tuple must not be served from the memo after a failed batch"
+        );
+        assert_eq!(d.exact_count(Some(&probe)), 1);
+    }
+
+    #[test]
+    fn failed_batch_with_no_applied_prefix_is_a_no_op() {
+        let mut d = db();
+        d.insert(t(1, 0, 0, 10.0)).unwrap();
+        let root = ConjunctiveQuery::select_all();
+        d.answer(&root);
+        let v = d.version();
+        // First element already fails: nothing applied, nothing to
+        // invalidate.
+        assert!(d.apply(UpdateBatch::empty().delete(TupleKey(999))).is_err());
+        assert_eq!(d.version(), v, "no change applied, no version bump");
+        let hits = d.stats().cache_hits;
+        d.answer(&root);
+        assert_eq!(d.stats().cache_hits, hits + 1, "memo retained");
+    }
+
+    #[test]
+    fn empty_batch_is_a_true_no_op() {
+        // Regression (PR 2 satellite): an empty batch used to bump the
+        // version and drop the whole memo, making no-change rounds pay
+        // full cold-cache cost.
+        let mut d = db();
+        d.insert(t(1, 0, 0, 10.0)).unwrap();
+        let root = ConjunctiveQuery::select_all();
+        d.answer(&root);
+        let v = d.version();
+        let s = d.apply(UpdateBatch::empty()).unwrap();
+        assert_eq!(s, UpdateSummary::default());
+        assert_eq!(d.version(), v, "empty batch must not bump the version");
+        let hits = d.stats().cache_hits;
+        d.answer(&root);
+        assert_eq!(d.stats().cache_hits, hits + 1, "memo survives a no-change round");
+    }
+
+    #[test]
+    fn incremental_invalidation_retains_unaffected_entries() {
+        let mut d = db();
+        d.insert(t(1, 0, 0, 1.0)).unwrap();
+        d.insert(t(2, 1, 1, 2.0)).unwrap();
+        let untouched = q(&[(0, 1)]); // matches tuple 2 only
+        let touched = q(&[(0, 0)]); // matches tuple 1 and the new tuple
+        let root = ConjunctiveQuery::select_all();
+        d.answer(&untouched);
+        d.answer(&touched);
+        d.answer(&root);
+        assert_eq!(d.memo_len(), 3);
+
+        // Insert a tuple with A0=0: `touched` and the root change;
+        // `untouched` must survive and hit.
+        d.insert(t(3, 0, 2, 3.0)).unwrap();
+        assert_eq!(d.memo_len(), 1, "only the unaffected entry survives");
+        let hits = d.stats().cache_hits;
+        let out = d.answer(&untouched);
+        assert_eq!(d.stats().cache_hits, hits + 1, "unaffected entry served warm");
+        assert_eq!(out.returned_count(), 1);
+        // The dropped entries re-evaluate correctly.
+        assert_eq!(d.answer(&touched).returned_count(), 2);
+        // Root overflows at k=2 with 3 alive tuples.
+        assert!(d.answer(&root).is_overflow());
+        let ms = d.memo_stats();
+        assert_eq!(ms.invalidated, 2);
+        assert!(ms.retained >= 1);
+    }
+
+    #[test]
+    fn wholesale_policy_still_clears_everything() {
+        let mut d = db();
+        d.set_invalidation_policy(InvalidationPolicy::Wholesale);
+        d.insert(t(1, 0, 0, 1.0)).unwrap();
+        d.insert(t(2, 1, 1, 2.0)).unwrap();
+        let untouched = q(&[(0, 1)]);
+        d.answer(&untouched);
+        assert_eq!(d.memo_len(), 1);
+        d.insert(t(3, 0, 2, 3.0)).unwrap();
+        assert_eq!(d.memo_len(), 0, "wholesale drops unaffected entries too");
+        let hits = d.stats().cache_hits;
+        d.answer(&untouched);
+        assert_eq!(d.stats().cache_hits, hits, "cold after wholesale clear");
+    }
+
+    #[test]
+    fn disabled_policy_never_caches_and_stays_correct() {
+        let mut d = db();
+        d.set_invalidation_policy(InvalidationPolicy::Disabled);
+        d.insert(t(1, 0, 0, 1.0)).unwrap();
+        let root = ConjunctiveQuery::select_all();
+        assert_eq!(d.answer(&root).returned_count(), 1);
+        assert_eq!(d.answer(&root).returned_count(), 1);
+        assert_eq!(d.memo_len(), 0);
+        assert_eq!(d.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn memo_capacity_bounds_adversarial_distinct_queries() {
+        let schema = Schema::with_domain_sizes(&[64, 3], &[]).unwrap();
+        let mut d = HiddenDatabase::new(schema, 2, ScoringPolicy::NewestFirst);
+        d.set_memo_capacity(8);
+        for v in 0..64u32 {
+            d.answer(&q(&[(0, v)]));
+            assert!(d.memo_len() <= 8, "memo exceeded its cap at v={v}");
+        }
+        let ms = d.memo_stats();
+        assert!(ms.evicted >= 56, "distinct stream must evict, got {}", ms.evicted);
+        assert_eq!(ms.insertions, 64);
+    }
+
+    #[test]
+    fn measure_update_invalidates_queries_matching_the_tuple() {
+        let mut d = db();
+        d.insert(t(1, 0, 0, 10.0)).unwrap();
+        d.insert(t(2, 1, 1, 20.0)).unwrap();
+        let probe = q(&[(0, 0)]);
+        let other = q(&[(0, 1)]);
+        d.answer(&probe);
+        d.answer(&other);
+        d.update_measures(TupleKey(1), vec![99.0]).unwrap();
+        // `probe` matches tuple 1: its cached page held the old measure.
+        let served = d.answer(&probe);
+        assert_eq!(served.tuples()[0].measure(MeasureId(0)), 99.0);
+        // `other` did not match tuple 1 and survived warm.
+        let hits = d.stats().cache_hits;
+        d.answer(&other);
+        assert_eq!(d.stats().cache_hits, hits + 1);
     }
 
     #[test]

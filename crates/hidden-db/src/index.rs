@@ -155,7 +155,12 @@ impl InvertedIndex {
             }
             return;
         }
-        let mut seen = SeenSlots::with_expected(list.slots.len());
+        // Size the seen-set by the *live* estimate, not the raw list
+        // length: on a heavily tombstoned list (dead ≈ 40 % right before
+        // compaction) sizing by `slots.len()` over-allocated the `HashSet`
+        // by almost half, and could pick the hash path when the live
+        // candidate count actually fits the cheaper linear probe.
+        let mut seen = SeenSlots::with_expected(list.live_len_estimate());
         for &s in &list.slots {
             if store.is_alive(s) && store.value_at(attr.index(), s) == value.0 && seen.insert(s) {
                 f(s);
@@ -262,6 +267,31 @@ mod tests {
         // The stale and fresh postings both point at the same alive slot
         // carrying the same value; the scan must yield it exactly once.
         assert_eq!(collect(&index, &store, 0, 1), vec![slot2]);
+    }
+
+    #[test]
+    fn heavily_tombstoned_list_dedups_through_the_small_probe() {
+        // A list with many tombstones but few live entries must stay
+        // exact now that the seen-set is sized by `live_len_estimate()`
+        // (≤ DEDUP_LINEAR_MAX → the linear Vec probe) — including a
+        // reused slot that appears twice and must surface once.
+        let (_s, mut store, mut index) = setup();
+        // 30 tuples in (A0,u1); delete 25 — under COMPACT_MIN_LEN, so no
+        // compaction: 30 postings, 25 tombstones, live estimate 5.
+        for key in 0..30u64 {
+            ins(&mut store, &mut index, key, &[1, 0]);
+        }
+        for key in 0..25u64 {
+            let slot = store.slot_of(TupleKey(key)).unwrap();
+            store.delete(TupleKey(key)).unwrap();
+            index.delete(slot, &[ValueId(1), ValueId(0)], &store);
+        }
+        // Reuse a freed slot with the same value: its stale and fresh
+        // postings both revalidate.
+        let reused = ins(&mut store, &mut index, 100, &[1, 0]);
+        let live = collect(&index, &store, 0, 1);
+        assert_eq!(live.len(), 6);
+        assert_eq!(live.iter().filter(|&&s| s == reused).count(), 1, "reused slot deduped");
     }
 
     #[test]

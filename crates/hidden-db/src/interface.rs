@@ -19,6 +19,11 @@
 //! Result pages are materialised into [`TupleView`]s **once** per cache
 //! entry and shared behind an `Arc`, so repeated (memoised) answers to the
 //! same query cost one atomic increment instead of `k` fresh allocations.
+//! Since PR 2 cache entries can *outlive mutations*: the memo's
+//! postings-aware invalidation (see [`crate::memo`]'s module docs) drops
+//! exactly the entries whose result set a mutation can have changed, so a
+//! shared page is only ever served while every slot it references is
+//! untouched.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -100,17 +105,21 @@ impl QueryOutcome {
     }
 }
 
-/// Raw evaluation result kept in the per-version memo cache: whether the
-/// query overflowed, which slots form the page, and (lazily) the
-/// materialised page shared with every outcome handed out for this entry.
+/// Raw evaluation result kept in the memo cache: whether the query
+/// overflowed, which slots form the page, and (lazily) the materialised
+/// page shared with every outcome handed out for this entry.
 #[derive(Debug, Clone)]
 pub(crate) struct CachedEval {
     pub(crate) overflow: bool,
     /// Result slots, best-first. For overflow: exactly `k`. For valid: all
-    /// matches. For underflow: empty.
+    /// matches. For underflow: empty. The memo's invalidation also probes
+    /// these against a mutation's touched-slot set (belt-and-braces page
+    /// check).
     pub(crate) slots: Vec<Slot>,
     /// Materialised page, filled on first demand. Safe to cache because
-    /// every mutation bumps the database version and drops the memo.
+    /// the memo drops this entry before any mutation that could touch one
+    /// of `slots` becomes visible — wholesale on version bumps under the
+    /// legacy policy, footprint-targeted under incremental invalidation.
     views: Option<Arc<[TupleView]>>,
 }
 

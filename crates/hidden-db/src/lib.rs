@@ -75,11 +75,12 @@ pub use codec::{read_snapshot, write_snapshot};
 pub use database::{HiddenDatabase, TupleRef};
 pub use errors::{BudgetExhausted, DbError, SchemaError};
 pub use interface::{OutcomeClass, QueryOutcome};
+pub use memo::{InvalidationPolicy, DEFAULT_MEMO_CAPACITY};
 pub use query::{ConjunctiveQuery, Predicate};
 pub use ranking::ScoringPolicy;
 pub use schema::{AttributeDef, MeasureDef, Schema};
 pub use session::{SearchBackend, SearchSession};
-pub use stats::InterfaceStats;
+pub use stats::{InterfaceStats, MemoStats};
 pub use tuple::{Tuple, TupleView};
-pub use updates::{UpdateBatch, UpdateSummary};
+pub use updates::{UpdateBatch, UpdateFootprint, UpdateSummary};
 pub use value::{AttrId, MeasureId, TupleKey, ValueId};

@@ -26,6 +26,25 @@ impl InterfaceStats {
     }
 }
 
+/// Counters describing the query memo's lifecycle: what the invalidation
+/// policy dropped and what the admission policy evicted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Entries admitted into the memo.
+    pub insertions: u64,
+    /// Entries dropped by postings-aware incremental invalidation.
+    pub invalidated: u64,
+    /// Entries that survived at least one incremental invalidation pass
+    /// (summed over passes: an entry surviving `n` mutations counts `n`
+    /// times — the "warm rounds saved" currency).
+    pub retained: u64,
+    /// Entries evicted by the bounded admission (CLOCK) policy.
+    pub evicted: u64,
+    /// Wholesale clears (policy [`Wholesale`](crate::InvalidationPolicy),
+    /// `set_k`, or policy switches).
+    pub wholesale_clears: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,8 +1,11 @@
 //! Batched updates: the unit of change between rounds (round-update model,
-//! §2.1) or at arbitrary instants (constant-update model, §5.2).
+//! §2.1) or at arbitrary instants (constant-update model, §5.2) — plus the
+//! [`UpdateFootprint`] an applied batch leaves behind, which drives the
+//! query memo's postings-aware incremental invalidation.
 
+use crate::store::Slot;
 use crate::tuple::Tuple;
-use crate::value::TupleKey;
+use crate::value::{AttrId, TupleKey, ValueId};
 
 /// A set of modifications applied atomically to the database.
 ///
@@ -56,6 +59,89 @@ impl UpdateBatch {
     }
 }
 
+/// The set of postings (and slots) a mutation actually touched.
+///
+/// Every elementary change records the full `(attribute, value)` row of the
+/// tuple it affected: the values of an inserted or deleted tuple, and the
+/// values of a tuple whose measures — hence possibly its hidden rank score
+/// — changed in place. A cached query can only have gained, lost, or
+/// reordered results if one of the touched tuples *matches* it, and a tuple
+/// matches a query exactly when the query's predicate set is a subset of
+/// the tuple's postings. The memo therefore drops a cached entry iff its
+/// predicate set intersects this footprint (the root query, whose predicate
+/// set is empty, is affected by any non-empty footprint), plus — belt and
+/// braces — any entry whose cached result page contains a touched slot.
+///
+/// The footprint is accumulated op by op while a batch applies, so a batch
+/// that fails mid-way still describes exactly the prefix that *did* apply.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateFootprint {
+    /// Touched `(attr, value)` postings; sorted + deduped by [`Self::seal`].
+    postings: Vec<(AttrId, ValueId)>,
+    /// Touched slots; sorted + deduped by [`Self::seal`].
+    slots: Vec<Slot>,
+    sealed: bool,
+}
+
+impl UpdateFootprint {
+    /// Records one touched tuple: its slot and its full value row in
+    /// schema order.
+    pub fn record(&mut self, slot: Slot, values: &[ValueId]) {
+        for (a, &v) in values.iter().enumerate() {
+            self.postings.push((AttrId(a as u16), v));
+        }
+        self.slots.push(slot);
+        self.sealed = false;
+    }
+
+    /// Whether no change was recorded (the mutation was a true no-op).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty() && self.postings.is_empty()
+    }
+
+    /// Sorts and dedupes the posting/slot sets so the `affects_*` probes
+    /// can binary-search. Called once by the memo before invalidating.
+    pub fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        self.postings.sort_unstable();
+        self.postings.dedup();
+        self.slots.sort_unstable();
+        self.slots.dedup();
+        self.sealed = true;
+    }
+
+    /// The touched postings (sorted after [`Self::seal`]).
+    pub fn postings(&self) -> &[(AttrId, ValueId)] {
+        &self.postings
+    }
+
+    /// Whether a cached answer to `query` may have changed: its predicate
+    /// set intersects the touched postings. The root query (no predicates)
+    /// is affected by any non-empty footprint, since every tuple matches it.
+    ///
+    /// Must be called after [`Self::seal`].
+    pub fn affects_query(&self, query: &crate::query::ConjunctiveQuery) -> bool {
+        debug_assert!(self.sealed, "footprint must be sealed before probing");
+        if query.is_empty() {
+            return !self.is_empty();
+        }
+        query.predicates().iter().any(|p| self.postings.binary_search(&(p.attr, p.value)).is_ok())
+    }
+
+    /// Whether a cached result page references a touched slot. Subsumed by
+    /// [`Self::affects_query`] for correctly-recorded footprints (a touched
+    /// tuple in the page matches the query, so the predicate intersection
+    /// already fires) — kept as a cheap independent safety net.
+    ///
+    /// Must be called after [`Self::seal`].
+    pub fn affects_page(&self, page_slots: &[Slot]) -> bool {
+        debug_assert!(self.sealed, "footprint must be sealed before probing");
+        page_slots.iter().any(|s| self.slots.binary_search(s).is_ok())
+    }
+}
+
 /// What an applied batch did (for experiment logging).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct UpdateSummary {
@@ -88,5 +174,40 @@ mod tests {
     fn empty_batch() {
         assert!(UpdateBatch::empty().is_empty());
         assert_eq!(UpdateBatch::empty().len(), 0);
+    }
+
+    #[test]
+    fn footprint_intersection_semantics() {
+        use crate::query::{ConjunctiveQuery, Predicate};
+        use crate::value::AttrId;
+
+        let mut fp = UpdateFootprint::default();
+        assert!(fp.is_empty());
+        fp.record(7, &[ValueId(1), ValueId(2)]);
+        fp.record(7, &[ValueId(1), ValueId(2)]); // dup collapses on seal
+        fp.seal();
+        assert!(!fp.is_empty());
+        assert_eq!(fp.postings(), &[(AttrId(0), ValueId(1)), (AttrId(1), ValueId(2))]);
+
+        let root = ConjunctiveQuery::select_all();
+        assert!(fp.affects_query(&root), "root is affected by any change");
+        let hit = ConjunctiveQuery::from_predicates([Predicate::new(AttrId(1), ValueId(2))]);
+        assert!(fp.affects_query(&hit));
+        let miss = ConjunctiveQuery::from_predicates([Predicate::new(AttrId(1), ValueId(0))]);
+        assert!(!fp.affects_query(&miss));
+        // A query on the same value but a different attribute is unaffected.
+        let cross = ConjunctiveQuery::from_predicates([Predicate::new(AttrId(0), ValueId(2))]);
+        assert!(!fp.affects_query(&cross));
+
+        assert!(fp.affects_page(&[3, 7]));
+        assert!(!fp.affects_page(&[3, 8]));
+    }
+
+    #[test]
+    fn empty_footprint_affects_nothing() {
+        let mut fp = UpdateFootprint::default();
+        fp.seal();
+        assert!(!fp.affects_query(&crate::query::ConjunctiveQuery::select_all()));
+        assert!(!fp.affects_page(&[0, 1, 2]));
     }
 }

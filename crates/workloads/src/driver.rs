@@ -43,11 +43,24 @@ impl<S: UpdateSchedule> RoundDriver<S> {
     }
 
     /// Applies the schedule's next batch, moving to the next round.
+    ///
+    /// Under the database's default incremental invalidation policy a
+    /// little-change (or no-change) round keeps the previous round's memo
+    /// warm for every query the batch didn't touch — the repeated query
+    /// sets estimators re-issue each round hit the cache instead of
+    /// re-evaluating from cold.
     pub fn advance(&mut self) -> UpdateSummary {
         let batch = self.schedule.next_batch(&self.db, &mut self.rng);
         let summary = self.db.apply(batch).expect("schedule produced an invalid batch");
         self.round += 1;
         summary
+    }
+
+    /// Memo lifecycle counters of the underlying database — handy next to
+    /// [`hidden_db::database::HiddenDatabase::stats`] when an experiment
+    /// wants to report warm-cache behaviour per round.
+    pub fn memo_stats(&self) -> hidden_db::stats::MemoStats {
+        self.db.memo_stats()
     }
 
     /// Builds (but does not apply) the next round's batch — used by the

@@ -7,6 +7,12 @@
 //! `1/G`. This reproduces the Fig 4 setting ("a tuple is inserted every 12
 //! seconds, an existing tuple deleted every 21 seconds" while the
 //! algorithm takes the whole hour to run).
+//!
+//! Micro-ops go through the database's normal mutation path, so since
+//! PR 2 each one performs *postings-aware incremental* memo invalidation:
+//! a mid-round insert only evicts the cached queries whose answers it can
+//! actually change, and an estimator re-asking an unaffected query right
+//! after an update still gets the warm page.
 
 use std::collections::VecDeque;
 
@@ -228,6 +234,33 @@ mod tests {
         s.drain_pending();
         assert_eq!(s.applied_updates(), 1);
         assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn micro_ops_retain_unaffected_memo_entries() {
+        use hidden_db::query::Predicate;
+        use hidden_db::value::AttrId;
+
+        let mut db = db_with(3); // three tuples with A0=u0
+        let probe = ConjunctiveQuery::from_predicates([Predicate::new(AttrId(0), ValueId(0))]);
+        // A mid-round insert of a tuple with A0=u1 — disjoint from `probe`.
+        let updates = vec![TimedUpdate { at: 0.3, op: MicroOp::Insert(t(100)) }];
+        let mut s = IntraRoundSession::new(&mut db, 10, updates);
+        assert_eq!(s.issue(&probe).unwrap().returned_count(), 3); // cold
+        assert_eq!(s.issue(&probe).unwrap().returned_count(), 3); // warm
+                                                                  // Third issue crosses t=0.3: the insert applies, then the query
+                                                                  // runs. The inserted tuple cannot match `probe`, so the entry
+                                                                  // survives incremental invalidation and is served warm again.
+        assert_eq!(s.issue(&probe).unwrap().returned_count(), 3);
+        assert_eq!(s.applied_updates(), 1);
+        // The root query *was* affected and reflects the insert.
+        assert_eq!(s.issue(&ConjunctiveQuery::select_all()).unwrap().returned_count(), 4);
+        drop(s);
+        assert_eq!(
+            db.stats().cache_hits,
+            2,
+            "unaffected probe must stay warm across the mid-round insert"
+        );
     }
 
     #[test]
