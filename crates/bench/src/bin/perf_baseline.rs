@@ -1,7 +1,7 @@
 //! perf_baseline — the standard, committed performance workload.
 //!
 //! Runs fixed workloads and writes a machine-readable report (default
-//! `BENCH_PR2.json`, see `--out`) so future PRs have a perf trajectory
+//! `BENCH_PR3.json`, see `--out`) so future PRs have a perf trajectory
 //! to beat:
 //!
 //! 1. **Interface microbench** — query throughput of the hidden-database
@@ -23,9 +23,22 @@
 //! 4. **Memo adversarial stream** (PR 2) — a distinct-query flood
 //!    against a small memo capacity: the memo must stay bounded and
 //!    evict.
+//! 5. **Intersection engine** (PR 3) — a deep-query (3–4 predicate)
+//!    pool evaluated cold by the galloping/bitset intersection engine vs
+//!    the PR 2 rarest-list re-check scan: queries/sec both ways and an
+//!    answer-fingerprint identity check (`intersect_identical`).
+//! 6. **Early exit** (PR 3) — overflow-heavy `NewestFirst` scans with
+//!    the heap-floor early exit on vs off (`early_exit_consistent`).
+//! 7. **Ground-truth parallelism** (PR 3) — `exact_count`/`exact_sum`
+//!    fanned out over store segments at 1/2/4/7 threads with a bitwise
+//!    identity check against the sequential sweep
+//!    (`ground_truth_bit_identical`).
 //!
 //! The workloads are fixed on purpose — do not "tune" them in later
 //! PRs; add new sections instead, so the numbers stay comparable.
+//!
+//! Flags: `--out PATH` (default `BENCH_PR3.json`), `--threads N`
+//! (thread pool for the parallel track run; default auto).
 
 use std::time::Instant;
 
@@ -40,22 +53,28 @@ use hidden_db::query::{ConjunctiveQuery, Predicate};
 use hidden_db::ranking::ScoringPolicy;
 use hidden_db::tuple::Tuple;
 use hidden_db::updates::UpdateBatch;
-use hidden_db::value::TupleKey;
-use hidden_db::{InvalidationPolicy, QueryOutcome};
+use hidden_db::value::{MeasureId, TupleKey};
+use hidden_db::{EvalConfig, IntersectPolicy, InvalidationPolicy, QueryOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workloads::{load_database, AutosGenerator, TupleFactory};
 
 fn main() {
-    let out_path = parse_out_flag().unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let flags = Flags::parse();
     eprintln!(">>> perf_baseline: interface microbench");
     let micro = interface_microbench();
     eprintln!(">>> perf_baseline: multi-trial track workload");
-    let track = track_workload();
+    let track = track_workload(flags.pool());
     eprintln!(">>> perf_baseline: memo little-change workload");
     let memo_little = memo_little_change();
     eprintln!(">>> perf_baseline: memo adversarial distinct-query stream");
     let memo_adv = memo_adversarial();
+    eprintln!(">>> perf_baseline: deep-query intersection engine");
+    let intersection = intersection_engine();
+    eprintln!(">>> perf_baseline: early-exit overflow classification");
+    let early_exit = early_exit_workload();
+    eprintln!(">>> perf_baseline: ground-truth segment fan-out");
+    let ground_truth = ground_truth_parallelism();
     let report = Json::obj()
         .field("schema_version", 1u64)
         .field("report", "perf_baseline")
@@ -74,27 +93,55 @@ fn main() {
                 .field(
                     "aggtrack_threads_env",
                     std::env::var("AGGTRACK_THREADS").map(Json::from).unwrap_or(Json::Null),
-                ),
+                )
+                .field("threads_flag", flags.threads.map(Json::from).unwrap_or(Json::Null)),
         )
         .field("interface_microbench", micro)
         .field("track_workload", track)
         .field("memo_little_change", memo_little)
-        .field("memo_adversarial", memo_adv);
-    std::fs::write(&out_path, report.pretty())
-        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    eprintln!(">>> perf_baseline: wrote {out_path}");
+        .field("memo_adversarial", memo_adv)
+        .field("intersection", intersection)
+        .field("early_exit", early_exit)
+        .field("ground_truth_parallelism", ground_truth);
+    std::fs::write(&flags.out, report.pretty())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", flags.out));
+    eprintln!(">>> perf_baseline: wrote {}", flags.out);
 }
 
-fn parse_out_flag() -> Option<String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [] => None,
-        [out, path] if out == "--out" => Some(path.clone()),
-        [help] if help == "--help" || help == "-h" => {
-            eprintln!("flags: --out PATH   (default BENCH_PR2.json)");
-            std::process::exit(0);
+struct Flags {
+    out: String,
+    /// Worker count for the fan-out pool (parallel track run); `None`
+    /// resolves to `AGGTRACK_THREADS` / available parallelism.
+    threads: Option<usize>,
+}
+
+impl Flags {
+    fn parse() -> Self {
+        let mut flags = Flags { out: "BENCH_PR3.json".to_string(), threads: None };
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut value =
+                |name: &str| it.next().unwrap_or_else(|| panic!("flag {name} needs a value"));
+            match arg.as_str() {
+                "--out" => flags.out = value("--out"),
+                "--threads" => {
+                    flags.threads =
+                        Some(value("--threads").parse().expect("--threads takes a positive count"))
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --out PATH (default BENCH_PR3.json)  --threads N (default auto)"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unsupported argument {other:?} (try --help)"),
+            }
         }
-        other => panic!("unsupported arguments {other:?} (try --help)"),
+        flags
+    }
+
+    fn pool(&self) -> Threads {
+        self.threads.map_or(Threads::Auto, Threads::fixed)
     }
 }
 
@@ -184,8 +231,9 @@ fn interface_microbench() -> Json {
 
 /// Fig 2 config at quick scale, 8 trials: sequential vs parallel runner,
 /// plus the PR 2 cross-policy identity check (incremental memo
-/// invalidation vs the wholesale-clear baseline).
-fn track_workload() -> Json {
+/// invalidation vs the wholesale-clear baseline). `pool` is the
+/// `--threads` flag's pool (auto when absent).
+fn track_workload(pool: Threads) -> Json {
     let mut cfg = BaseCfg::for_scale(Scale::Quick);
     cfg.trials = 8;
     let algos = standard_algos();
@@ -195,9 +243,9 @@ fn track_workload() -> Json {
     let seq = track_with_threads(&cfg, &algos, rs, &count_star_tracked, Threads::fixed(1));
     let seq_wall = t0.elapsed();
 
-    let threads_used = Threads::Auto.resolve(cfg.trials);
+    let threads_used = pool.resolve(cfg.trials);
     let t0 = Instant::now();
-    let par = track_with_threads(&cfg, &algos, rs, &count_star_tracked, Threads::Auto);
+    let par = track_with_threads(&cfg, &algos, rs, &count_star_tracked, pool);
     let par_wall = t0.elapsed();
 
     // Same track with the legacy wholesale-clear policy: estimator
@@ -378,6 +426,193 @@ fn memo_adversarial() -> Json {
         .field("memo_len_final", db.memo_len())
         .field("evicted", m.evicted)
         .field("memo_bounded", max_len <= CAPACITY && m.evicted > 0)
+}
+
+/// Deep-query pool: every 3-predicate combination over the first three
+/// attributes plus a 4-predicate layer — the workload where the PR 2
+/// rarest-list scan re-checked every other predicate per candidate.
+fn deep_query_pool(schema: &hidden_db::schema::Schema) -> Vec<ConjunctiveQuery> {
+    let attrs: Vec<_> = schema.attr_ids().collect();
+    let mut pool = Vec::new();
+    for v0 in 0..schema.domain_size(attrs[0]) {
+        for v1 in 0..schema.domain_size(attrs[1]) {
+            for v2 in 0..schema.domain_size(attrs[2]) {
+                let q3 = ConjunctiveQuery::from_predicates([
+                    Predicate::new(attrs[0], hidden_db::value::ValueId(v0)),
+                    Predicate::new(attrs[1], hidden_db::value::ValueId(v1)),
+                    Predicate::new(attrs[2], hidden_db::value::ValueId(v2)),
+                ]);
+                for v3 in 0..schema.domain_size(attrs[3]) {
+                    pool.push(q3.with(attrs[3], hidden_db::value::ValueId(v3)));
+                }
+                pool.push(q3);
+            }
+        }
+    }
+    pool
+}
+
+/// PR 3: the galloping/bitset intersection engine vs the PR 2
+/// rarest-list re-check scan on cold deep queries (memo disabled so
+/// every answer evaluates). `intersect_identical` must always be true.
+fn intersection_engine() -> Json {
+    const N: usize = 20_000;
+    const K: usize = 50;
+    const ATTRS: usize = 12;
+    const PASSES: usize = 6;
+
+    let run = |config: EvalConfig| {
+        let mut gen = AutosGenerator::with_attrs(ATTRS);
+        let mut rng = StdRng::seed_from_u64(0x1A7E);
+        let mut db = load_database(&mut gen, &mut rng, N, K, ScoringPolicy::default());
+        db.set_invalidation_policy(InvalidationPolicy::Disabled);
+        db.set_eval_config(config);
+        let pool = deep_query_pool(&db.schema().clone());
+        let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+        let t0 = Instant::now();
+        for _ in 0..PASSES {
+            for q in &pool {
+                fingerprint = fold_outcome(fingerprint, &db.answer(q));
+            }
+        }
+        let wall = t0.elapsed();
+        (db, fingerprint, wall, PASSES * pool.len())
+    };
+
+    let engine = EvalConfig::default();
+    let recheck = EvalConfig { early_exit: false, intersect: IntersectPolicy::Recheck };
+    let (engine_db, engine_fp, engine_wall, queries) = run(engine);
+    let (_, recheck_fp, recheck_wall, _) = run(recheck);
+    let stats = engine_db.eval_stats();
+    let engine_qps = queries as f64 / engine_wall.as_secs_f64();
+    let recheck_qps = queries as f64 / recheck_wall.as_secs_f64();
+    Json::obj()
+        .field("population", N)
+        .field("k", K)
+        .field("deep_queries_per_pass", queries / PASSES)
+        .field("min_predicates", 3u64)
+        .field("engine_queries_per_sec", engine_qps)
+        .field("recheck_queries_per_sec", recheck_qps)
+        .field("engine_speedup", engine_qps / recheck_qps)
+        .field("gallop_intersections", stats.gallop_intersections)
+        .field("bitset_intersections", stats.bitset_intersections)
+        .field("early_exits", stats.early_exits)
+        .field("intersect_identical", engine_fp == recheck_fp)
+        .field("engine_beats_recheck", engine_qps > recheck_qps)
+}
+
+/// PR 3: overflow-heavy `NewestFirst` scans with the heap-floor early
+/// exit on vs off. `early_exit_consistent` must always be true.
+fn early_exit_workload() -> Json {
+    const N: usize = 30_000;
+    const K: usize = 100;
+    const ATTRS: usize = 12;
+    const PASSES: usize = 40;
+
+    let run = |early_exit: bool| {
+        let mut gen = AutosGenerator::with_attrs(ATTRS);
+        let mut rng = StdRng::seed_from_u64(0xEE17);
+        let mut db = load_database(&mut gen, &mut rng, N, K, ScoringPolicy::NewestFirst);
+        db.set_invalidation_policy(InvalidationPolicy::Disabled);
+        db.set_eval_config(EvalConfig { early_exit, ..EvalConfig::default() });
+        let schema = db.schema().clone();
+        // Root + every depth-1 query: the popular ones overflow hard.
+        let mut pool = vec![ConjunctiveQuery::select_all()];
+        for a in schema.attr_ids() {
+            for v in 0..schema.domain_size(a) {
+                pool.push(ConjunctiveQuery::from_predicates([Predicate::new(
+                    a,
+                    hidden_db::value::ValueId(v),
+                )]));
+            }
+        }
+        let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+        let t0 = Instant::now();
+        for _ in 0..PASSES {
+            for q in &pool {
+                fingerprint = fold_outcome(fingerprint, &db.answer(q));
+            }
+        }
+        let wall = t0.elapsed();
+        (db, fingerprint, wall, PASSES * pool.len())
+    };
+
+    let (exit_db, exit_fp, exit_wall, queries) = run(true);
+    let (_, full_fp, full_wall, _) = run(false);
+    let stats = exit_db.eval_stats();
+    Json::obj()
+        .field("population", N)
+        .field("k", K)
+        .field("scoring", "NewestFirst")
+        .field("queries", queries)
+        .field("early_exit_queries_per_sec", queries as f64 / exit_wall.as_secs_f64())
+        .field("exhaustive_queries_per_sec", queries as f64 / full_wall.as_secs_f64())
+        .field("speedup", full_wall.as_secs_f64() / exit_wall.as_secs_f64().max(f64::MIN_POSITIVE))
+        .field("early_exits", stats.early_exits)
+        .field("segments_skipped", stats.segments_skipped)
+        .field("early_exit_consistent", exit_fp == full_fp)
+}
+
+/// PR 3: ground truth fanned out over store segments. The segment-
+/// ordered replay merge must reproduce the sequential sweep bit-for-bit
+/// at every thread count (`ground_truth_bit_identical`).
+fn ground_truth_parallelism() -> Json {
+    const N: usize = 60_000;
+    const K: usize = 100;
+    const ATTRS: usize = 12;
+    const PASSES: usize = 10;
+
+    let mut gen = AutosGenerator::with_attrs(ATTRS);
+    let mut rng = StdRng::seed_from_u64(0x67A7);
+    let mut db = load_database(&mut gen, &mut rng, N, K, ScoringPolicy::default());
+    // Fragment segments so the fan-out sees uneven alive counts.
+    for victim in db.sample_alive_keys(&mut rng, N / 8) {
+        db.delete(victim).expect("sampled keys are alive");
+    }
+    let schema = db.schema().clone();
+    let attrs: Vec<_> = schema.attr_ids().collect();
+    let cond =
+        ConjunctiveQuery::from_predicates([Predicate::new(attrs[0], hidden_db::value::ValueId(0))]);
+
+    let seq_count = db.exact_count(Some(&cond));
+    let seq_sum = db.exact_sum(Some(&cond), |t| t.measure(MeasureId(0)));
+    let seq_root = db.exact_sum(None, |t| t.measure(MeasureId(0)));
+
+    let mut bit_identical = true;
+    let mut per_threads = Json::obj();
+    let mut seq_wall_s = 0.0;
+    for workers in [1usize, 2, 4, 7] {
+        let threads = Threads::fixed(workers);
+        let t0 = Instant::now();
+        let mut count = 0u64;
+        let mut sum = 0.0;
+        let mut root = 0.0;
+        for _ in 0..PASSES {
+            count = db.exact_count_threads(Some(&cond), threads);
+            sum = db.exact_sum_threads(Some(&cond), |t| t.measure(MeasureId(0)), threads);
+            root = db.exact_sum_threads(None, |t| t.measure(MeasureId(0)), threads);
+        }
+        let wall = t0.elapsed().as_secs_f64() / PASSES as f64;
+        if workers == 1 {
+            seq_wall_s = wall;
+        }
+        bit_identical &= count == seq_count
+            && sum.to_bits() == seq_sum.to_bits()
+            && root.to_bits() == seq_root.to_bits();
+        per_threads = per_threads.field(
+            &workers.to_string(),
+            Json::obj()
+                .field("wall_s_per_pass", wall)
+                .field("speedup_vs_1", seq_wall_s / wall.max(f64::MIN_POSITIVE)),
+        );
+    }
+    Json::obj()
+        .field("population", N)
+        .field("alive", db.len())
+        .field("segments", N.div_ceil(hidden_db::SEGMENT_SLOTS))
+        .field("passes", PASSES)
+        .field("per_threads", per_threads)
+        .field("ground_truth_bit_identical", bit_identical)
 }
 
 fn outcomes_bit_identical(a: &TrackOutcome, b: &TrackOutcome) -> bool {

@@ -8,23 +8,32 @@ use hidden_db::value::{AttrId, MeasureId, ValueId};
 use query_tree::QueryTree;
 use workloads::DeleteSpec;
 
+use aggtrack_parallel::Threads;
+
 use crate::cli::{BaseCfg, Cli, Scale};
-use crate::runner::{count_star_tracked, print_csv, standard_algos, tail_mean, track, Tracked};
+use crate::runner::{
+    count_star_tracked, print_csv, standard_algos, tail_mean, track_many, Tracked,
+};
 
 /// Averaging window for the "error after N rounds" scalar.
 const TAIL: usize = 5;
 
+/// Runs every configuration of a sweep through one shared pool at
+/// `(configuration, trial)` granularity ([`track_many`]) instead of the
+/// old per-configuration loop, which stalled the pool at each
+/// configuration boundary. Output values are bit-identical to the
+/// sequential sweep.
 fn sweep_rows(
     cfgs: &[(String, BaseCfg)],
-    tracked_of: &(dyn Fn(&hidden_db::schema::Schema) -> Tracked + Sync),
+    tracked_of: &(dyn Fn(usize, &hidden_db::schema::Schema) -> Tracked + Sync),
 ) -> (Vec<String>, Vec<(&'static str, Vec<f64>)>) {
     let algos = standard_algos();
+    let bare: Vec<BaseCfg> = cfgs.iter().map(|(_, c)| c.clone()).collect();
+    let outs = track_many(&bare, &algos, RsConfig::default(), tracked_of, Threads::Auto);
     let mut columns: Vec<(&'static str, Vec<f64>)> =
         algos.iter().map(|a| (a.name(), Vec::new())).collect();
-    let mut xs = Vec::new();
-    for (label, cfg) in cfgs {
-        let out = track(cfg, &algos, RsConfig::default(), tracked_of);
-        xs.push(label.clone());
+    let xs: Vec<String> = cfgs.iter().map(|(label, _)| label.clone()).collect();
+    for out in &outs {
         for (i, a) in out.algos.iter().enumerate() {
             columns[i].1.push(tail_mean(&a.rel_err, TAIL));
         }
@@ -48,7 +57,7 @@ pub fn fig08(cli: &Cli) {
             (k.to_string(), c)
         })
         .collect();
-    let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
+    let (xs, cols) = sweep_rows(&cfgs, &|_, schema| count_star_tracked(schema));
     print_csv("Fig 8: error after tracking horizon vs k", "k", &xs, &cols);
 }
 
@@ -67,7 +76,7 @@ pub fn fig09(cli: &Cli) {
             (g.to_string(), c)
         })
         .collect();
-    let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
+    let (xs, cols) = sweep_rows(&cfgs, &|_, schema| count_star_tracked(schema));
     print_csv("Fig 9: error after tracking horizon vs per-round budget G", "G", &xs, &cols);
 }
 
@@ -94,7 +103,7 @@ pub fn fig10(cli: &Cli) {
             (net.to_string(), c)
         })
         .collect();
-    let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
+    let (xs, cols) = sweep_rows(&cfgs, &|_, schema| count_star_tracked(schema));
     print_csv("Fig 10: error after horizon vs net tuples inserted", "net_inserted", &xs, &cols);
 }
 
@@ -114,7 +123,7 @@ pub fn fig11(cli: &Cli) {
             (m.to_string(), c)
         })
         .collect();
-    let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
+    let (xs, cols) = sweep_rows(&cfgs, &|_, schema| count_star_tracked(schema));
     print_csv("Fig 11: error after tracking horizon vs attribute count m", "m", &xs, &cols);
 }
 
@@ -142,7 +151,7 @@ pub fn fig12(cli: &Cli) {
             (n.to_string(), c)
         })
         .collect();
-    let (xs, cols) = sweep_rows(&cfgs, &count_star_tracked);
+    let (xs, cols) = sweep_rows(&cfgs, &|_, schema| count_star_tracked(schema));
     print_csv(
         "Fig 12: error after tracking horizon vs initial database size",
         "initial_size",
@@ -158,31 +167,25 @@ pub fn fig13(cli: &Cli) {
     if cli.rounds.is_none() && cli.scale != Scale::Quick {
         base.rounds = 50;
     }
-    let mut xs = Vec::new();
-    let algos = standard_algos();
-    let mut columns: Vec<(&'static str, Vec<f64>)> =
-        algos.iter().map(|a| (a.name(), Vec::new())).collect();
-    for preds in 0..=3usize {
-        let tracked_of = move |schema: &hidden_db::schema::Schema| -> Tracked {
-            // Predicates on the first `preds` attributes, most popular
-            // value (0) of each.
-            let cond = ConjunctiveQuery::from_predicates(
-                (0..preds).map(|a| Predicate::new(AttrId(a as u16), ValueId(0))),
-            );
-            let tree = QueryTree::subtree(schema, cond.clone());
-            let spec = AggregateSpec::sum_measure(MeasureId(0), cond.clone());
-            Tracked {
-                spec,
-                tree,
-                truth: Box::new(move |db| db.exact_sum(Some(&cond), |t| t.measure(MeasureId(0)))),
-            }
-        };
-        let out = track(&base, &algos, RsConfig::default(), &tracked_of);
-        xs.push(preds.to_string());
-        for (i, a) in out.algos.iter().enumerate() {
-            columns[i].1.push(tail_mean(&a.rel_err, TAIL));
+    // One configuration track per predicate depth; the tracked aggregate
+    // varies with the configuration index, so all four depths share the
+    // pool at (configuration, trial) granularity.
+    let cfgs: Vec<(String, BaseCfg)> =
+        (0..=3usize).map(|preds| (preds.to_string(), base.clone())).collect();
+    let (xs, columns) = sweep_rows(&cfgs, &|ci, schema| {
+        // Predicates on the first `ci` attributes, most popular value
+        // (0) of each.
+        let cond = ConjunctiveQuery::from_predicates(
+            (0..ci).map(|a| Predicate::new(AttrId(a as u16), ValueId(0))),
+        );
+        let tree = QueryTree::subtree(schema, cond.clone());
+        let spec = AggregateSpec::sum_measure(MeasureId(0), cond.clone());
+        Tracked {
+            spec,
+            tree,
+            truth: Box::new(move |db| db.exact_sum(Some(&cond), |t| t.measure(MeasureId(0)))),
         }
-    }
+    });
     print_csv(
         "Fig 13: SUM(price) error after horizon vs #conjunctive predicates",
         "predicates",

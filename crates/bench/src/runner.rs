@@ -243,22 +243,56 @@ pub fn track_with_threads(
     tracked_of: &(dyn Fn(&Schema) -> Tracked + Sync),
     threads: Threads,
 ) -> TrackOutcome {
-    let mut out = TrackOutcome {
-        algos: algos.iter().map(|a| SeriesSet::new(a.name(), cfg.rounds)).collect(),
-        truth: SeriesSummary::new(cfg.rounds),
-        truth_change: SeriesSummary::new(cfg.rounds),
-    };
-    let trials = par_map_indexed(cfg.trials, threads, |trial| {
-        run_trial(cfg, algos, rs_cfg, tracked_of, trial as u64)
+    track_many(std::slice::from_ref(cfg), algos, rs_cfg, &|_, schema| tracked_of(schema), threads)
+        .pop()
+        .expect("one config in, one outcome out")
+}
+
+/// Runs several independent configurations ("tracks") through **one**
+/// shared pool at `(configuration, trial)` granularity — the flattened
+/// job list keeps every worker busy across configuration boundaries,
+/// where the old per-figure × per-trial nesting drained the pool at the
+/// end of each configuration before starting the next. Used by the
+/// fig08–fig13 sweeps.
+///
+/// `tracked_of` receives the configuration index, so sweeps can vary the
+/// tracked aggregate per configuration (fig13). Outputs are
+/// **bit-identical** to running [`track_with_threads`] per configuration:
+/// each trial's records depend only on `(config, trial index)`, and the
+/// merge replays them config-major in trial order.
+pub fn track_many(
+    cfgs: &[BaseCfg],
+    algos: &[AlgoKind],
+    rs_cfg: RsConfig,
+    tracked_of: &(dyn Fn(usize, &Schema) -> Tracked + Sync),
+    threads: Threads,
+) -> Vec<TrackOutcome> {
+    let jobs: Vec<(usize, u64)> = cfgs
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, cfg)| (0..cfg.trials as u64).map(move |t| (ci, t)))
+        .collect();
+    let trials = par_map_indexed(jobs.len(), threads, |j| {
+        let (ci, trial) = jobs[j];
+        run_trial(&cfgs[ci], algos, rs_cfg, &|schema: &Schema| tracked_of(ci, schema), trial)
     });
-    for trial in &trials {
+    let mut outs: Vec<TrackOutcome> = cfgs
+        .iter()
+        .map(|cfg| TrackOutcome {
+            algos: algos.iter().map(|a| SeriesSet::new(a.name(), cfg.rounds)).collect(),
+            truth: SeriesSummary::new(cfg.rounds),
+            truth_change: SeriesSummary::new(cfg.rounds),
+        })
+        .collect();
+    for (&(ci, _), trial) in jobs.iter().zip(&trials) {
+        let out = &mut outs[ci];
         trial.truth.merge_into(&mut out.truth);
         trial.truth_change.merge_into(&mut out.truth_change);
         for (i, algo) in trial.algos.iter().enumerate() {
             algo.merge_into(&mut out.algos[i]);
         }
     }
-    out
+    outs
 }
 
 fn run_trial(

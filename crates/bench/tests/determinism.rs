@@ -113,3 +113,86 @@ fn repeated_runs_are_reproducible() {
         assert_bits_equal(&x.rel_err.means(), &y.rel_err.means(), "rerun rel_err");
     }
 }
+
+/// Ground-truth evaluation fans out over store segments (PR 3); the
+/// segment-ordered replay merge must reproduce the sequential sweep
+/// bit-for-bit at every thread count.
+#[test]
+fn ground_truth_fanout_is_bit_identical_across_thread_counts() {
+    use hidden_db::query::{ConjunctiveQuery, Predicate};
+    use hidden_db::ranking::ScoringPolicy;
+    use hidden_db::value::{AttrId, MeasureId, ValueId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use workloads::{load_database, AutosGenerator};
+
+    let mut gen = AutosGenerator::with_attrs(12);
+    let mut rng = StdRng::seed_from_u64(0x6124);
+    let mut db = load_database(&mut gen, &mut rng, 9_000, 100, ScoringPolicy::default());
+    // Fragment the segments so the fan-out sees uneven alive counts.
+    for victim in db.sample_alive_keys(&mut rng, 1_500) {
+        db.delete(victim).unwrap();
+    }
+    let probe = ConjunctiveQuery::from_predicates([
+        Predicate::new(AttrId(0), ValueId(0)),
+        Predicate::new(AttrId(1), ValueId(0)),
+    ]);
+    let count = db.exact_count(Some(&probe));
+    let cond_sum = db.exact_sum(Some(&probe), |t| t.measure(MeasureId(0)));
+    let root_sum = db.exact_sum(None, |t| t.measure(MeasureId(0)));
+    assert!(count > 0, "probe must select something for the test to bite");
+    for workers in [1, 2, 4, 7] {
+        let threads = Threads::fixed(workers);
+        assert_eq!(db.exact_count_threads(Some(&probe), threads), count, "{workers} threads");
+        assert_bits_equal(
+            &[db.exact_sum_threads(Some(&probe), |t| t.measure(MeasureId(0)), threads)],
+            &[cond_sum],
+            &format!("conditional sum ({workers} threads)"),
+        );
+        assert_bits_equal(
+            &[db.exact_sum_threads(None, |t| t.measure(MeasureId(0)), threads)],
+            &[root_sum],
+            &format!("root sum ({workers} threads)"),
+        );
+    }
+}
+
+/// The sweep scheduler (`track_many`, used by fig08–fig13) flattens
+/// (configuration, trial) jobs into one pool; its per-configuration
+/// outcomes must be bit-identical to running each configuration through
+/// the plain runner, at every thread count.
+#[test]
+fn track_many_matches_per_config_tracking() {
+    let mut base = BaseCfg::for_scale(Scale::Quick);
+    base.initial = 1_000;
+    base.rounds = 3;
+    base.trials = 2;
+    let mut other = base.clone();
+    other.k = 50;
+    other.trials = 3;
+    let cfgs = [base.clone(), other.clone()];
+    let algos = standard_algos();
+    let rs = RsConfig::default();
+    for workers in [1, 3] {
+        let many = aggtrack_bench::runner::track_many(
+            &cfgs,
+            &algos,
+            rs,
+            &|_, schema| count_star_tracked(schema),
+            Threads::fixed(workers),
+        );
+        assert_eq!(many.len(), 2);
+        for (cfg, got) in cfgs.iter().zip(&many) {
+            let want = track_with_threads(cfg, &algos, rs, &count_star_tracked, Threads::fixed(1));
+            assert_bits_equal(&want.truth.means(), &got.truth.means(), "truth means");
+            for (s, p) in want.algos.iter().zip(&got.algos) {
+                assert_bits_equal(
+                    &s.rel_err.means(),
+                    &p.rel_err.means(),
+                    &format!("{} rel_err ({workers} workers)", s.name),
+                );
+                assert_bits_equal(&s.cum_queries.means(), &p.cum_queries.means(), "cum_queries");
+            }
+        }
+    }
+}

@@ -12,18 +12,68 @@
 //!   having estimators depend only on the [`crate::session::SearchBackend`]
 //!   trait.
 
+use aggtrack_parallel::{par_map_indexed, Threads};
+
 use crate::errors::DbError;
-use crate::index::InvertedIndex;
-use crate::interface::{evaluate_streaming, CachedEval, QueryOutcome};
+use crate::index::{gallop_to, InvertedIndex, SortedPostings};
+use crate::interface::{slot_matches, CachedEval, QueryOutcome, TopK};
 use crate::memo::{InvalidationPolicy, QueryMemo};
 use crate::query::ConjunctiveQuery;
 use crate::ranking::ScoringPolicy;
 use crate::schema::Schema;
-use crate::stats::{InterfaceStats, MemoStats};
-use crate::store::{Slot, Store};
+use crate::stats::{EvalStats, InterfaceStats, MemoStats};
+use crate::store::{segment_of, Slot, Store, SEGMENT_SLOTS};
 use crate::tuple::Tuple;
 use crate::updates::{UpdateBatch, UpdateFootprint, UpdateSummary};
 use crate::value::{AttrId, MeasureId, TupleKey, ValueId};
+
+/// How multi-predicate queries pick their intersection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntersectPolicy {
+    /// Gallop when the two rarest lists are lopsided
+    /// (`large >= GALLOP_RATIO * small`), per-segment bitsets otherwise.
+    #[default]
+    Auto,
+    /// Always gallop the two rarest lists.
+    Gallop,
+    /// Always intersect per segment through a bitset.
+    Bitset,
+    /// The legacy path: drive the rarest list alone and re-check every
+    /// other predicate per candidate. Kept as the baseline benches and
+    /// the oracle proptest compare against.
+    Recheck,
+}
+
+/// Evaluation-engine tuning. Every setting is **outcome-invariant**:
+/// query answers are bit-identical across all combinations (pinned by
+/// `tests/eval_oracle_proptest.rs`); only wall-clock and
+/// [`EvalStats`] counters move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalConfig {
+    /// Stop top-`k` scans once `matched > k` and the heap floor provably
+    /// beats every remaining segment's score bound.
+    pub early_exit: bool,
+    /// Intersection strategy for multi-predicate queries.
+    pub intersect: IntersectPolicy,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self { early_exit: true, intersect: IntersectPolicy::Auto }
+    }
+}
+
+/// Density cut-over for [`IntersectPolicy::Auto`]: gallop when the larger
+/// list is at least this many times the smaller, per-segment bitsets
+/// below. Pinned by the `intersect` criterion bench
+/// (`crates/bench/benches/intersect.rs`): the strategies run within noise
+/// of each other up to ratio ≈ 8, galloping pulls ahead from ≈ 16 and is
+/// ~1.7× the bitset at 256, so 8 keeps the word-parallel bitset exactly
+/// where it is never a regression and hands lopsided pairs to the gallop.
+const GALLOP_RATIO: usize = 8;
+
+/// 64-bit words per segment bitset.
+const SEGMENT_WORDS: usize = SEGMENT_SLOTS / 64;
 
 /// A lightweight, allocation-free view of one stored tuple, used by the
 /// owner-side ground-truth API.
@@ -70,6 +120,11 @@ pub struct HiddenDatabase {
     cache: QueryMemo,
     policy: InvalidationPolicy,
     stats: InterfaceStats,
+    eval_config: EvalConfig,
+    eval_stats: EvalStats,
+    /// Reusable footprint buffers: single-op mutations would otherwise
+    /// allocate (and drop) two vectors each.
+    scratch_footprint: UpdateFootprint,
 }
 
 impl HiddenDatabase {
@@ -88,6 +143,9 @@ impl HiddenDatabase {
             cache: QueryMemo::default(),
             policy: InvalidationPolicy::default(),
             stats: InterfaceStats::default(),
+            eval_config: EvalConfig::default(),
+            eval_stats: EvalStats::default(),
+            scratch_footprint: UpdateFootprint::default(),
         }
     }
 
@@ -166,6 +224,23 @@ impl HiddenDatabase {
         self.stats
     }
 
+    /// Evaluation-engine path counters.
+    pub fn eval_stats(&self) -> EvalStats {
+        self.eval_stats
+    }
+
+    /// The evaluation-engine tuning in force.
+    pub fn eval_config(&self) -> EvalConfig {
+        self.eval_config
+    }
+
+    /// Retunes the evaluation engine. Outcome-invariant — answers are
+    /// bit-identical under every configuration, so the memo survives the
+    /// switch.
+    pub fn set_eval_config(&mut self, config: EvalConfig) {
+        self.eval_config = config;
+    }
+
     /// The scoring policy in force (owner API; a real site would never
     /// disclose it).
     pub fn scoring_policy(&self) -> ScoringPolicy {
@@ -179,25 +254,38 @@ impl HiddenDatabase {
         self.cache.clear();
     }
 
+    /// Hands out the reusable footprint buffer (cleared). Single-op
+    /// mutations are hot in the interface microbench; reusing the two
+    /// vectors instead of allocating per op is part of the batched
+    /// footprint construction work.
+    fn take_footprint(&mut self) -> UpdateFootprint {
+        let mut footprint = std::mem::take(&mut self.scratch_footprint);
+        footprint.clear();
+        footprint
+    }
+
     /// Commits a mutation's footprint: bumps the version and invalidates
     /// the memo according to the active policy. A no-op for an empty
     /// footprint — a mutation that changed nothing invalidates nothing.
+    /// The footprint buffer returns to the scratch slot for reuse.
     ///
     /// This runs on the error path of [`HiddenDatabase::apply`] too:
     /// a batch that fails mid-way leaves its applied prefix in place, and
     /// the memo must see that prefix's footprint or it would keep serving
     /// pages containing the prefix's deleted tuples.
     fn finish_mutation(&mut self, mut footprint: UpdateFootprint) {
-        if footprint.is_empty() {
-            return;
+        if !footprint.is_empty() {
+            self.version += 1;
+            match self.policy {
+                InvalidationPolicy::Incremental => {
+                    self.cache.invalidate(&mut footprint, self.version)
+                }
+                InvalidationPolicy::Wholesale => self.cache.clear(),
+                // Disabled: the memo never holds entries; nothing to drop.
+                InvalidationPolicy::Disabled => {}
+            }
         }
-        self.version += 1;
-        match self.policy {
-            InvalidationPolicy::Incremental => self.cache.invalidate(&mut footprint, self.version),
-            InvalidationPolicy::Wholesale => self.cache.clear(),
-            // Disabled: the memo never holds entries; nothing to drop.
-            InvalidationPolicy::Disabled => {}
-        }
+        self.scratch_footprint = footprint;
     }
 
     fn validate_tuple(&self, t: &Tuple) -> Result<(), DbError> {
@@ -227,7 +315,7 @@ impl HiddenDatabase {
 
     /// Inserts one tuple.
     pub fn insert(&mut self, tuple: Tuple) -> Result<(), DbError> {
-        let mut footprint = UpdateFootprint::default();
+        let mut footprint = self.take_footprint();
         let result = self.insert_inner(tuple, &mut footprint);
         self.finish_mutation(footprint);
         result
@@ -235,7 +323,7 @@ impl HiddenDatabase {
 
     /// Deletes one tuple by key.
     pub fn delete(&mut self, key: TupleKey) -> Result<(), DbError> {
-        let mut footprint = UpdateFootprint::default();
+        let mut footprint = self.take_footprint();
         let result = self.delete_inner(key, &mut footprint);
         self.finish_mutation(footprint);
         result
@@ -244,7 +332,7 @@ impl HiddenDatabase {
     /// Overwrites the measures of an alive tuple (its position in the query
     /// tree is unchanged; its rank may change under measure-based scoring).
     pub fn update_measures(&mut self, key: TupleKey, measures: Vec<f64>) -> Result<(), DbError> {
-        let mut footprint = UpdateFootprint::default();
+        let mut footprint = self.take_footprint();
         let result = self.update_measures_inner(key, &measures, &mut footprint);
         self.finish_mutation(footprint);
         result
@@ -263,7 +351,10 @@ impl HiddenDatabase {
         if batch.is_empty() {
             return Ok(UpdateSummary::default());
         }
-        let mut footprint = UpdateFootprint::default();
+        // The footprint accumulates across the whole batch and is sealed
+        // (sorted + deduped) exactly once by the single invalidation pass
+        // in `finish_mutation` — per-op work is plain vector appends.
+        let mut footprint = self.take_footprint();
         let result = self.apply_batch(batch, &mut footprint);
         self.finish_mutation(footprint);
         result
@@ -389,48 +480,159 @@ impl HiddenDatabase {
         }
     }
 
-    fn evaluate_uncached(&self, query: &ConjunctiveQuery) -> CachedEval {
-        if query.is_empty() {
-            // Root query: stream the alive-slot scan straight into the
-            // ranking heap — no candidate vector.
-            return evaluate_streaming(query, &self.store, self.k, |sink| {
-                for slot in self.store.alive_slots() {
-                    sink(slot);
-                }
-            });
+    /// The uncached evaluation engine. Dispatch:
+    ///
+    /// * **root** — segment-ordered alive scan (descending max-score
+    ///   order so early exits fire as soon as the page stabilises);
+    /// * **one predicate** — the posting list's segment runs, visited in
+    ///   descending max-score order, with the same early exit;
+    /// * **two or more** — intersection of the two rarest lists
+    ///   (galloping when lopsided, per-segment bitsets when dense),
+    ///   residual predicates checked columnar per candidate.
+    ///
+    /// Every path produces the same `CachedEval` bit-for-bit (pinned by
+    /// the oracle proptest): the top-`k` page under the total
+    /// `(score, slot)` order is independent of candidate visit order, and
+    /// early exits only skip candidates that provably cannot enter it.
+    fn evaluate_uncached(&mut self, query: &ConjunctiveQuery) -> CachedEval {
+        match *query.predicates() {
+            [] => self.eval_root(),
+            [driver] => self.eval_single(query, driver),
+            _ => self.eval_multi(query),
         }
-        // Drive the scan with the rarest predicate's posting list,
-        // streamed directly off the index.
-        let driver = query
-            .predicates()
-            .iter()
-            .min_by_key(|p| self.index.estimated_len(p.attr, p.value))
-            .expect("non-empty query has a predicate");
-        evaluate_streaming(query, &self.store, self.k, |sink| {
-            self.index.for_each_live(driver.attr, driver.value, &self.store, sink);
-        })
+    }
+
+    /// Root (`SELECT *`): every alive tuple matches; scan segments in
+    /// descending max-score order and stop once the page is proven.
+    fn eval_root(&mut self) -> CachedEval {
+        self.eval_stats.root_scans += 1;
+        let mut topk = TopK::new(self.k);
+        let order = self.store.segments_by_score_desc();
+        for (i, &(seg, bound)) in order.iter().enumerate() {
+            // `order` is bound-descending, so this segment's bound caps
+            // every remaining candidate.
+            if self.eval_config.early_exit && topk.can_stop(bound) {
+                self.eval_stats.early_exits += 1;
+                self.eval_stats.segments_skipped += (order.len() - i) as u64;
+                break;
+            }
+            for slot in self.store.alive_slots_in(seg) {
+                topk.offer(self.store.score_at(slot), slot);
+            }
+        }
+        topk.finish(&self.store)
+    }
+
+    /// One predicate: walk the posting list's segment runs best-first.
+    fn eval_single(
+        &mut self,
+        query: &ConjunctiveQuery,
+        driver: crate::query::Predicate,
+    ) -> CachedEval {
+        self.eval_stats.single_scans += 1;
+        self.index.ensure_sorted(driver.attr, driver.value);
+        let postings = self.index.sorted_postings(driver.attr, driver.value);
+        let mut runs: Vec<(u64, usize, &[Slot])> = postings
+            .runs()
+            .map(|(seg, run)| (self.store.segment_max_score(seg), seg, run))
+            .collect();
+        runs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut topk = TopK::new(self.k);
+        for (i, &(bound, _, run)) in runs.iter().enumerate() {
+            if self.eval_config.early_exit && topk.can_stop(bound) {
+                self.eval_stats.early_exits += 1;
+                self.eval_stats.segments_skipped += (runs.len() - i) as u64;
+                break;
+            }
+            offer_run(query, &self.store, run, &mut topk);
+        }
+        topk.finish(&self.store)
+    }
+
+    /// The two rarest predicates of a multi-predicate query, by
+    /// `(estimated live postings, attr, value)`. The explicit tie-break
+    /// replaces the old order-dependent `min_by_key` (which silently
+    /// kept whichever tied predicate it met first), so the driver pair —
+    /// and with it the whole evaluation order — is stable no matter how
+    /// the query was assembled or how lists drift through mutations.
+    fn driver_pair(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> (crate::query::Predicate, crate::query::Predicate) {
+        let mut ranked: Vec<crate::query::Predicate> = query.predicates().to_vec();
+        ranked
+            .sort_unstable_by_key(|p| (self.index.estimated_len(p.attr, p.value), p.attr, p.value));
+        (ranked[0], ranked[1])
+    }
+
+    /// Two or more predicates: intersect the two rarest posting lists.
+    fn eval_multi(&mut self, query: &ConjunctiveQuery) -> CachedEval {
+        let (a, b) = self.driver_pair(query);
+        self.index.ensure_sorted(a.attr, a.value);
+        self.index.ensure_sorted(b.attr, b.value);
+        let pa = self.index.sorted_postings(a.attr, a.value);
+        let pb = self.index.sorted_postings(b.attr, b.value);
+        // Empty lists need no special case: every strategy degenerates to
+        // an empty candidate stream (underflow), and routing through the
+        // strategy keeps the EvalStats counters summing to the number of
+        // evaluations performed.
+        let mode = match self.eval_config.intersect {
+            IntersectPolicy::Auto => {
+                if pb.len() >= GALLOP_RATIO * pa.len() {
+                    IntersectPolicy::Gallop
+                } else {
+                    IntersectPolicy::Bitset
+                }
+            }
+            forced => forced,
+        };
+        let early_exit = self.eval_config.early_exit;
+        match mode {
+            IntersectPolicy::Gallop => {
+                eval_gallop(query, &self.store, pa, pb, self.k, early_exit, &mut self.eval_stats)
+            }
+            IntersectPolicy::Bitset => {
+                eval_bitset(query, &self.store, pa, pb, self.k, early_exit, &mut self.eval_stats)
+            }
+            IntersectPolicy::Recheck => {
+                eval_recheck(query, &self.store, pa, self.k, &mut self.eval_stats)
+            }
+            IntersectPolicy::Auto => unreachable!("Auto resolves to a concrete strategy above"),
+        }
     }
 
     // ----- ground truth (experiments/tests only) --------------------------
 
     /// Exact number of alive tuples matching `query` (root if `None`).
-    /// Bypasses the interface; for experiments and tests.
+    /// Bypasses the interface; for experiments and tests. Sequential —
+    /// see [`HiddenDatabase::exact_count_threads`] for the segment
+    /// fan-out.
     pub fn exact_count(&self, query: Option<&ConjunctiveQuery>) -> u64 {
+        self.exact_count_threads(query, Threads::sequential())
+    }
+
+    /// [`HiddenDatabase::exact_count`] fanned out over store segments on
+    /// the given thread pool. Counts merge in segment order, so the
+    /// result is identical for every thread count.
+    pub fn exact_count_threads(&self, query: Option<&ConjunctiveQuery>, threads: Threads) -> u64 {
         match query {
             None => self.store.len() as u64,
             Some(q) => {
-                let mut n = 0;
-                self.for_each_alive(|t| {
-                    if t.matches(q) {
-                        n += 1;
-                    }
-                });
-                n
+                let segs: Vec<usize> = self.store.live_segments().collect();
+                par_map_indexed(segs.len(), threads, |i| {
+                    self.store
+                        .alive_slots_in(segs[i])
+                        .filter(|&slot| slot_matches(q, &self.store, slot))
+                        .count() as u64
+                })
+                .into_iter()
+                .sum()
             }
         }
     }
 
-    /// Exact sum of `f` over alive tuples matching `query`.
+    /// Exact sum of `f` over alive tuples matching `query`. Sequential —
+    /// see [`HiddenDatabase::exact_sum_threads`] for the segment fan-out.
     pub fn exact_sum(
         &self,
         query: Option<&ConjunctiveQuery>,
@@ -443,6 +645,39 @@ impl HiddenDatabase {
                 acc += f(t);
             }
         });
+        acc
+    }
+
+    /// [`HiddenDatabase::exact_sum`] fanned out over store segments.
+    ///
+    /// **Bit-identical to the sequential sweep for every thread count**
+    /// (the trial-runner merge contract): workers return the raw matched
+    /// values of their segment in slot order; the main thread replays
+    /// them in segment order, so the floating-point additions happen in
+    /// exactly the sequence the sequential full-store sweep performs.
+    pub fn exact_sum_threads(
+        &self,
+        query: Option<&ConjunctiveQuery>,
+        f: impl Fn(TupleRef<'_>) -> f64 + Sync,
+        threads: Threads,
+    ) -> f64 {
+        let segs: Vec<usize> = self.store.live_segments().collect();
+        let parts: Vec<Vec<f64>> = par_map_indexed(segs.len(), threads, |i| {
+            let mut vals = Vec::new();
+            for slot in self.store.alive_slots_in(segs[i]) {
+                let t = TupleRef { store: &self.store, slot };
+                if query.is_none_or(|q| t.matches(q)) {
+                    vals.push(f(t));
+                }
+            }
+            vals
+        });
+        let mut acc = 0.0;
+        for part in &parts {
+            for &v in part {
+                acc += v;
+            }
+        }
         acc
     }
 
@@ -494,6 +729,150 @@ impl HiddenDatabase {
         keys.sort_unstable();
         keys
     }
+}
+
+/// Feeds one posting run into the heap: adjacent-duplicate skip (sorted
+/// lists keep duplicates adjacent), then the columnar residual check.
+#[inline]
+fn offer_run(query: &ConjunctiveQuery, store: &Store, run: &[Slot], topk: &mut TopK) {
+    let mut prev = None;
+    for &slot in run {
+        if prev == Some(slot) {
+            continue;
+        }
+        prev = Some(slot);
+        if slot_matches(query, store, slot) {
+            topk.offer(store.score_at(slot), slot);
+        }
+    }
+}
+
+/// Galloping (exponential-search) intersection of the two rarest lists:
+/// every distinct slot of the small list looks itself up in the large one
+/// in O(log distance), so a lopsided intersection costs
+/// `O(small · log large)` instead of `O(small + large)`. Candidates come
+/// out slot-ascending, so the early exit uses the store's suffix-max
+/// bound at each segment boundary.
+fn eval_gallop(
+    query: &ConjunctiveQuery,
+    store: &Store,
+    small: SortedPostings<'_>,
+    large: SortedPostings<'_>,
+    k: usize,
+    early_exit: bool,
+    stats: &mut EvalStats,
+) -> CachedEval {
+    stats.gallop_intersections += 1;
+    let mut topk = TopK::new(k);
+    // The O(#store segments) suffix-max bound is computed lazily, only
+    // once the query has provably overflowed at a segment boundary — the
+    // common small∩large query never overflows and must not pay a
+    // store-wide sweep for an exit that cannot fire.
+    let mut suffix: Option<Vec<u64>> = None;
+    let (small, large) = (small.slots(), large.slots());
+    let mut j = 0usize;
+    let mut prev = None;
+    let mut cur_seg = usize::MAX;
+    for &slot in small {
+        if prev == Some(slot) {
+            continue;
+        }
+        prev = Some(slot);
+        if early_exit {
+            let seg = segment_of(slot);
+            if seg != cur_seg {
+                cur_seg = seg;
+                if topk.overflowed() {
+                    let bounds = suffix.get_or_insert_with(|| store.segment_suffix_max());
+                    // Remaining candidates all live in segments >= seg.
+                    if topk.can_stop(bounds[seg]) {
+                        stats.early_exits += 1;
+                        stats.segments_skipped += (bounds.len() - 1 - seg) as u64;
+                        break;
+                    }
+                }
+            }
+        }
+        j = gallop_to(large, j, slot);
+        if j >= large.len() {
+            break;
+        }
+        if large[j] == slot && slot_matches(query, store, slot) {
+            topk.offer(store.score_at(slot), slot);
+        }
+    }
+    topk.finish(store)
+}
+
+/// Per-segment bitset intersection for dense list pairs: for each segment
+/// both lists touch, mark the smaller run in a 4096-bit map and probe the
+/// larger run against it — O(|runs|) with word-level constants, visiting
+/// segments best-score-first so the early exit can skip whole segments.
+fn eval_bitset(
+    query: &ConjunctiveQuery,
+    store: &Store,
+    pa: SortedPostings<'_>,
+    pb: SortedPostings<'_>,
+    k: usize,
+    early_exit: bool,
+    stats: &mut EvalStats,
+) -> CachedEval {
+    stats.bitset_intersections += 1;
+    let mut topk = TopK::new(k);
+    // Segments present in both lists, ordered by descending score bound
+    // (segment id breaks ties) — the posting runs are the skip metadata.
+    let mut common: Vec<(u64, usize, &[Slot], &[Slot])> = pa
+        .runs()
+        .filter_map(|(seg, run_a)| {
+            let run_b = pb.run_in(seg);
+            (!run_b.is_empty()).then(|| (store.segment_max_score(seg), seg, run_a, run_b))
+        })
+        .collect();
+    common.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut words = [0u64; SEGMENT_WORDS];
+    for (i, &(bound, seg, run_a, run_b)) in common.iter().enumerate() {
+        if early_exit && topk.can_stop(bound) {
+            stats.early_exits += 1;
+            stats.segments_skipped += (common.len() - i) as u64;
+            break;
+        }
+        let (mark, probe) =
+            if run_a.len() <= run_b.len() { (run_a, run_b) } else { (run_b, run_a) };
+        let base = (seg * SEGMENT_SLOTS) as Slot;
+        words.fill(0);
+        for &slot in mark {
+            let off = (slot - base) as usize;
+            words[off >> 6] |= 1u64 << (off & 63);
+        }
+        let mut prev = None;
+        for &slot in probe {
+            if prev == Some(slot) {
+                continue;
+            }
+            prev = Some(slot);
+            let off = (slot - base) as usize;
+            if words[off >> 6] & (1u64 << (off & 63)) != 0 && slot_matches(query, store, slot) {
+                topk.offer(store.score_at(slot), slot);
+            }
+        }
+    }
+    topk.finish(store)
+}
+
+/// The pre-segmentation baseline: drive the rarest list alone, re-check
+/// every predicate per candidate, scan to exhaustion. Kept for the
+/// bench/oracle comparison ([`IntersectPolicy::Recheck`]).
+fn eval_recheck(
+    query: &ConjunctiveQuery,
+    store: &Store,
+    driver: SortedPostings<'_>,
+    k: usize,
+    stats: &mut EvalStats,
+) -> CachedEval {
+    stats.recheck_scans += 1;
+    let mut topk = TopK::new(k);
+    offer_run(query, store, driver.slots(), &mut topk);
+    topk.finish(store)
 }
 
 #[cfg(test)]
@@ -843,5 +1222,172 @@ mod tests {
         assert!(d.answer(&ConjunctiveQuery::select_all()).is_overflow());
         d.set_k(3);
         assert!(d.answer(&ConjunctiveQuery::select_all()).is_valid());
+    }
+
+    /// Regression (PR 3 satellite): driver selection used `min_by_key` on
+    /// the live-length estimate, which keeps whichever tied predicate
+    /// iteration order happens to present first. Ties must break by
+    /// `(attr, value)`.
+    #[test]
+    fn driver_selection_breaks_ties_deterministically() {
+        let schema = Schema::with_domain_sizes(&[3, 3, 3], &[]).unwrap();
+        let mut d = HiddenDatabase::new(schema, 2, ScoringPolicy::NewestFirst);
+        // A0=1, A1=2, A2=1 all get exactly two postings; A0=0 gets four.
+        for (key, (a0, a1, a2)) in
+            [(1, 2, 1), (1, 2, 1), (0, 0, 0), (0, 0, 2)].into_iter().enumerate()
+        {
+            d.insert(Tuple::new(
+                TupleKey(key as u64),
+                vec![ValueId(a0), ValueId(a1), ValueId(a2)],
+                vec![],
+            ))
+            .unwrap();
+        }
+        let query = ConjunctiveQuery::from_predicates([
+            Predicate::new(AttrId(2), ValueId(1)),
+            Predicate::new(AttrId(0), ValueId(1)),
+            Predicate::new(AttrId(1), ValueId(2)),
+        ]);
+        let (a, b) = d.driver_pair(&query);
+        // All three tie at 2 live postings: (attr, value) order wins.
+        assert_eq!((a.attr, a.value), (AttrId(0), ValueId(1)));
+        assert_eq!((b.attr, b.value), (AttrId(1), ValueId(2)));
+        // And the pair is invariant under predicate permutation.
+        let permuted = ConjunctiveQuery::from_predicates([
+            Predicate::new(AttrId(1), ValueId(2)),
+            Predicate::new(AttrId(0), ValueId(1)),
+            Predicate::new(AttrId(2), ValueId(1)),
+        ]);
+        assert_eq!(d.driver_pair(&permuted), (a, b));
+        assert_eq!(d.answer(&query), d.answer(&permuted));
+    }
+
+    /// Every intersection strategy and the early-exit toggle must agree
+    /// bit-for-bit with each other and with ground truth.
+    #[test]
+    fn intersection_strategies_are_outcome_invariant() {
+        let mut reference = None;
+        for intersect in [
+            IntersectPolicy::Auto,
+            IntersectPolicy::Gallop,
+            IntersectPolicy::Bitset,
+            IntersectPolicy::Recheck,
+        ] {
+            for early_exit in [true, false] {
+                let schema = Schema::with_domain_sizes(&[2, 3, 4], &["m"]).unwrap();
+                let mut d = HiddenDatabase::new(schema, 3, ScoringPolicy::NewestFirst);
+                d.set_invalidation_policy(InvalidationPolicy::Disabled);
+                d.set_eval_config(EvalConfig { early_exit, intersect });
+                for key in 0..200u64 {
+                    d.insert(Tuple::new(
+                        TupleKey(key),
+                        vec![
+                            ValueId((key % 2) as u32),
+                            ValueId((key % 3) as u32),
+                            ValueId((key % 4) as u32),
+                        ],
+                        vec![key as f64],
+                    ))
+                    .unwrap();
+                }
+                for key in (0..200u64).step_by(5) {
+                    d.delete(TupleKey(key)).unwrap();
+                }
+                let mut answers = Vec::new();
+                for (v0, v1, v2) in
+                    [(0, 0, 0), (1, 1, 1), (0, 2, 3), (1, 0, 2), (0, 1, 0), (1, 2, 1)]
+                {
+                    let q = q(&[(0, v0), (1, v1), (2, v2)]);
+                    let out = d.answer(&q);
+                    let truth = d.exact_count(Some(&q));
+                    match truth {
+                        0 => assert!(out.is_underflow()),
+                        n if n <= 3 => {
+                            assert!(out.is_valid());
+                            assert_eq!(out.returned_count() as u64, n);
+                        }
+                        _ => assert!(out.is_overflow()),
+                    }
+                    answers.push(out);
+                }
+                match &reference {
+                    None => reference = Some(answers),
+                    Some(want) => {
+                        assert_eq!(want, &answers, "{intersect:?} early_exit={early_exit} diverged")
+                    }
+                }
+            }
+        }
+    }
+
+    /// On a multi-segment `NewestFirst` store the best tuples live in the
+    /// newest segment, so an overflowing scan must stop after it.
+    #[test]
+    fn early_exit_fires_on_multi_segment_newest_first() {
+        let schema = Schema::with_domain_sizes(&[2], &[]).unwrap();
+        let mut d = HiddenDatabase::new(schema, 5, ScoringPolicy::NewestFirst);
+        d.set_invalidation_policy(InvalidationPolicy::Disabled);
+        let n = (2 * crate::store::SEGMENT_SLOTS + 100) as u64;
+        for key in 0..n {
+            d.insert(t_a0(key, (key % 2) as u32)).unwrap();
+        }
+        let root = ConjunctiveQuery::select_all();
+        let out = d.answer(&root);
+        assert!(out.is_overflow());
+        let keys: Vec<u64> = out.keys().map(|k| k.0).collect();
+        assert_eq!(keys, vec![n - 1, n - 2, n - 3, n - 4, n - 5]);
+        let stats = d.eval_stats();
+        assert!(stats.early_exits >= 1, "root scan should exit early: {stats:?}");
+        assert!(stats.segments_skipped >= 1);
+        // Single-predicate scans exit early too.
+        let before = d.eval_stats().early_exits;
+        let probe = q(&[(0, 0)]);
+        let out = d.answer(&probe);
+        assert!(out.is_overflow());
+        assert!(d.eval_stats().early_exits > before);
+        // …and disabling the exit changes nothing but the counters.
+        let mut exhaustive = d.clone();
+        exhaustive.set_eval_config(EvalConfig { early_exit: false, ..EvalConfig::default() });
+        assert_eq!(exhaustive.answer(&root), d.answer(&root));
+        assert_eq!(exhaustive.answer(&probe), d.answer(&probe));
+    }
+
+    fn t_a0(key: u64, v: u32) -> Tuple {
+        Tuple::new(TupleKey(key), vec![ValueId(v)], vec![])
+    }
+
+    /// Ground-truth fan-out must match the sequential sweep bit-for-bit
+    /// at every thread count.
+    #[test]
+    fn ground_truth_fanout_matches_sequential_bitwise() {
+        use aggtrack_parallel::Threads;
+        let schema = Schema::with_domain_sizes(&[2, 3], &["price"]).unwrap();
+        let mut d = HiddenDatabase::new(schema, 4, ScoringPolicy::default());
+        let n = (crate::store::SEGMENT_SLOTS + 777) as u64;
+        for key in 0..n {
+            d.insert(t(key, (key % 2) as u32, (key % 3) as u32, (key as f64).sqrt() * 0.1))
+                .unwrap();
+        }
+        for key in (0..n).step_by(7) {
+            d.delete(TupleKey(key)).unwrap();
+        }
+        let probe = q(&[(0, 1), (1, 2)]);
+        let count = d.exact_count(Some(&probe));
+        let sum = d.exact_sum(Some(&probe), |t| t.measure(MeasureId(0)));
+        let root_sum = d.exact_sum(None, |t| t.measure(MeasureId(0)));
+        for workers in [1, 2, 4, 7] {
+            let threads = Threads::fixed(workers);
+            assert_eq!(d.exact_count_threads(Some(&probe), threads), count);
+            assert_eq!(
+                d.exact_sum_threads(Some(&probe), |t| t.measure(MeasureId(0)), threads).to_bits(),
+                sum.to_bits(),
+                "{workers}-thread conditional sum drifted"
+            );
+            assert_eq!(
+                d.exact_sum_threads(None, |t| t.measure(MeasureId(0)), threads).to_bits(),
+                root_sum.to_bits(),
+                "{workers}-thread root sum drifted"
+            );
+        }
     }
 }

@@ -7,9 +7,26 @@
 //! re-checking the column value). Each list compacts itself when tombstones
 //! exceed `COMPACT_DEAD_FRACTION` of its length, keeping amortised update
 //! cost O(1) while bounding scan waste.
+//!
+//! ## Sorted lists and segment runs
+//!
+//! Posting lists are kept **slot-sorted** lazily: appends that arrive in
+//! ascending slot order (the common case — fresh slots grow monotonically)
+//! keep the list sorted for free; an out-of-order append (slot reuse) just
+//! marks the list dirty, and the next caller that needs sorted access pays
+//! one `sort + dedup` ([`InvertedIndex::ensure_sorted`]). A sorted list
+//! carries *segment run* metadata — for every store segment with at least
+//! one posting, the offset where its run begins — which is what the
+//! evaluation engine uses to (a) skip segments wholesale, (b) drive
+//! per-segment bitset intersection, and (c) visit a list's segments in
+//! descending max-score order for early-exit top-`k` scans. Sorted order
+//! also guarantees duplicate postings (a slot freed and re-filled with the
+//! same value while its stale posting survived) are **adjacent**, so
+//! exactly-once candidate emission is a one-comparison skip instead of a
+//! hash set.
 
 use crate::schema::Schema;
-use crate::store::{Slot, Store};
+use crate::store::{segment_of, Slot, Store};
 use crate::value::{AttrId, ValueId};
 
 /// A posting list compacts when dead entries exceed this fraction.
@@ -22,15 +39,20 @@ const COMPACT_MIN_LEN: usize = 64;
 /// Above this many candidate postings, duplicate suppression switches
 /// from a linear probe to a `HashSet` (a linear probe on a handful of
 /// elements beats hashing; beyond that the O(n²) worst case bites).
+#[cfg(test)]
 const DEDUP_LINEAR_MAX: usize = 24;
 
 /// Adaptive seen-set for duplicate suppression in
-/// [`InvertedIndex::for_each_live`].
+/// [`InvertedIndex::for_each_live`]. (Test-only since the sorted-list
+/// engine took over the production scans: sorted order makes duplicates
+/// adjacent, so exactly-once emission no longer needs a seen-set.)
+#[cfg(test)]
 enum SeenSlots {
     Small(Vec<Slot>),
     Large(std::collections::HashSet<Slot>),
 }
 
+#[cfg(test)]
 impl SeenSlots {
     fn with_expected(candidates: usize) -> Self {
         if candidates <= DEDUP_LINEAR_MAX {
@@ -63,6 +85,13 @@ struct PostingList {
     slots: Vec<Slot>,
     /// Upper bound on tombstones in `slots`.
     dead: usize,
+    /// Whether `slots` is sorted ascending (duplicates adjacent). Appends
+    /// in ascending order preserve it; slot-reuse appends clear it.
+    sorted: bool,
+    /// Segment runs over `slots`, valid only while `sorted`: one
+    /// `(segment, start offset)` per store segment with ≥ 1 posting; the
+    /// run ends where the next one starts (or at `slots.len()`).
+    runs: Vec<(u32, u32)>,
 }
 
 impl PostingList {
@@ -70,6 +99,124 @@ impl PostingList {
     fn live_len_estimate(&self) -> usize {
         self.slots.len().saturating_sub(self.dead)
     }
+
+    /// Appends a posting, keeping `sorted`/`runs` coherent.
+    #[inline]
+    fn push(&mut self, slot: Slot) {
+        if self.sorted || self.slots.is_empty() {
+            match self.slots.last() {
+                Some(&last) if slot < last => {
+                    self.sorted = false;
+                    self.runs.clear();
+                }
+                _ => {
+                    let seg = segment_of(slot) as u32;
+                    if self.runs.last().map(|&(s, _)| s) != Some(seg) {
+                        self.runs.push((seg, self.slots.len() as u32));
+                    }
+                    self.sorted = true;
+                }
+            }
+        }
+        self.slots.push(slot);
+    }
+
+    /// Sorts + dedupes and rebuilds the run metadata (no-op when sorted).
+    fn ensure_sorted(&mut self) {
+        if self.sorted {
+            return;
+        }
+        self.slots.sort_unstable();
+        self.slots.dedup();
+        self.dead = self.dead.min(self.slots.len());
+        self.rebuild_runs();
+        self.sorted = true;
+    }
+
+    fn rebuild_runs(&mut self) {
+        self.runs.clear();
+        let mut prev = u32::MAX;
+        for (i, &s) in self.slots.iter().enumerate() {
+            let seg = segment_of(s) as u32;
+            if seg != prev {
+                self.runs.push((seg, i as u32));
+                prev = seg;
+            }
+        }
+    }
+}
+
+/// Read-only view of one slot-sorted posting list: the slots plus their
+/// per-segment skip metadata. Handed out by
+/// [`InvertedIndex::sorted_postings`] after an
+/// [`InvertedIndex::ensure_sorted`] pass.
+#[derive(Debug, Clone, Copy)]
+pub struct SortedPostings<'a> {
+    slots: &'a [Slot],
+    runs: &'a [(u32, u32)],
+}
+
+impl<'a> SortedPostings<'a> {
+    /// All postings, ascending by slot (duplicates, if any, adjacent).
+    pub fn slots(&self) -> &'a [Slot] {
+        self.slots
+    }
+
+    /// Number of postings (including tombstones and duplicates).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the list has no postings at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates `(segment, run)` pairs in ascending segment order, where
+    /// `run` is the sub-slice of postings falling in that segment.
+    pub fn runs(&self) -> impl Iterator<Item = (usize, &'a [Slot])> + '_ {
+        self.runs.iter().enumerate().map(move |(i, &(seg, start))| {
+            let end = self.runs.get(i + 1).map_or(self.slots.len(), |&(_, s)| s as usize);
+            (seg as usize, &self.slots[start as usize..end])
+        })
+    }
+
+    /// The run of postings in `seg`, empty if the list has none there.
+    pub fn run_in(&self, seg: usize) -> &'a [Slot] {
+        match self.runs.binary_search_by_key(&(seg as u32), |&(s, _)| s) {
+            Ok(i) => {
+                let start = self.runs[i].1 as usize;
+                let end = self.runs.get(i + 1).map_or(self.slots.len(), |&(_, s)| s as usize);
+                &self.slots[start..end]
+            }
+            Err(_) => &[],
+        }
+    }
+}
+
+/// Exponential ("galloping") search: the smallest index `>= from` whose
+/// slot is `>= target`. O(log d) in the distance `d` advanced, which is
+/// what makes small∩large intersections cost `O(small · log large)`.
+pub fn gallop_to(slots: &[Slot], from: usize, target: Slot) -> usize {
+    if from >= slots.len() || slots[from] >= target {
+        return from;
+    }
+    // Invariant: slots[lo] < target. Gallop hi outward until it crosses.
+    let mut lo = from;
+    let mut step = 1usize;
+    let hi = loop {
+        let hi = lo + step;
+        if hi >= slots.len() {
+            break slots.len();
+        }
+        if slots[hi] >= target {
+            break hi;
+        }
+        lo = hi;
+        step <<= 1;
+    };
+    // First index in (lo, hi] with slots[idx] >= target.
+    lo + 1 + slots[lo + 1..hi].partition_point(|&s| s < target)
 }
 
 /// Inverted index over all (attribute, value) pairs of a schema.
@@ -96,7 +243,7 @@ impl InvertedIndex {
     /// they are filtered out on scan because the column no longer matches.
     pub fn insert(&mut self, slot: Slot, values: &[ValueId]) {
         for (a, &v) in values.iter().enumerate() {
-            self.lists[a][v.index()].slots.push(slot);
+            self.lists[a][v.index()].push(slot);
         }
     }
 
@@ -119,12 +266,33 @@ impl InvertedIndex {
         list.slots.sort_unstable();
         list.slots.dedup();
         list.dead = 0;
+        list.rebuild_runs();
+        list.sorted = true;
     }
 
     /// Estimated number of live postings for `(attr, value)` — an upper
     /// bound used to pick the cheapest list to drive an intersection.
     pub fn estimated_len(&self, attr: AttrId, value: ValueId) -> usize {
         self.lists[attr.index()][value.index()].live_len_estimate()
+    }
+
+    /// Sorts the posting list for `(attr, value)` if an out-of-order
+    /// append (slot reuse) left it dirty. Amortised cost: appends are
+    /// ascending in the common case, so this is usually a flag check.
+    pub fn ensure_sorted(&mut self, attr: AttrId, value: ValueId) {
+        self.lists[attr.index()][value.index()].ensure_sorted();
+    }
+
+    /// Sorted view of the posting list for `(attr, value)` with its
+    /// segment-run skip metadata. Call [`InvertedIndex::ensure_sorted`]
+    /// first; panics (debug) if the list is dirty.
+    pub fn sorted_postings(&self, attr: AttrId, value: ValueId) -> SortedPostings<'_> {
+        let list = &self.lists[attr.index()][value.index()];
+        debug_assert!(
+            list.sorted || list.slots.is_empty(),
+            "sorted_postings on a dirty list — call ensure_sorted first"
+        );
+        SortedPostings { slots: &list.slots, runs: &list.runs }
     }
 
     /// Scans the posting list for `(attr, value)`, invoking `f` for every
@@ -139,6 +307,11 @@ impl InvertedIndex {
     /// possible, suppression is a linear probe for short lists and a
     /// `HashSet` beyond [`DEDUP_LINEAR_MAX`] — the previous
     /// `Vec::contains` scheme degraded to O(n²) on long tombstoned lists.
+    ///
+    /// (Test-only since the segment engine took over the production
+    /// scans; the tests keep it as an order-insensitive reference for
+    /// the sorted-run paths.)
+    #[cfg(test)]
     pub fn for_each_live(
         &self,
         attr: AttrId,
@@ -174,13 +347,15 @@ impl InvertedIndex {
         for attr_lists in &mut self.lists {
             for list in attr_lists.iter_mut() {
                 list.slots.clear();
+                list.runs.clear();
                 list.dead = 0;
+                list.sorted = false;
             }
         }
         for slot in store.alive_slots() {
             for (a, attr_lists) in self.lists.iter_mut().enumerate() {
                 let v = store.value_at(a, slot);
-                attr_lists[v as usize].slots.push(slot);
+                attr_lists[v as usize].push(slot);
             }
         }
     }
@@ -314,6 +489,55 @@ mod tests {
             assert!(store.is_alive(s));
             assert!(store.key_at(s).0 >= 150);
         }
+    }
+
+    #[test]
+    fn gallop_to_finds_lower_bounds() {
+        let slots: Vec<Slot> = vec![2, 5, 5, 9, 14, 20, 33, 34, 90];
+        for target in 0..100u32 {
+            for from in 0..=slots.len() {
+                let want = from + slots[from..].partition_point(|&s| s < target);
+                assert_eq!(gallop_to(&slots, from, target), want, "target {target} from {from}");
+            }
+        }
+        assert_eq!(gallop_to(&[], 0, 5), 0);
+    }
+
+    #[test]
+    fn appends_keep_lists_sorted_and_runs_coherent() {
+        let (_s, mut store, mut index) = setup();
+        for key in 0..40u64 {
+            ins(&mut store, &mut index, key, &[0, (key % 3) as u32]);
+        }
+        // Ascending appends: already sorted, no work needed.
+        index.ensure_sorted(AttrId(0), ValueId(0));
+        let view = index.sorted_postings(AttrId(0), ValueId(0));
+        assert_eq!(view.len(), 40);
+        assert!(view.slots().windows(2).all(|w| w[0] <= w[1]));
+        let runs: Vec<(usize, usize)> = view.runs().map(|(seg, run)| (seg, run.len())).collect();
+        assert_eq!(runs, vec![(0, 40)], "one segment at this size");
+        assert_eq!(view.run_in(0).len(), 40);
+        assert!(view.run_in(7).is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_dirties_then_resorts_with_adjacent_duplicates() {
+        let (_s, mut store, mut index) = setup();
+        for key in 0..10u64 {
+            ins(&mut store, &mut index, key, &[1, 0]);
+        }
+        // Free slot 3 and re-insert with the same value: the stale and
+        // fresh postings must end up adjacent after the lazy sort.
+        let slot = store.slot_of(TupleKey(3)).unwrap();
+        store.delete(TupleKey(3)).unwrap();
+        index.delete(slot, &[ValueId(1), ValueId(0)], &store);
+        let reused = ins(&mut store, &mut index, 99, &[1, 0]);
+        assert_eq!(reused, slot);
+        index.ensure_sorted(AttrId(0), ValueId(1));
+        let view = index.sorted_postings(AttrId(0), ValueId(1));
+        assert!(view.slots().windows(2).all(|w| w[0] <= w[1]));
+        // dedup collapses the double posting entirely.
+        assert_eq!(view.slots().iter().filter(|&&s| s == reused).count(), 1);
     }
 
     #[test]

@@ -146,35 +146,96 @@ impl CachedEval {
     }
 }
 
+/// Streaming top-`k` accumulator: the heart of query evaluation.
+///
+/// Candidates are [`TopK::offer`]ed one at a time (already verified to
+/// match the query and be alive); the accumulator tracks the match count
+/// and the best `k` by `(score, slot)`. Between batches of candidates the
+/// driver may consult [`TopK::can_stop`] with an upper bound on every
+/// remaining candidate's score — once the query has provably overflowed
+/// *and* the heap floor beats that bound, the rest of the scan cannot
+/// change the returned page, so evaluation stops early. The resulting
+/// [`CachedEval`] is **bit-identical** to an exhaustive scan: the top-`k`
+/// set under the total `(score, slot)` order does not depend on candidate
+/// arrival order, and the overflow classification is already decided when
+/// an early exit fires.
+pub(crate) struct TopK {
+    heap: BinaryHeap<Reverse<(u64, Slot)>>,
+    k: usize,
+    matched: usize,
+}
+
+impl TopK {
+    pub(crate) fn new(k: usize) -> Self {
+        // Capacity k+1: if total matches ≤ k the heap simply holds them
+        // all; the transient k+1-th lives in the spare slot.
+        Self { heap: BinaryHeap::with_capacity(k + 1), k, matched: 0 }
+    }
+
+    /// Accounts one matching candidate.
+    #[inline]
+    pub(crate) fn offer(&mut self, score: u64, slot: Slot) {
+        self.matched += 1;
+        self.heap.push(Reverse((score, slot)));
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// Whether the query has already provably overflowed — the cheap
+    /// pre-condition of [`TopK::can_stop`], split out so drivers can
+    /// defer computing their remaining-score bound until it can matter.
+    #[inline]
+    pub(crate) fn overflowed(&self) -> bool {
+        self.matched > self.k
+    }
+
+    /// Whether the scan may stop: the query has overflowed (`matched > k`
+    /// pins the classification) and no remaining candidate can enter the
+    /// page. `remaining_bound` must be `>=` the score of every candidate
+    /// not yet offered; the comparison is strict because a remaining
+    /// candidate whose score *equals* the floor could still displace it
+    /// on the slot tie-break.
+    #[inline]
+    pub(crate) fn can_stop(&self, remaining_bound: u64) -> bool {
+        self.overflowed()
+            && match self.heap.peek() {
+                Some(&Reverse((floor, _))) => remaining_bound < floor,
+                // k == 0: the page is empty no matter what remains.
+                None => true,
+            }
+    }
+
+    /// Materialises the evaluation: page slots best-first.
+    pub(crate) fn finish(self, store: &Store) -> CachedEval {
+        let mut slots: Vec<Slot> = self.heap.into_iter().map(|Reverse((_, s))| s).collect();
+        // Best-first: sort by score descending (ties by slot for
+        // determinism).
+        slots.sort_unstable_by_key(|&s| Reverse((store.score_at(s), s)));
+        CachedEval::new(self.matched > self.k, slots)
+    }
+}
+
 /// Evaluates `query` against the store with candidates delivered by
 /// internal iteration: `feed` is called once with a sink and pushes every
 /// candidate slot into it. Each candidate is re-checked against all
 /// predicates, so superset producers are safe. No intermediate candidate
-/// collection is allocated.
+/// collection is allocated. (Test-only since the segment engine took
+/// over the production paths; kept as the reference harness here.)
+#[cfg(test)]
 pub(crate) fn evaluate_streaming(
     query: &ConjunctiveQuery,
     store: &Store,
     k: usize,
     feed: impl FnOnce(&mut dyn FnMut(Slot)),
 ) -> CachedEval {
-    // Min-heap of (score, slot) keeping the k best seen so far. With
-    // capacity k+1: if total matches ≤ k the heap simply holds them all.
-    let mut heap: BinaryHeap<Reverse<(u64, Slot)>> = BinaryHeap::with_capacity(k + 1);
-    let mut matched: usize = 0;
+    let mut topk = TopK::new(k);
     feed(&mut |slot| {
-        if !slot_matches(query, store, slot) {
-            return;
-        }
-        matched += 1;
-        heap.push(Reverse((store.score_at(slot), slot)));
-        if heap.len() > k {
-            heap.pop();
+        if slot_matches(query, store, slot) {
+            topk.offer(store.score_at(slot), slot);
         }
     });
-    let mut slots: Vec<Slot> = heap.into_iter().map(|Reverse((_, s))| s).collect();
-    // Best-first: sort by score descending (ties by slot for determinism).
-    slots.sort_unstable_by_key(|&s| Reverse((store.score_at(s), s)));
-    CachedEval::new(matched > k, slots)
+    topk.finish(store)
 }
 
 /// External-iteration convenience over [`evaluate_streaming`] for callers
@@ -196,8 +257,11 @@ where
     })
 }
 
+/// Whether the (possibly stale) candidate at `slot` is alive and satisfies
+/// every predicate — the columnar residual check behind every driver:
+/// per predicate, two array loads.
 #[inline]
-fn slot_matches(query: &ConjunctiveQuery, store: &Store, slot: Slot) -> bool {
+pub(crate) fn slot_matches(query: &ConjunctiveQuery, store: &Store, slot: Slot) -> bool {
     if !store.is_alive(slot) {
         return false;
     }
@@ -290,6 +354,27 @@ mod tests {
         let all: Vec<Slot> = (0..store.slot_bound()).collect();
         let r = evaluate(&ConjunctiveQuery::select_all(), &store, 10, all);
         assert_eq!(r.slots.len(), 3);
+    }
+
+    #[test]
+    fn can_stop_requires_overflow_and_a_strict_floor() {
+        let store = store_with(6); // scores = keys 0..=5
+        let mut topk = TopK::new(3);
+        for slot in 0..4u32 {
+            topk.offer(store.score_at(slot), slot);
+        }
+        // matched (4) > k (3); floor is score 1 (slots 1,2,3 kept).
+        assert!(topk.can_stop(0), "bound below the floor stops");
+        assert!(!topk.can_stop(1), "bound equal to the floor must not stop (slot tie-break)");
+        assert!(!topk.can_stop(5), "bound above the floor must not stop");
+        // Not yet overflowed: never stop.
+        let mut fresh = TopK::new(3);
+        fresh.offer(9, 0);
+        assert!(!fresh.can_stop(0));
+        // k == 0: a single match pins the (empty) overflow page.
+        let mut zero = TopK::new(0);
+        zero.offer(1, 0);
+        assert!(zero.can_stop(u64::MAX));
     }
 
     #[test]

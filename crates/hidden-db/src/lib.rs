@@ -72,7 +72,7 @@ pub mod value;
 
 pub use budget::QueryBudget;
 pub use codec::{read_snapshot, write_snapshot};
-pub use database::{HiddenDatabase, TupleRef};
+pub use database::{EvalConfig, HiddenDatabase, IntersectPolicy, TupleRef};
 pub use errors::{BudgetExhausted, DbError, SchemaError};
 pub use interface::{OutcomeClass, QueryOutcome};
 pub use memo::{InvalidationPolicy, DEFAULT_MEMO_CAPACITY};
@@ -80,7 +80,8 @@ pub use query::{ConjunctiveQuery, Predicate};
 pub use ranking::ScoringPolicy;
 pub use schema::{AttributeDef, MeasureDef, Schema};
 pub use session::{SearchBackend, SearchSession};
-pub use stats::{InterfaceStats, MemoStats};
+pub use stats::{EvalStats, InterfaceStats, MemoStats};
+pub use store::{segment_of, SEGMENT_SLOTS};
 pub use tuple::{Tuple, TupleView};
 pub use updates::{UpdateBatch, UpdateFootprint, UpdateSummary};
 pub use value::{AttrId, MeasureId, TupleKey, ValueId};

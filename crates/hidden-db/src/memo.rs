@@ -117,6 +117,37 @@ impl Hasher for IdentityHasher {
     }
 }
 
+/// One-multiply hasher for packed posting keys: mutations probe
+/// `by_posting` once per touched posting (attribute count × ops), and
+/// SipHash on a 6-byte tuple key was the single hottest part of the
+/// invalidation pass. Fibonacci multiply spreads the dense packed ids
+/// across the high bits, which `HashMap` folds into its bucket index.
+#[derive(Default)]
+pub(crate) struct PostingKeyHasher(u64);
+
+impl Hasher for PostingKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("posting-key hasher is only fed packed u64 keys");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// Packs a posting into the `by_posting` key: attribute in the high
+/// word, value in the low.
+#[inline]
+fn pack_posting(attr: AttrId, value: ValueId) -> u64 {
+    (u64::from(attr.0) << 32) | u64::from(value.0)
+}
+
 /// One cached query with its bookkeeping.
 #[derive(Debug, Clone)]
 struct MemoEntry {
@@ -135,7 +166,7 @@ pub(crate) struct QueryMemo {
     /// Posting → fingerprints of buckets holding a query with that
     /// predicate. Maintained eagerly on insert/evict/invalidate, so a
     /// mutation's invalidation work is proportional to its footprint.
-    by_posting: HashMap<(AttrId, ValueId), Vec<u64>>,
+    by_posting: HashMap<u64, Vec<u64>, BuildHasherDefault<PostingKeyHasher>>,
     /// Last version at which a mutation touched each posting (debug-only
     /// stamp-check support; bounded by the schema's attr × domain size —
     /// not maintained in release builds, where the eager invalidation is
@@ -154,13 +185,16 @@ pub(crate) struct QueryMemo {
     /// Live entries across all buckets.
     len: usize,
     stats: MemoStats,
+    /// Reusable candidate buffer for invalidation passes (mutation hot
+    /// path: no allocation per mutation).
+    scratch: Vec<u64>,
 }
 
 impl Default for QueryMemo {
     fn default() -> Self {
         Self {
             buckets: HashMap::default(),
-            by_posting: HashMap::new(),
+            by_posting: HashMap::default(),
             #[cfg(debug_assertions)]
             posting_stamp: HashMap::new(),
             root_stamp: 0,
@@ -168,6 +202,7 @@ impl Default for QueryMemo {
             capacity: DEFAULT_MEMO_CAPACITY,
             len: 0,
             stats: MemoStats::default(),
+            scratch: Vec::new(),
         }
     }
 }
@@ -259,7 +294,7 @@ impl QueryMemo {
             self.evict_one();
         }
         for p in query.predicates() {
-            self.by_posting.entry((p.attr, p.value)).or_default().push(hash);
+            self.by_posting.entry(pack_posting(p.attr, p.value)).or_default().push(hash);
         }
         let bucket = self.buckets.entry(hash).or_default();
         if bucket.is_empty() {
@@ -299,12 +334,12 @@ impl QueryMemo {
 
     /// Removes one `hash` occurrence from each of `query`'s posting lists.
     fn unlink(
-        by_posting: &mut HashMap<(AttrId, ValueId), Vec<u64>>,
+        by_posting: &mut HashMap<u64, Vec<u64>, BuildHasherDefault<PostingKeyHasher>>,
         hash: u64,
         query: &ConjunctiveQuery,
     ) {
         for p in query.predicates() {
-            let key = (p.attr, p.value);
+            let key = pack_posting(p.attr, p.value);
             if let Some(hashes) = by_posting.get_mut(&key) {
                 if let Some(i) = hashes.iter().position(|&h| h == hash) {
                     hashes.swap_remove(i);
@@ -320,39 +355,58 @@ impl QueryMemo {
     /// the mutation described by `footprint` can have changed, re-stamps
     /// every explicitly checked survivor, and leaves the rest of the memo
     /// untouched. `version` is the database's *post-mutation* version.
+    ///
+    /// Allocation-free on the mutation hot path: candidates collect into
+    /// a reusable scratch buffer and candidate buckets are filtered **in
+    /// place** (`retain_mut`) instead of being removed, rebuilt, and
+    /// re-inserted — pure-mutation workloads (the interface microbench's
+    /// insert+delete pairs) pay vector appends and map probes only.
     pub(crate) fn invalidate(&mut self, footprint: &mut UpdateFootprint, version: u64) {
         footprint.seal();
         self.root_stamp = version;
-        let len_before = self.len;
-        let mut candidates: Vec<u64> = vec![Self::root_hash()];
+        #[cfg(debug_assertions)]
         for &posting in footprint.postings() {
-            #[cfg(debug_assertions)]
             self.posting_stamp.insert(posting, version);
-            if let Some(hashes) = self.by_posting.get(&posting) {
+        }
+        if self.buckets.is_empty() {
+            // Nothing cached: stamps above are all a mutation owes. The
+            // ring may still hold slots of buckets a previous pass
+            // dropped; keep it bounded.
+            self.maybe_compact_clock();
+            return;
+        }
+        let len_before = self.len;
+        let mut candidates = std::mem::take(&mut self.scratch);
+        candidates.clear();
+        candidates.push(Self::root_hash());
+        for posting in footprint.postings() {
+            if let Some(hashes) = self.by_posting.get(&pack_posting(posting.0, posting.1)) {
                 candidates.extend_from_slice(hashes);
             }
         }
         candidates.sort_unstable();
         candidates.dedup();
-        for hash in candidates {
-            let Some(entries) = self.buckets.remove(&hash) else { continue };
-            let mut kept: Vec<MemoEntry> = Vec::with_capacity(entries.len());
-            for mut e in entries {
+        for &hash in &candidates {
+            let Some(entries) = self.buckets.get_mut(&hash) else { continue };
+            let (by_posting, len, stats) = (&mut self.by_posting, &mut self.len, &mut self.stats);
+            entries.retain_mut(|e| {
                 if footprint.affects_query(&e.query) || footprint.affects_page(&e.eval.slots) {
-                    self.len -= 1;
-                    self.stats.invalidated += 1;
-                    Self::unlink(&mut self.by_posting, hash, &e.query);
+                    *len -= 1;
+                    stats.invalidated += 1;
+                    Self::unlink(by_posting, hash, &e.query);
+                    false
                 } else {
                     // Explicitly checked and retained: validated at the
                     // new version.
                     e.stamp = version;
-                    kept.push(e);
+                    true
                 }
-            }
-            if !kept.is_empty() {
-                self.buckets.insert(hash, kept);
+            });
+            if entries.is_empty() {
+                self.buckets.remove(&hash);
             }
         }
+        self.scratch = candidates;
         // Entries surviving this pass (len_before minus dropped).
         debug_assert!(self.len <= len_before);
         self.stats.retained += self.len as u64;

@@ -26,6 +26,30 @@ impl InterfaceStats {
     }
 }
 
+/// Counters describing which paths the evaluation engine took — useful
+/// for benches and for tests asserting a strategy actually engaged.
+/// Like [`InterfaceStats::cache_hits`] these depend on the memo policy
+/// (a memo hit skips evaluation entirely); they are deterministic for a
+/// fixed policy and workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Root (`SELECT *`) segment scans.
+    pub root_scans: u64,
+    /// Single-predicate posting-list scans.
+    pub single_scans: u64,
+    /// Multi-predicate evaluations that galloped the two rarest lists.
+    pub gallop_intersections: u64,
+    /// Multi-predicate evaluations that used per-segment bitsets.
+    pub bitset_intersections: u64,
+    /// Multi-predicate evaluations on the legacy rarest-list re-check
+    /// path (forced via [`crate::IntersectPolicy::Recheck`]).
+    pub recheck_scans: u64,
+    /// Scans stopped early by the overflow + heap-floor proof.
+    pub early_exits: u64,
+    /// Segments (or posting runs) never visited thanks to early exits.
+    pub segments_skipped: u64,
+}
+
 /// Counters describing the query memo's lifecycle: what the invalidation
 /// policy dropped and what the admission policy evicted.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

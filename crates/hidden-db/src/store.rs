@@ -1,9 +1,26 @@
-//! Columnar slot-based tuple storage.
+//! Columnar slot-based tuple storage, organised in fixed-size segments.
 //!
 //! Tuples live in *slots*; deleting a tuple frees its slot for reuse by a
 //! later insert. All hot query-evaluation paths index columns directly by
 //! slot, so matching a predicate against a candidate tuple is two array
 //! loads. External identity is the [`TupleKey`], which is never reused.
+//!
+//! ## Segments
+//!
+//! Slots are grouped into fixed-size segments of [`SEGMENT_SLOTS`]
+//! consecutive slots. Each segment carries two summaries maintained on
+//! every mutation:
+//!
+//! * an **alive count** — lets scans (and the parallel ground-truth
+//!   fan-out) skip fully dead segments without touching the bitmap;
+//! * a **max-score upper bound** — never underestimates the best hidden
+//!   ranking score of any alive occupant, which is what lets the
+//!   evaluation engine stop a top-`k` scan early once the heap floor
+//!   provably beats every remaining segment (see
+//!   [`crate::interface::TopK::can_stop`]). Deletes do not lower the
+//!   bound (that would cost a segment sweep); it resets to the true
+//!   maximum whenever a segment empties, and is exact for append-mostly
+//!   workloads like `NewestFirst` timelines.
 
 use std::collections::HashMap;
 
@@ -14,6 +31,34 @@ use crate::value::{TupleKey, ValueId};
 /// Slot index within the store. Internal; never exposed through the
 /// search interface.
 pub type Slot = u32;
+
+/// Slots per store segment.
+pub const SEGMENT_SLOTS: usize = 4096;
+
+// `segment_of` shifts, `segment_range` multiplies, and the evaluation
+// engine's bitsets are `SEGMENT_SLOTS / 64` whole words — all three only
+// agree for power-of-two, word-divisible sizes, so retuning to anything
+// else must fail at compile time.
+const _: () = assert!(SEGMENT_SLOTS.is_power_of_two() && SEGMENT_SLOTS.is_multiple_of(64));
+
+/// `log2(SEGMENT_SLOTS)` — segment of a slot is `slot >> SEGMENT_SHIFT`.
+pub const SEGMENT_SHIFT: u32 = SEGMENT_SLOTS.trailing_zeros();
+
+/// The segment a slot belongs to.
+#[inline]
+pub fn segment_of(slot: Slot) -> usize {
+    (slot >> SEGMENT_SHIFT) as usize
+}
+
+/// Per-segment summary maintained incrementally by the store.
+#[derive(Debug, Clone, Copy, Default)]
+struct SegmentMeta {
+    /// Alive tuples in the segment.
+    alive: u32,
+    /// Upper bound on the hidden score of any alive occupant. May
+    /// overestimate after deletes/score-drops; never underestimates.
+    max_score: u64,
+}
 
 /// Columnar storage for tuples plus the per-tuple hidden ranking score.
 #[derive(Debug, Clone)]
@@ -33,6 +78,9 @@ pub struct Store {
     /// Alive key → slot.
     key_to_slot: HashMap<u64, Slot>,
     alive_count: usize,
+    /// Per-segment alive counts and score upper bounds; segment `s`
+    /// covers slots `s * SEGMENT_SLOTS .. (s+1) * SEGMENT_SLOTS`.
+    segments: Vec<SegmentMeta>,
 }
 
 impl Store {
@@ -48,6 +96,7 @@ impl Store {
             free: Vec::new(),
             key_to_slot: HashMap::new(),
             alive_count: 0,
+            segments: Vec::new(),
         }
     }
 
@@ -103,6 +152,93 @@ impl Store {
         self.key_to_slot.get(&key.0).copied()
     }
 
+    // ----- segment summaries ---------------------------------------------
+
+    /// Number of segments allocated (covers every slot below
+    /// [`Store::slot_bound`]).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Alive tuples in segment `seg`.
+    #[inline]
+    pub fn segment_alive(&self, seg: usize) -> u32 {
+        self.segments[seg].alive
+    }
+
+    /// Upper bound on the hidden score of any alive tuple in `seg`
+    /// (never underestimates; exact until a delete or score-drop).
+    #[inline]
+    pub fn segment_max_score(&self, seg: usize) -> u64 {
+        self.segments[seg].max_score
+    }
+
+    /// The slot range covered by segment `seg`, clamped to allocated
+    /// slots.
+    #[inline]
+    pub fn segment_range(&self, seg: usize) -> std::ops::Range<Slot> {
+        let start = (seg * SEGMENT_SLOTS) as Slot;
+        let end = ((seg + 1) * SEGMENT_SLOTS).min(self.keys.len()) as Slot;
+        start..end
+    }
+
+    /// Segment ids with at least one alive tuple, ascending.
+    pub fn live_segments(&self) -> impl Iterator<Item = usize> + '_ {
+        self.segments.iter().enumerate().filter(|(_, m)| m.alive > 0).map(|(s, _)| s)
+    }
+
+    /// For every segment (descending max-score order, segment id as the
+    /// deterministic tie-break): `(segment, score upper bound)`. This is
+    /// the visit order that lets early-exit scans stop as soon as the
+    /// heap floor beats the bound of the *next* segment.
+    pub fn segments_by_score_desc(&self) -> Vec<(usize, u64)> {
+        let mut order: Vec<(usize, u64)> = self
+            .segments
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.alive > 0)
+            .map(|(s, m)| (s, m.max_score))
+            .collect();
+        order.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        order
+    }
+
+    /// `suffix_max[seg]` = the max-score upper bound over all segments
+    /// `>= seg` — the early-exit bound for *slot-ascending* scans
+    /// (galloping intersections emit candidates in slot order).
+    pub fn segment_suffix_max(&self) -> Vec<u64> {
+        let mut suffix = vec![0u64; self.segments.len()];
+        let mut best = 0u64;
+        for (s, meta) in self.segments.iter().enumerate().rev() {
+            if meta.alive > 0 {
+                best = best.max(meta.max_score);
+            }
+            suffix[s] = best;
+        }
+        suffix
+    }
+
+    #[inline]
+    fn note_insert(&mut self, slot: Slot, score: u64) {
+        let seg = segment_of(slot);
+        if seg >= self.segments.len() {
+            self.segments.resize(seg + 1, SegmentMeta::default());
+        }
+        let meta = &mut self.segments[seg];
+        meta.alive += 1;
+        meta.max_score = meta.max_score.max(score);
+    }
+
+    #[inline]
+    fn note_delete(&mut self, slot: Slot) {
+        let meta = &mut self.segments[segment_of(slot)];
+        meta.alive -= 1;
+        if meta.alive == 0 {
+            // Empty segment: the bound resets exactly for free.
+            meta.max_score = 0;
+        }
+    }
+
     /// Inserts a tuple with the given hidden score, returning its slot.
     ///
     /// Errors with [`DbError::DuplicateKey`] if the key is already alive.
@@ -142,6 +278,7 @@ impl Store {
         };
         self.key_to_slot.insert(key.0, slot);
         self.alive_count += 1;
+        self.note_insert(slot, score);
         Ok(slot)
     }
 
@@ -151,6 +288,7 @@ impl Store {
         self.alive[slot as usize] = false;
         self.free.push(slot);
         self.alive_count -= 1;
+        self.note_delete(slot);
         Ok(slot)
     }
 
@@ -165,9 +303,13 @@ impl Store {
     }
 
     /// Overwrites the hidden ranking score at `slot` (used when a measure
-    /// update changes a measure-based rank).
+    /// update changes a measure-based rank). Raises the segment bound if
+    /// needed; a lowered score leaves the old bound standing (still a
+    /// valid upper bound).
     pub fn set_score(&mut self, slot: Slot, score: u64) {
         self.scores[slot as usize] = score;
+        let meta = &mut self.segments[segment_of(slot)];
+        meta.max_score = meta.max_score.max(score);
     }
 
     /// Materialises a read-only view of the tuple at `slot`.
@@ -186,6 +328,14 @@ impl Store {
     /// Iterates over `(key, slot)` of all alive tuples in unspecified order.
     pub fn alive_keys(&self) -> impl Iterator<Item = (TupleKey, Slot)> + '_ {
         self.key_to_slot.iter().map(|(&k, &s)| (TupleKey(k), s))
+    }
+
+    /// Iterates over the alive slots of one segment, ascending. Skipping
+    /// the scan entirely for empty segments is the caller's job (check
+    /// [`Store::segment_alive`] first).
+    pub fn alive_slots_in(&self, seg: usize) -> impl Iterator<Item = Slot> + '_ {
+        let range = self.segment_range(seg);
+        (range.start..range.end).filter(|&s| self.alive[s as usize])
     }
 }
 
@@ -262,5 +412,56 @@ mod tests {
         keys.sort_unstable();
         assert_eq!(keys, vec![1, 3]);
         assert_eq!(s.alive_slots().count(), 2);
+    }
+
+    #[test]
+    fn segment_alive_counts_track_mutations() {
+        let mut s = Store::new(1, 0);
+        for key in 0..10u64 {
+            s.insert(t(key, &[0], &[]), key).unwrap();
+        }
+        assert_eq!(s.segment_count(), 1);
+        assert_eq!(s.segment_alive(0), 10);
+        for key in 0..4u64 {
+            s.delete(TupleKey(key)).unwrap();
+        }
+        assert_eq!(s.segment_alive(0), 6);
+        assert_eq!(s.live_segments().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.alive_slots_in(0).count(), 6);
+        // Segment slot range is clamped to allocated slots.
+        assert_eq!(s.segment_range(0), 0..10);
+    }
+
+    #[test]
+    fn segment_max_score_is_an_upper_bound_and_resets_on_empty() {
+        let mut s = Store::new(1, 0);
+        s.insert(t(1, &[0], &[]), 50).unwrap();
+        s.insert(t(2, &[0], &[]), 99).unwrap();
+        assert_eq!(s.segment_max_score(0), 99);
+        // Deleting the max holder leaves the (stale but sound) bound.
+        s.delete(TupleKey(2)).unwrap();
+        assert!(s.segment_max_score(0) >= 50);
+        // Raising a score raises the bound.
+        let slot = s.slot_of(TupleKey(1)).unwrap();
+        s.set_score(slot, 200);
+        assert_eq!(s.segment_max_score(0), 200);
+        // Emptying the segment resets the bound exactly.
+        s.delete(TupleKey(1)).unwrap();
+        assert_eq!(s.segment_max_score(0), 0);
+        assert_eq!(s.segment_alive(0), 0);
+    }
+
+    #[test]
+    fn segment_orderings_are_deterministic() {
+        let mut s = Store::new(1, 0);
+        // Only one segment exists at this size, but the orderings must
+        // still be internally consistent.
+        for key in 0..5u64 {
+            s.insert(t(key, &[0], &[]), key * 10).unwrap();
+        }
+        let desc = s.segments_by_score_desc();
+        assert_eq!(desc, vec![(0, 40)]);
+        let suffix = s.segment_suffix_max();
+        assert_eq!(suffix, vec![40]);
     }
 }

@@ -80,17 +80,32 @@ pub struct UpdateFootprint {
     postings: Vec<(AttrId, ValueId)>,
     /// Touched slots; sorted + deduped by [`Self::seal`].
     slots: Vec<Slot>,
+    /// Rows recorded since the last clear — a single-row footprint (the
+    /// single-op mutation hot path) is sorted by construction, so its
+    /// seal is O(1).
+    rows: usize,
     sealed: bool,
 }
 
 impl UpdateFootprint {
     /// Records one touched tuple: its slot and its full value row in
-    /// schema order.
+    /// schema order. Plain vector appends — the whole batch is collected
+    /// in one pass and sorted once at [`Self::seal`], not per op.
     pub fn record(&mut self, slot: Slot, values: &[ValueId]) {
         for (a, &v) in values.iter().enumerate() {
             self.postings.push((AttrId(a as u16), v));
         }
         self.slots.push(slot);
+        self.rows += 1;
+        self.sealed = false;
+    }
+
+    /// Empties the footprint, keeping its buffers (scratch reuse across
+    /// mutations).
+    pub fn clear(&mut self) {
+        self.postings.clear();
+        self.slots.clear();
+        self.rows = 0;
         self.sealed = false;
     }
 
@@ -101,14 +116,18 @@ impl UpdateFootprint {
 
     /// Sorts and dedupes the posting/slot sets so the `affects_*` probes
     /// can binary-search. Called once by the memo before invalidating.
+    /// A single-row footprint is already sorted (one slot; postings in
+    /// strictly ascending attribute order) and skips the sort entirely.
     pub fn seal(&mut self) {
         if self.sealed {
             return;
         }
-        self.postings.sort_unstable();
-        self.postings.dedup();
-        self.slots.sort_unstable();
-        self.slots.dedup();
+        if self.rows > 1 {
+            self.postings.sort_unstable();
+            self.postings.dedup();
+            self.slots.sort_unstable();
+            self.slots.dedup();
+        }
         self.sealed = true;
     }
 

@@ -44,6 +44,14 @@ impl Threads {
         Self::Fixed(NonZeroUsize::new(n).expect("thread count must be ≥ 1"))
     }
 
+    /// Exactly one worker: jobs run inline on the caller's thread in
+    /// index order, byte-identical to a plain loop. The default for
+    /// fan-out APIs embedded in code that may itself already be running
+    /// inside a pool (e.g. ground truth inside parallel trials).
+    pub fn sequential() -> Self {
+        Self::fixed(1)
+    }
+
     /// Resolves the policy to a concrete count, capped by `jobs` (no point
     /// spawning idle workers).
     pub fn resolve(self, jobs: usize) -> usize {
