@@ -1,7 +1,7 @@
 //! perf_baseline — the standard, committed performance workload.
 //!
 //! Runs fixed workloads and writes a machine-readable report (default
-//! `BENCH_PR3.json`, see `--out`) so future PRs have a perf trajectory
+//! `BENCH_PR5.json`, see `--out`) so future PRs have a perf trajectory
 //! to beat:
 //!
 //! 1. **Interface microbench** — query throughput of the hidden-database
@@ -33,11 +33,22 @@
 //!    fanned out over store segments at 1/2/4/7 threads with a bitwise
 //!    identity check against the sequential sweep
 //!    (`ground_truth_bit_identical`).
+//! 8. **Compaction** (PR 5) — a delete-heavy `ByMeasureDesc` pool whose
+//!    churn purges the top scorers everywhere except one segment: stale
+//!    bounds keep the early exit dark (`0` segment skips, the pre-PR-5
+//!    state), a `compact()` pass re-arms it (`early_exit_rearmed`) with
+//!    bit-identical answers (`compaction_identical`).
+//! 9. **Revalidation** (PR 5) — a churn-heavy Fig 10-style pool
+//!    (inserts + deletes + measure updates every round) re-asking a
+//!    fixed query pool: cross-round memo revalidation on vs the PR 2
+//!    incremental baseline vs memo-disabled, with a three-way answer
+//!    fingerprint check (`revalidation_consistent`) and a strict
+//!    hit-rate win (`revalidation_hit_rate_improved`).
 //!
 //! The workloads are fixed on purpose — do not "tune" them in later
 //! PRs; add new sections instead, so the numbers stay comparable.
 //!
-//! Flags: `--out PATH` (default `BENCH_PR3.json`), `--threads N`
+//! Flags: `--out PATH` (default `BENCH_PR5.json`), `--threads N`
 //! (thread pool for the parallel track run; default auto).
 
 use std::time::Instant;
@@ -75,6 +86,10 @@ fn main() {
     let early_exit = early_exit_workload();
     eprintln!(">>> perf_baseline: ground-truth segment fan-out");
     let ground_truth = ground_truth_parallelism();
+    eprintln!(">>> perf_baseline: segment compaction / early-exit re-arm");
+    let compaction = compaction_workload();
+    eprintln!(">>> perf_baseline: cross-round memo revalidation");
+    let revalidation = revalidation_workload();
     let report = Json::obj()
         .field("schema_version", 1u64)
         .field("report", "perf_baseline")
@@ -102,7 +117,9 @@ fn main() {
         .field("memo_adversarial", memo_adv)
         .field("intersection", intersection)
         .field("early_exit", early_exit)
-        .field("ground_truth_parallelism", ground_truth);
+        .field("ground_truth_parallelism", ground_truth)
+        .field("compaction", compaction)
+        .field("revalidation", revalidation);
     std::fs::write(&flags.out, report.pretty())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", flags.out));
     eprintln!(">>> perf_baseline: wrote {}", flags.out);
@@ -117,7 +134,7 @@ struct Flags {
 
 impl Flags {
     fn parse() -> Self {
-        let mut flags = Flags { out: "BENCH_PR3.json".to_string(), threads: None };
+        let mut flags = Flags { out: "BENCH_PR5.json".to_string(), threads: None };
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
             let mut value =
@@ -130,7 +147,7 @@ impl Flags {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --out PATH (default BENCH_PR3.json)  --threads N (default auto)"
+                        "flags: --out PATH (default BENCH_PR5.json)  --threads N (default auto)"
                     );
                     std::process::exit(0);
                 }
@@ -613,6 +630,194 @@ fn ground_truth_parallelism() -> Json {
         .field("passes", PASSES)
         .field("per_threads", per_threads)
         .field("ground_truth_bit_identical", bit_identical)
+}
+
+/// PR 5: the delete-heavy `ByMeasureDesc` pool where stale segment
+/// bounds disarm the early exit. Every segment starts with the same
+/// measure distribution (all bounds near the global maximum); the churn
+/// then purges the high scorers everywhere *except* the last segment —
+/// a category-style purge that leaves the alive maxima skewed while
+/// every stale bound still sits at the old global maximum. Post-churn,
+/// overflowing scans cannot skip a single segment (`skips_before`, the
+/// state of main); one `compact()` recomputes exact bounds and the same
+/// pool skips nearly everything (`early_exit_rearmed`) with
+/// bit-identical answers (`compaction_identical`).
+fn compaction_workload() -> Json {
+    const SEGS: usize = 6;
+    const K: usize = 100;
+    const PASSES: usize = 40;
+    const CUTOFF: u64 = 500_000;
+
+    let n = (SEGS * hidden_db::SEGMENT_SLOTS) as u64;
+    let measure = |key: u64| (key.wrapping_mul(2654435761) % 1_000_000) as f64;
+    let schema = hidden_db::schema::Schema::with_domain_sizes(&[4, 5], &["m"]).unwrap();
+    let mut db = hidden_db::HiddenDatabase::new(
+        schema.clone(),
+        K,
+        ScoringPolicy::ByMeasureDesc(MeasureId(0)),
+    );
+    db.set_invalidation_policy(InvalidationPolicy::Disabled);
+    for key in 0..n {
+        db.insert(Tuple::new(
+            TupleKey(key),
+            vec![
+                hidden_db::value::ValueId((key % 4) as u32),
+                hidden_db::value::ValueId((key % 5) as u32),
+            ],
+            vec![measure(key)],
+        ))
+        .expect("unique keys");
+    }
+    // The purge: high scorers die everywhere but the last segment.
+    let last_seg_start = ((SEGS - 1) * hidden_db::SEGMENT_SLOTS) as u64;
+    for key in 0..last_seg_start {
+        if measure(key) >= CUTOFF as f64 {
+            db.delete(TupleKey(key)).expect("alive key");
+        }
+    }
+    let stale_segments = db.stale_segment_count();
+
+    // Root + every depth-1 query: all overflow hard at k=100.
+    let mut pool = vec![ConjunctiveQuery::select_all()];
+    for a in schema.attr_ids() {
+        for v in 0..schema.domain_size(a) {
+            pool.push(ConjunctiveQuery::from_predicates([Predicate::new(
+                a,
+                hidden_db::value::ValueId(v),
+            )]));
+        }
+    }
+    let run = |db: &mut hidden_db::HiddenDatabase| {
+        let before = db.eval_stats();
+        let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+        let t0 = Instant::now();
+        for _ in 0..PASSES {
+            for q in &pool {
+                fingerprint = fold_outcome(fingerprint, &db.answer(q));
+            }
+        }
+        let wall = t0.elapsed();
+        let after = db.eval_stats();
+        let skips = after.segments_skipped - before.segments_skipped;
+        let exits = after.early_exits - before.early_exits;
+        (fingerprint, wall, skips, exits)
+    };
+
+    let mut stale_db = db.clone();
+    let (fp_before, wall_before, skips_before, exits_before) = run(&mut stale_db);
+
+    let report = db.compact();
+    let (fp_after, wall_after, skips_after, exits_after) = run(&mut db);
+
+    // Third opinion: the exhaustive (early-exit-off) engine on the
+    // compacted store.
+    let mut exhaustive = db.clone();
+    exhaustive.set_eval_config(EvalConfig { early_exit: false, ..EvalConfig::default() });
+    let (fp_exhaustive, _, _, _) = run(&mut exhaustive);
+
+    let queries = PASSES * pool.len();
+    let qps_before = queries as f64 / wall_before.as_secs_f64();
+    let qps_after = queries as f64 / wall_after.as_secs_f64();
+    Json::obj()
+        .field("population", n)
+        .field("alive", db.len())
+        .field("segments", SEGS)
+        .field("k", K)
+        .field("scoring", "ByMeasureDesc")
+        .field("stale_segments_after_churn", stale_segments)
+        .field("bounds_tightened", report.bounds_tightened)
+        .field("postings_purged", report.postings_purged)
+        .field("maintenance_slots_scanned", report.slots_scanned)
+        .field("queries", queries)
+        .field("stale_queries_per_sec", qps_before)
+        .field("compacted_queries_per_sec", qps_after)
+        .field("speedup", qps_after / qps_before.max(f64::MIN_POSITIVE))
+        .field("early_exits_before", exits_before)
+        .field("early_exits_after", exits_after)
+        .field("segment_skips_before", skips_before)
+        .field("segment_skips_after", skips_after)
+        .field("early_exit_rearmed", skips_before == 0 && skips_after > 0)
+        .field("compaction_identical", fp_before == fp_after && fp_after == fp_exhaustive)
+}
+
+/// PR 5: cross-round memo revalidation on a churn-heavy Fig 10-style
+/// pool (inserts + deletes + measure updates every round, a fixed
+/// overlapping query pool re-asked each round). The PR 2 incremental
+/// baseline drops every affected entry and re-evaluates from cold;
+/// revalidation demotes spared overflow pages and resurrects them at the
+/// next ask. `revalidation_consistent` (three-way answer fingerprints)
+/// and `revalidation_hit_rate_improved` (strictly above the PR 2
+/// baseline) must always hold.
+fn revalidation_workload() -> Json {
+    const N: usize = 4_000;
+    const K: usize = 100;
+    const ATTRS: usize = 12;
+    const ROUNDS: usize = 30;
+    const INSERTS_PER_ROUND: usize = 6;
+
+    let run = |policy: InvalidationPolicy, revalidation: bool| {
+        let mut gen = AutosGenerator::with_attrs(ATTRS);
+        let mut rng = StdRng::seed_from_u64(0xF110);
+        let mut db = load_database(&mut gen, &mut rng, N, K, ScoringPolicy::default());
+        db.set_invalidation_policy(policy);
+        db.set_revalidation(revalidation);
+        let pool = query_pool(&db.schema().clone());
+        let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+        let mut fresh_key = 30_000_000u64;
+        let t0 = Instant::now();
+        for round in 0..ROUNDS {
+            // Churn-heavy batch: 6 inserts, 6 deletes, 2 measure updates.
+            let victims = db.sample_alive_keys(&mut rng, 8);
+            let mut batch = UpdateBatch::empty();
+            for key in victims.iter().take(6) {
+                batch = batch.delete(*key);
+            }
+            for key in victims.iter().skip(6) {
+                batch = batch.update_measures(*key, vec![round as f64]);
+            }
+            for _ in 0..INSERTS_PER_ROUND {
+                let t = gen.make(&mut rng);
+                fresh_key += 1;
+                batch = batch.insert(Tuple::new(
+                    TupleKey(fresh_key),
+                    t.values().to_vec(),
+                    t.measures().to_vec(),
+                ));
+            }
+            db.apply(batch).expect("churn batch is valid");
+            for q in &pool {
+                fingerprint = fold_outcome(fingerprint, &db.answer(q));
+            }
+        }
+        let wall = t0.elapsed();
+        (db, fingerprint, wall)
+    };
+
+    let (reval_db, reval_fp, reval_wall) = run(InvalidationPolicy::Incremental, true);
+    let (base_db, base_fp, base_wall) = run(InvalidationPolicy::Incremental, false);
+    let (_, oracle_fp, _) = run(InvalidationPolicy::Disabled, false);
+
+    let reval_rate = reval_db.stats().cache_hit_rate();
+    let base_rate = base_db.stats().cache_hit_rate();
+    let m = reval_db.memo_stats();
+    Json::obj()
+        .field("population", N)
+        .field("rounds", ROUNDS)
+        .field("batch_per_round", "6 inserts, 6 deletes, 2 measure updates")
+        .field("revalidation_wall_s", reval_wall.as_secs_f64())
+        .field("baseline_wall_s", base_wall.as_secs_f64())
+        .field("revalidation_hit_rate", reval_rate)
+        .field("baseline_hit_rate", base_rate)
+        .field("hit_rate_gain", reval_rate - base_rate)
+        .field("demoted", m.demoted)
+        .field("resurrected", m.resurrected)
+        .field("revalidation_failed", m.revalidation_failed)
+        .field(
+            "resurrection_rate",
+            m.resurrected as f64 / (m.resurrected + m.revalidation_failed).max(1) as f64,
+        )
+        .field("revalidation_consistent", reval_fp == base_fp && reval_fp == oracle_fp)
+        .field("revalidation_hit_rate_improved", reval_rate > base_rate)
 }
 
 fn outcomes_bit_identical(a: &TrackOutcome, b: &TrackOutcome) -> bool {

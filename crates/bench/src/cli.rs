@@ -8,7 +8,10 @@
 //! * `--seed N` — base seed;
 //! * `--memo incremental|wholesale|disabled` — the database's memo
 //!   invalidation policy (outcome-invariant; pinned by the determinism
-//!   suite).
+//!   suite);
+//! * `--maintain off|N` — per-round segment-maintenance budget in
+//!   scanned slots/postings (`off` = never maintain, the default;
+//!   outcome-invariant like the memo policy).
 
 use hidden_db::InvalidationPolicy;
 use workloads::DeleteSpec;
@@ -40,6 +43,9 @@ pub struct Cli {
     pub seed: Option<u64>,
     /// Memo invalidation policy override.
     pub memo: Option<InvalidationPolicy>,
+    /// Per-round maintenance budget override (`Some(None)` = explicit
+    /// `off`, `Some(Some(n))` = budget of `n` scanned slots/postings).
+    pub maintain: Option<Option<usize>>,
 }
 
 impl Cli {
@@ -76,10 +82,17 @@ impl Cli {
                         other => panic!("unknown memo policy {other:?}"),
                     })
                 }
+                "--maintain" => {
+                    cli.maintain = Some(match value("--maintain").as_str() {
+                        "off" => None,
+                        n => Some(n.parse().expect("--maintain takes `off` or a slot budget")),
+                    })
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale quick|default|paper  --trials N  --rounds N  \
-                         --budget N  --seed N  --memo incremental|wholesale|disabled"
+                         --budget N  --seed N  --memo incremental|wholesale|disabled  \
+                         --maintain off|N"
                     );
                     std::process::exit(0);
                 }
@@ -115,6 +128,11 @@ pub struct BaseCfg {
     /// invariant (estimator records are bit-identical across policies);
     /// only wall-clock and cache counters change.
     pub memo_policy: InvalidationPolicy,
+    /// Per-round segment-maintenance budget (scanned slots/postings per
+    /// [`hidden_db::MaintenanceBudget`]); `None` never maintains.
+    /// Outcome-invariant exactly like the memo policy — pinned by the
+    /// determinism suite's maintenance test.
+    pub maintain_slots: Option<usize>,
 }
 
 impl BaseCfg {
@@ -132,6 +150,7 @@ impl BaseCfg {
                 delete: DeleteSpec::Fraction(0.001),
                 seed: 0x5EED,
                 memo_policy: InvalidationPolicy::Incremental,
+                maintain_slots: None,
             },
             Scale::Default => Self {
                 initial: 30_000,
@@ -145,6 +164,7 @@ impl BaseCfg {
                 delete: DeleteSpec::Fraction(0.001),
                 seed: 0x5EED,
                 memo_policy: InvalidationPolicy::Incremental,
+                maintain_slots: None,
             },
             Scale::Paper => Self {
                 initial: 170_000,
@@ -157,6 +177,7 @@ impl BaseCfg {
                 delete: DeleteSpec::Fraction(0.001),
                 seed: 0x5EED,
                 memo_policy: InvalidationPolicy::Incremental,
+                maintain_slots: None,
             },
         }
     }
@@ -177,6 +198,9 @@ impl BaseCfg {
         }
         if let Some(p) = cli.memo {
             self.memo_policy = p;
+        }
+        if let Some(m) = cli.maintain {
+            self.maintain_slots = m;
         }
         self
     }
@@ -237,6 +261,23 @@ mod tests {
     #[should_panic(expected = "unknown memo policy")]
     fn unknown_memo_policy_panics() {
         parse(&["--memo", "sometimes"]);
+    }
+
+    #[test]
+    fn maintain_flag_parses_and_applies() {
+        assert_eq!(BaseCfg::from_cli(&parse(&[])).maintain_slots, None, "off by default");
+        let cli = parse(&["--maintain", "4096"]);
+        assert_eq!(cli.maintain, Some(Some(4096)));
+        assert_eq!(BaseCfg::from_cli(&cli).maintain_slots, Some(4096));
+        let cli = parse(&["--maintain", "off"]);
+        assert_eq!(cli.maintain, Some(None));
+        assert_eq!(BaseCfg::from_cli(&cli).maintain_slots, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot budget")]
+    fn bogus_maintain_budget_panics() {
+        parse(&["--maintain", "sometimes"]);
     }
 
     #[test]

@@ -379,6 +379,13 @@ fn run_trial(
         }
         prev_truth = truth;
         driver.advance();
+        // Amortised segment maintenance between rounds (bound recompute +
+        // posting-list compaction). Outcome-invariant: estimator records
+        // are bit-identical with any budget (pinned by the determinism
+        // suite), only scan wall-clock moves.
+        if let Some(budget) = cfg.maintain_slots {
+            driver.db_mut().maintain(hidden_db::MaintenanceBudget::slots(budget));
+        }
     }
     out
 }

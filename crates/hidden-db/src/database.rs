@@ -21,7 +21,7 @@ use crate::memo::{InvalidationPolicy, QueryMemo};
 use crate::query::ConjunctiveQuery;
 use crate::ranking::ScoringPolicy;
 use crate::schema::Schema;
-use crate::stats::{EvalStats, InterfaceStats, MemoStats};
+use crate::stats::{EvalStats, InterfaceStats, MaintenanceStats, MemoStats};
 use crate::store::{segment_of, Slot, Store, SEGMENT_SLOTS};
 use crate::tuple::Tuple;
 use crate::updates::{UpdateBatch, UpdateFootprint, UpdateSummary};
@@ -75,6 +75,47 @@ const GALLOP_RATIO: usize = 8;
 /// 64-bit words per segment bitset.
 const SEGMENT_WORDS: usize = SEGMENT_SLOTS / 64;
 
+/// How much work one [`HiddenDatabase::maintain`] call may do, in slots/
+/// postings scanned. Maintenance is incremental by design: a small
+/// per-round budget amortises compaction across rounds instead of
+/// stalling one round with a full sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceBudget {
+    /// Slots (store sweeps) plus postings (index sweeps) the call may
+    /// scan before stopping.
+    pub slot_scans: usize,
+}
+
+impl MaintenanceBudget {
+    /// No cap: finish all outstanding maintenance
+    /// ([`HiddenDatabase::compact`]).
+    pub fn unlimited() -> Self {
+        Self { slot_scans: usize::MAX }
+    }
+
+    /// A cap of `n` scanned slots/postings.
+    pub fn slots(n: usize) -> Self {
+        Self { slot_scans: n }
+    }
+}
+
+/// What one [`HiddenDatabase::maintain`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Store segments whose score bound was recomputed exactly.
+    pub segments_recomputed: usize,
+    /// Recomputes that actually tightened a bound.
+    pub bounds_tightened: usize,
+    /// Posting lists compacted (tombstones purged, runs rebuilt).
+    pub lists_compacted: usize,
+    /// Tombstoned/duplicate postings removed.
+    pub postings_purged: usize,
+    /// Slots + postings scanned (budget spent).
+    pub slots_scanned: usize,
+    /// Whether the budget ran out with work left over.
+    pub exhausted: bool,
+}
+
 /// A lightweight, allocation-free view of one stored tuple, used by the
 /// owner-side ground-truth API.
 #[derive(Clone, Copy)]
@@ -122,6 +163,7 @@ pub struct HiddenDatabase {
     stats: InterfaceStats,
     eval_config: EvalConfig,
     eval_stats: EvalStats,
+    maintenance_stats: MaintenanceStats,
     /// Reusable footprint buffers: single-op mutations would otherwise
     /// allocate (and drop) two vectors each.
     scratch_footprint: UpdateFootprint,
@@ -145,6 +187,7 @@ impl HiddenDatabase {
             stats: InterfaceStats::default(),
             eval_config: EvalConfig::default(),
             eval_stats: EvalStats::default(),
+            maintenance_stats: MaintenanceStats::default(),
             scratch_footprint: UpdateFootprint::default(),
         }
     }
@@ -204,9 +247,99 @@ impl HiddenDatabase {
         self.cache.capacity()
     }
 
-    /// Memo lifecycle counters (invalidations, evictions, clears).
+    /// Memo lifecycle counters (invalidations, evictions, clears,
+    /// demotions/resurrections).
     pub fn memo_stats(&self) -> MemoStats {
         self.cache.stats()
+    }
+
+    /// Number of memoised queries currently demoted to `Stale` (kept for
+    /// the lookup-time revalidation re-check).
+    pub fn memo_stale_len(&self) -> usize {
+        self.cache.stale_len()
+    }
+
+    /// Toggles cross-round memo revalidation (default: on). When on, an
+    /// invalidated overflow entry whose cached page the mutation
+    /// provably spared is demoted to `Stale` instead of dropped, and the
+    /// next lookup re-checks it against live scores/segment bounds —
+    /// resurrecting the shared page when the top-`k` provably did not
+    /// change. Outcome-invariant (pinned by the memo and compaction
+    /// oracle proptests); only hit rates and wall-clock move.
+    pub fn set_revalidation(&mut self, on: bool) {
+        self.cache.set_revalidate(on);
+    }
+
+    /// Whether cross-round memo revalidation is active.
+    pub fn revalidation_enabled(&self) -> bool {
+        self.cache.revalidate_enabled()
+    }
+
+    // ----- maintenance ----------------------------------------------------
+
+    /// Incremental segment maintenance: spends up to `budget` scanned
+    /// slots/postings recomputing exact per-segment score bounds (the
+    /// stalest segments first) and compacting tombstoned posting lists
+    /// (rebuilding their segment-run skip metadata). Restores early-exit
+    /// effectiveness — and segment-level revalidation precision — under
+    /// delete-heavy / score-drop churn.
+    ///
+    /// **Outcome-invariant and slot-stable**: no tuple moves, the free
+    /// list is untouched, no version bump, the memo is not invalidated.
+    /// Every query answer, tie-break, and owner-side RNG draw is
+    /// bit-identical whether or when maintenance runs (pinned by
+    /// `compaction_oracle_proptest` and the bench determinism suite).
+    pub fn maintain(&mut self, budget: MaintenanceBudget) -> MaintenanceReport {
+        let mut remaining = budget.slot_scans;
+        let mut report = MaintenanceReport::default();
+        for seg in self.store.stale_segments() {
+            let span = self.store.segment_range(seg);
+            let cost = (span.end - span.start) as usize;
+            if cost > remaining {
+                // Skip, don't abort: a later (e.g. the trailing partial)
+                // segment may still fit, and the leftover budget flows
+                // to the index sweep either way.
+                report.exhausted = true;
+                continue;
+            }
+            remaining -= cost;
+            report.slots_scanned += cost;
+            report.segments_recomputed += 1;
+            if self.store.recompute_segment_bound(seg) {
+                report.bounds_tightened += 1;
+            }
+            self.store.debug_assert_bound_exact(seg);
+        }
+        let index_report = self.index.maintain(&self.store, &mut remaining);
+        report.lists_compacted += index_report.lists_compacted;
+        report.postings_purged += index_report.postings_purged;
+        report.slots_scanned += index_report.postings_scanned;
+        report.exhausted |= index_report.exhausted;
+        let stats = &mut self.maintenance_stats;
+        stats.maintain_calls += 1;
+        stats.segments_recomputed += report.segments_recomputed as u64;
+        stats.bounds_tightened += report.bounds_tightened as u64;
+        stats.lists_compacted += report.lists_compacted as u64;
+        stats.postings_purged += report.postings_purged as u64;
+        stats.slots_scanned += report.slots_scanned as u64;
+        report
+    }
+
+    /// Unbudgeted [`HiddenDatabase::maintain`]: finishes every
+    /// outstanding bound recompute and list compaction.
+    pub fn compact(&mut self) -> MaintenanceReport {
+        self.maintain(MaintenanceBudget::unlimited())
+    }
+
+    /// Counters accumulated across maintenance calls.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        self.maintenance_stats
+    }
+
+    /// Store segments whose score bound may currently be loose — the
+    /// outstanding bound-maintenance work.
+    pub fn stale_segment_count(&self) -> usize {
+        self.store.stale_segment_count()
     }
 
     /// `|D|`: number of alive tuples.
@@ -457,9 +590,11 @@ impl HiddenDatabase {
             return out;
         }
         // One fast fingerprint per answer; the memo never re-hashes the
-        // query and only clones it on a confirmed miss.
+        // query and only clones it on a confirmed miss. A `Stale` entry
+        // runs the revalidation re-check against the store here and is
+        // either served (resurrected) or dropped into the miss path.
         let hash = QueryMemo::hash_of(query);
-        if let Some(cached) = self.cache.get_mut(hash, query, self.version) {
+        if let Some(cached) = self.cache.get_or_revalidate(hash, query, self.version, &self.store) {
             self.stats.cache_hits += 1;
             let out = cached.outcome(&self.store);
             self.count_outcome(&out);
@@ -1354,6 +1489,152 @@ mod tests {
 
     fn t_a0(key: u64, v: u32) -> Tuple {
         Tuple::new(TupleKey(key), vec![ValueId(v)], vec![])
+    }
+
+    /// The satellite regression pinning the ROADMAP claim: under
+    /// `ByMeasureDesc` ranking, heavy deletes of the top scorers leave
+    /// every segment bound stale-high, so the early exit stops firing —
+    /// and a maintenance pass (exact bound recompute) re-arms it, with
+    /// bit-identical answers throughout.
+    #[test]
+    fn compaction_rearms_early_exit_under_measure_ranked_deletes() {
+        let schema = Schema::with_domain_sizes(&[2], &["m"]).unwrap();
+        let mut d = HiddenDatabase::new(schema, 10, ScoringPolicy::ByMeasureDesc(MeasureId(0)));
+        d.set_invalidation_policy(InvalidationPolicy::Disabled);
+        let segs = 3usize;
+        let n = (segs * crate::store::SEGMENT_SLOTS) as u64;
+        // Every segment gets the same measure distribution, so every
+        // segment's bound starts near the global maximum.
+        let measure = |key: u64| (key.wrapping_mul(2654435761) % 1000) as f64;
+        for key in 0..n {
+            d.insert(Tuple::new(
+                TupleKey(key),
+                vec![ValueId((key % 2) as u32)],
+                vec![measure(key)],
+            ))
+            .unwrap();
+        }
+        // Purge the high scorers everywhere except the last segment:
+        // the alive maxima of the early segments collapse, their bounds
+        // do not.
+        let last_seg_start = ((segs - 1) * crate::store::SEGMENT_SLOTS) as u64;
+        for key in 0..last_seg_start {
+            if measure(key) >= 500.0 {
+                d.delete(TupleKey(key)).unwrap();
+            }
+        }
+        assert!(d.stale_segment_count() >= segs - 1, "deletes left bounds stale");
+
+        let root = ConjunctiveQuery::select_all();
+        let probe = q_a0(0);
+        let before = d.eval_stats();
+        let page_root = d.answer(&root);
+        let page_probe = d.answer(&probe);
+        assert!(page_root.is_overflow() && page_probe.is_overflow());
+        let after = d.eval_stats();
+        assert_eq!(after.early_exits, before.early_exits, "stale bounds disarm the exit");
+        assert_eq!(after.segments_skipped, before.segments_skipped);
+
+        let report = d.compact();
+        assert!(report.bounds_tightened >= segs - 1, "{report:?}");
+        assert!(report.postings_purged > 0, "tombstones purged: {report:?}");
+        assert_eq!(d.stale_segment_count(), 0);
+        let before = d.eval_stats();
+        assert_eq!(d.answer(&root), page_root, "maintenance must not change answers");
+        assert_eq!(d.answer(&probe), page_probe);
+        let after = d.eval_stats();
+        assert!(after.early_exits > before.early_exits, "compaction re-arms the exit");
+        assert!(after.segments_skipped >= before.segments_skipped + 2, "{after:?}");
+    }
+
+    fn q_a0(v: u32) -> ConjunctiveQuery {
+        ConjunctiveQuery::from_predicates([Predicate::new(AttrId(0), ValueId(v))])
+    }
+
+    /// Maintenance is slot-stable: future inserts land in the same slots
+    /// and every answer (including tie-breaks) is unchanged whether or
+    /// when `maintain` runs.
+    #[test]
+    fn maintenance_is_outcome_and_slot_invariant() {
+        let build = |maintain_every: Option<usize>| {
+            let schema = Schema::with_domain_sizes(&[2, 3], &["price"]).unwrap();
+            let mut d = HiddenDatabase::new(schema, 3, ScoringPolicy::ByMeasureDesc(MeasureId(0)));
+            let mut outs = Vec::new();
+            for round in 0..30u64 {
+                // Ties everywhere: measures from a tiny domain, so slot
+                // tie-breaks decide pages.
+                let batch = UpdateBatch::empty()
+                    .insert(t(round * 2 + 1000, (round % 2) as u32, (round % 3) as u32, 5.0))
+                    .insert(t(round * 2 + 1001, (round % 2) as u32, 0, 5.0));
+                let batch =
+                    if round >= 4 { batch.delete(TupleKey((round - 4) * 2 + 1000)) } else { batch };
+                d.apply(batch).unwrap();
+                if let Some(every) = maintain_every {
+                    if (round as usize).is_multiple_of(every) {
+                        d.maintain(MaintenanceBudget::slots(crate::store::SEGMENT_SLOTS));
+                    }
+                }
+                outs.push(d.answer(&ConjunctiveQuery::select_all()));
+                outs.push(d.answer(&q(&[(0, 0)])));
+                outs.push(d.answer(&q(&[(0, 1), (1, 0)])));
+            }
+            (outs, d.alive_keys_sorted())
+        };
+        let (plain, keys_plain) = build(None);
+        let (maintained, keys_maintained) = build(Some(3));
+        assert_eq!(plain, maintained, "maintenance changed an answer");
+        assert_eq!(keys_plain, keys_maintained);
+    }
+
+    /// Cross-round revalidation end to end: an overflow page survives
+    /// below-the-floor churn as a resurrection (same shared page), and a
+    /// page hit still drops it.
+    #[test]
+    fn revalidation_resurrects_overflow_pages_across_rounds() {
+        let schema = Schema::with_domain_sizes(&[2], &["m"]).unwrap();
+        let mut d = HiddenDatabase::new(schema, 2, ScoringPolicy::ByMeasureDesc(MeasureId(0)));
+        assert!(d.revalidation_enabled(), "revalidation is the default");
+        for key in 0..6u64 {
+            d.insert(Tuple::new(TupleKey(key), vec![ValueId(0)], vec![100.0 + key as f64]))
+                .unwrap();
+        }
+        let probe = ConjunctiveQuery::from_predicates([Predicate::new(AttrId(0), ValueId(0))]);
+        let page = d.answer(&probe);
+        assert!(page.is_overflow());
+        assert_eq!(page.keys().collect::<Vec<_>>(), vec![TupleKey(5), TupleKey(4)]);
+
+        // Below-the-floor churn: a matching insert scoring under the
+        // page floor demotes the entry, then the next ask resurrects it.
+        d.insert(Tuple::new(TupleKey(100), vec![ValueId(0)], vec![1.0])).unwrap();
+        assert_eq!(d.memo_stale_len(), 1);
+        let hits = d.stats().cache_hits;
+        let again = d.answer(&probe);
+        assert_eq!(again, page);
+        assert_eq!(d.stats().cache_hits, hits + 1, "resurrection is a cache hit");
+        assert_eq!(d.memo_stats().resurrected, 1);
+        assert_eq!(d.memo_stale_len(), 0);
+
+        // Above-the-floor churn: the re-check refutes the entry and the
+        // fresh page shows the new leader.
+        d.insert(Tuple::new(TupleKey(101), vec![ValueId(0)], vec![999.0])).unwrap();
+        let fresh = d.answer(&probe);
+        assert_eq!(fresh.keys().next(), Some(TupleKey(101)));
+        assert_eq!(d.memo_stats().revalidation_failed, 1);
+
+        // A page hit (deleting a served tuple) drops hard — no stale
+        // entry left behind.
+        d.delete(TupleKey(101)).unwrap();
+        assert_eq!(d.memo_stale_len(), 0);
+        let after_delete = d.answer(&probe);
+        assert!(after_delete.keys().all(|k| k != TupleKey(101)));
+
+        // Turning revalidation off restores PR 2 drop semantics.
+        d.set_revalidation(false);
+        d.answer(&probe);
+        let demoted_before = d.memo_stats().demoted;
+        d.insert(Tuple::new(TupleKey(102), vec![ValueId(0)], vec![2.0])).unwrap();
+        assert_eq!(d.memo_stats().demoted, demoted_before);
+        assert_eq!(d.memo_stale_len(), 0);
     }
 
     /// Ground-truth fan-out must match the sequential sweep bit-for-bit

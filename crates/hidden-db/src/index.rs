@@ -219,6 +219,19 @@ pub fn gallop_to(slots: &[Slot], from: usize, target: Slot) -> usize {
     lo + 1 + slots[lo + 1..hi].partition_point(|&s| s < target)
 }
 
+/// What one budgeted [`InvertedIndex::maintain`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexMaintenance {
+    /// Posting lists rewritten (tombstones purged, runs rebuilt).
+    pub lists_compacted: usize,
+    /// Postings examined across all compacted lists.
+    pub postings_scanned: usize,
+    /// Tombstoned/duplicate postings removed.
+    pub postings_purged: usize,
+    /// Whether the sweep stopped because the budget ran out.
+    pub exhausted: bool,
+}
+
 /// Inverted index over all (attribute, value) pairs of a schema.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
@@ -268,6 +281,45 @@ impl InvertedIndex {
         list.dead = 0;
         list.rebuild_runs();
         list.sorted = true;
+    }
+
+    /// Budgeted maintenance sweep: compacts every posting list that
+    /// carries tombstones or slot-reuse dirt — purging dead entries and
+    /// rebuilding the segment-run skip metadata — in deterministic
+    /// `(attr, value)` order until `budget` postings have been scanned.
+    /// Lists below the reactive [`COMPACT_DEAD_FRACTION`] threshold get
+    /// cleaned here too: under sustained churn no single list may ever
+    /// cross the threshold while the *sum* of tombstones keeps every
+    /// scan paying rent.
+    ///
+    /// Purely an index rewrite — scans already filter tombstones through
+    /// the store, so query answers are bit-identical before and after
+    /// (pinned by `compaction_oracle_proptest`).
+    pub fn maintain(&mut self, store: &Store, budget: &mut usize) -> IndexMaintenance {
+        let mut report = IndexMaintenance::default();
+        for (a, attr_lists) in self.lists.iter_mut().enumerate() {
+            for (v, list) in attr_lists.iter_mut().enumerate() {
+                if list.dead == 0 && (list.sorted || list.slots.is_empty()) {
+                    continue;
+                }
+                let cost = list.slots.len();
+                if cost > *budget {
+                    // Skip (don't abort): one oversized list must not
+                    // starve every smaller dirty list after it — those
+                    // would otherwise pay tombstone-scan rent forever
+                    // while the budget went unspent.
+                    report.exhausted = true;
+                    continue;
+                }
+                *budget -= cost;
+                let before = list.slots.len();
+                Self::compact(list, a, ValueId(v as u32), store);
+                report.lists_compacted += 1;
+                report.postings_scanned += before;
+                report.postings_purged += before - list.slots.len();
+            }
+        }
+        report
     }
 
     /// Estimated number of live postings for `(attr, value)` — an upper
@@ -538,6 +590,42 @@ mod tests {
         assert!(view.slots().windows(2).all(|w| w[0] <= w[1]));
         // dedup collapses the double posting entirely.
         assert_eq!(view.slots().iter().filter(|&&s| s == reused).count(), 1);
+    }
+
+    #[test]
+    fn maintain_purges_tombstones_below_the_reactive_threshold() {
+        let (_s, mut store, mut index) = setup();
+        // 30 postings, 10 tombstones: under COMPACT_MIN_LEN and under the
+        // dead fraction, so the reactive path never compacts this list.
+        for key in 0..30u64 {
+            ins(&mut store, &mut index, key, &[1, 0]);
+        }
+        for key in 0..10u64 {
+            let slot = store.slot_of(TupleKey(key)).unwrap();
+            store.delete(TupleKey(key)).unwrap();
+            index.delete(slot, &[ValueId(1), ValueId(0)], &store);
+        }
+        let live_before = collect(&index, &store, 0, 1);
+        let mut budget = usize::MAX;
+        let report = index.maintain(&store, &mut budget);
+        assert!(report.lists_compacted >= 1);
+        assert_eq!(report.postings_purged, 20, "10 from (A0,u1) and 10 from (A1,u0)");
+        assert!(!report.exhausted);
+        assert_eq!(collect(&index, &store, 0, 1), live_before, "scan results unchanged");
+        // Everything clean: a second sweep finds no work.
+        let report = index.maintain(&store, &mut budget);
+        assert_eq!(report, IndexMaintenance::default());
+        // A zero budget does nothing but report exhaustion when dirty.
+        for key in 30..32u64 {
+            ins(&mut store, &mut index, key, &[1, 0]);
+        }
+        let slot = store.slot_of(TupleKey(30)).unwrap();
+        store.delete(TupleKey(30)).unwrap();
+        index.delete(slot, &[ValueId(1), ValueId(0)], &store);
+        let mut none = 0usize;
+        let report = index.maintain(&store, &mut none);
+        assert!(report.exhausted);
+        assert_eq!(report.lists_compacted, 0);
     }
 
     #[test]

@@ -116,16 +116,30 @@ pub(crate) struct CachedEval {
     /// these against a mutation's touched-slot set (belt-and-braces page
     /// check).
     pub(crate) slots: Vec<Slot>,
+    /// Matching-tuple count observed at evaluation time (`> k` iff
+    /// `overflow`). Internal only — the search interface never discloses
+    /// it; the memo's revalidation uses it as the classification margin:
+    /// as long as `matched` minus the churn seen since stays above `k`,
+    /// the entry provably still overflows.
+    pub(crate) matched: usize,
+    /// Score of the worst page slot at evaluation time (the page
+    /// "floor"); `u64::MAX` for an empty page (`k == 0`), where nothing
+    /// can enter. A churned tuple whose score stays *strictly* below the
+    /// floor cannot displace any page slot under the total
+    /// `(score, slot)` order.
+    pub(crate) floor: u64,
     /// Materialised page, filled on first demand. Safe to cache because
-    /// the memo drops this entry before any mutation that could touch one
-    /// of `slots` becomes visible — wholesale on version bumps under the
-    /// legacy policy, footprint-targeted under incremental invalidation.
+    /// the memo drops (or demotes and re-checks) this entry before any
+    /// mutation that could touch one of `slots` becomes visible —
+    /// wholesale on version bumps under the legacy policy,
+    /// footprint-targeted under incremental invalidation.
     views: Option<Arc<[TupleView]>>,
 }
 
 impl CachedEval {
     pub(crate) fn new(overflow: bool, slots: Vec<Slot>) -> Self {
-        Self { overflow, slots, views: None }
+        let matched = slots.len() + usize::from(overflow);
+        Self { overflow, slots, matched, floor: 0, views: None }
     }
 
     /// The outcome, materialising tuple views on first use and sharing
@@ -206,13 +220,18 @@ impl TopK {
             }
     }
 
-    /// Materialises the evaluation: page slots best-first.
+    /// Materialises the evaluation: page slots best-first, plus the
+    /// match count and page floor the memo's revalidation anchors on.
     pub(crate) fn finish(self, store: &Store) -> CachedEval {
         let mut slots: Vec<Slot> = self.heap.into_iter().map(|Reverse((_, s))| s).collect();
         // Best-first: sort by score descending (ties by slot for
         // determinism).
         slots.sort_unstable_by_key(|&s| Reverse((store.score_at(s), s)));
-        CachedEval::new(self.matched > self.k, slots)
+        let floor = slots.last().map_or(u64::MAX, |&s| store.score_at(s));
+        let mut eval = CachedEval::new(self.matched > self.k, slots);
+        eval.matched = self.matched;
+        eval.floor = floor;
+        eval
     }
 }
 

@@ -72,15 +72,18 @@ pub mod value;
 
 pub use budget::QueryBudget;
 pub use codec::{read_snapshot, write_snapshot};
-pub use database::{EvalConfig, HiddenDatabase, IntersectPolicy, TupleRef};
+pub use database::{
+    EvalConfig, HiddenDatabase, IntersectPolicy, MaintenanceBudget, MaintenanceReport, TupleRef,
+};
 pub use errors::{BudgetExhausted, DbError, SchemaError};
+pub use index::IndexMaintenance;
 pub use interface::{OutcomeClass, QueryOutcome};
 pub use memo::{InvalidationPolicy, DEFAULT_MEMO_CAPACITY};
 pub use query::{ConjunctiveQuery, Predicate};
 pub use ranking::ScoringPolicy;
 pub use schema::{AttributeDef, MeasureDef, Schema};
 pub use session::{SearchBackend, SearchSession};
-pub use stats::{EvalStats, InterfaceStats, MemoStats};
+pub use stats::{EvalStats, InterfaceStats, MaintenanceStats, MemoStats};
 pub use store::{segment_of, SEGMENT_SLOTS};
 pub use tuple::{Tuple, TupleView};
 pub use updates::{UpdateBatch, UpdateFootprint, UpdateSummary};

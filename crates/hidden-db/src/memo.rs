@@ -45,6 +45,37 @@
 //! is in the footprint, so every affected entry is a candidate under at
 //! least one of its own predicates (or is the root).
 //!
+//! ## Cross-round revalidation
+//!
+//! Dropping every affected entry is still wasteful for the common churn
+//! shape: an *overflow* page whose top-`k` provably did not change. Since
+//! PR 5 an affected overflow entry whose cached page the footprint did
+//! **not** touch is demoted to `Stale` instead of dropped, carrying a
+//! bounded record of where the churn landed ([`TouchedSet`]) and a
+//! conservative churn count. The next lookup runs a cheap re-check
+//! against the store:
+//!
+//! * **classification margin** — `matched - churn > k` proves the query
+//!   still overflows even if every churned row deleted a matching tuple;
+//! * **page integrity** — every page slot is still alive (guaranteed by
+//!   the demotion rules, re-checked as a belt-and-braces sweep);
+//! * **floor check** — every churned location is harmless: a tracked
+//!   touched *slot* either no longer matches the query or scores
+//!   strictly below the page floor; a tracked touched *segment* (the
+//!   spill level) has a max-score bound strictly below the floor — the
+//!   PR 3 segment bounds, kept tight by the PR 5 compaction pass.
+//!
+//! All three pass → the entry (and its shared `Arc` page) is resurrected
+//! and served; any fails → the entry is dropped and the query re-scans
+//! from cold, exactly as before. Soundness leans on the demotion
+//! invariant that a stale entry's page slots are untouched since
+//! validation: a mutation touching a page slot records that tuple's full
+//! row, whose postings cover the query's predicates, so the entry is a
+//! candidate of that very mutation and the page check drops it hard.
+//! Only the state *at lookup* matters — a stale entry is never served
+//! between demotion and resurrection, so transient churn needs no
+//! tracking beyond the counters above.
+//!
 //! ## Version stamps
 //!
 //! Each entry records the database version at which it was validated
@@ -70,9 +101,10 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 
-use crate::interface::CachedEval;
+use crate::interface::{slot_matches, CachedEval};
 use crate::query::ConjunctiveQuery;
 use crate::stats::MemoStats;
+use crate::store::{segment_of, Slot, Store};
 use crate::updates::UpdateFootprint;
 use crate::value::{AttrId, ValueId};
 
@@ -148,6 +180,71 @@ fn pack_posting(attr: AttrId, value: ValueId) -> u64 {
     (u64::from(attr.0) << 32) | u64::from(value.0)
 }
 
+/// Exact touched-slot tracking caps out here and spills to segments.
+const TRACK_SLOTS_MAX: usize = 64;
+
+/// Touched-segment tracking caps out here and gives up (`Unbounded`).
+const TRACK_SEGS_MAX: usize = 16;
+
+/// Where churn landed since an entry went stale, at decreasing precision
+/// as it accumulates. Bounded: a stale entry costs O(1) memory no matter
+/// how many rounds of churn pass before its next lookup.
+#[derive(Debug, Clone, Default, PartialEq)]
+enum TouchedSet {
+    /// Fresh entry (or just resurrected): nothing tracked.
+    #[default]
+    Empty,
+    /// Exact touched slots — the precise occupant-score re-check.
+    Slots(Vec<Slot>),
+    /// Spilled to touched segments — the coarser max-score-bound
+    /// re-check (which segment compaction keeps tight).
+    Segments(Vec<u32>),
+    /// Too much churn to track: the next lookup re-scans.
+    Unbounded,
+}
+
+impl TouchedSet {
+    /// Folds a (sealed) footprint's touched slots in, degrading
+    /// precision when a level overflows its cap.
+    fn absorb(&mut self, footprint: &UpdateFootprint) {
+        match self {
+            Self::Unbounded => {}
+            Self::Empty => {
+                *self = Self::Slots(footprint.slots().to_vec());
+                self.spill();
+            }
+            Self::Slots(slots) => {
+                slots.extend_from_slice(footprint.slots());
+                slots.sort_unstable();
+                slots.dedup();
+                self.spill();
+            }
+            Self::Segments(segs) => {
+                segs.extend(footprint.slots().iter().map(|&s| segment_of(s) as u32));
+                segs.sort_unstable();
+                segs.dedup();
+                self.spill();
+            }
+        }
+    }
+
+    fn spill(&mut self) {
+        if let Self::Slots(slots) = self {
+            if slots.len() > TRACK_SLOTS_MAX {
+                let mut segs: Vec<u32> = slots.iter().map(|&s| segment_of(s) as u32).collect();
+                segs.sort_unstable();
+                segs.dedup();
+                *self = Self::Segments(segs);
+            }
+        }
+        if let Self::Segments(segs) = self {
+            if segs.len() > TRACK_SEGS_MAX {
+                *self = Self::Unbounded;
+            }
+        }
+    }
+}
+
 /// One cached query with its bookkeeping.
 #[derive(Debug, Clone)]
 struct MemoEntry {
@@ -157,6 +254,14 @@ struct MemoEntry {
     stamp: u64,
     /// CLOCK referenced bit: set on hit, cleared by the sweep.
     referenced: bool,
+    /// Demoted by an invalidation pass; must pass the lookup-time
+    /// re-check before it may be served again.
+    stale: bool,
+    /// Rows churned since demotion (upper bound on matching tuples
+    /// lost) — the classification margin.
+    churn: u64,
+    /// Where the churn landed, for the floor check.
+    touched: TouchedSet,
 }
 
 /// The memo.
@@ -182,8 +287,13 @@ pub(crate) struct QueryMemo {
     /// bucket has a slot) and ring ≤ 2·live buckets + 64 (compaction).
     clock: VecDeque<u64>,
     capacity: usize,
-    /// Live entries across all buckets.
+    /// Live entries across all buckets (fresh + stale).
     len: usize,
+    /// Entries currently demoted to `Stale`.
+    stale_len: usize,
+    /// Whether invalidation demotes eligible overflow entries to `Stale`
+    /// for the lookup-time re-check instead of dropping them.
+    revalidate: bool,
     stats: MemoStats,
     /// Reusable candidate buffer for invalidation passes (mutation hot
     /// path: no allocation per mutation).
@@ -201,6 +311,8 @@ impl Default for QueryMemo {
             clock: VecDeque::new(),
             capacity: DEFAULT_MEMO_CAPACITY,
             len: 0,
+            stale_len: 0,
+            revalidate: true,
             stats: MemoStats::default(),
             scratch: Vec::new(),
         }
@@ -229,10 +341,12 @@ impl QueryMemo {
         0x9E37_79B9_7F4A_7C15
     }
 
-    /// Cached evaluation for `query`, if present. Mutable so the entry can
-    /// lazily materialise (and then share) its tuple views. Marks the
-    /// entry referenced for the CLOCK sweep. `version` is the database's
-    /// current version, used by the debug stamp check.
+    /// Cached evaluation for `query`, if present *and fresh*. Mutable so
+    /// the entry can lazily materialise (and then share) its tuple views.
+    /// Marks the entry referenced for the CLOCK sweep. `version` is the
+    /// database's current version, used by the debug stamp check. A
+    /// `Stale` entry reads as a miss here (but is left in place) — the
+    /// production path is [`QueryMemo::get_or_revalidate`].
     #[inline]
     pub(crate) fn get_mut(
         &mut self,
@@ -245,8 +359,111 @@ impl QueryMemo {
         #[cfg(not(debug_assertions))]
         let _ = version;
         let entry = self.buckets.get_mut(&hash)?.iter_mut().find(|e| e.query == *query)?;
+        if entry.stale {
+            return None;
+        }
         entry.referenced = true;
         Some(&mut entry.eval)
+    }
+
+    /// The production lookup: serves a fresh entry directly; runs a
+    /// `Stale` entry through the score/bound re-check against `store`,
+    /// resurrecting it (stamped at `version`) on success or dropping it
+    /// (the caller then re-evaluates from cold) on failure.
+    pub(crate) fn get_or_revalidate(
+        &mut self,
+        hash: u64,
+        query: &ConjunctiveQuery,
+        version: u64,
+        store: &Store,
+    ) -> Option<&mut CachedEval> {
+        let stale = self
+            .buckets
+            .get(&hash)
+            .and_then(|b| b.iter().find(|e| e.query == *query))
+            .map(|e| e.stale)?;
+        if stale {
+            let passes = {
+                let entry = self
+                    .buckets
+                    .get(&hash)
+                    .and_then(|b| b.iter().find(|e| e.query == *query))
+                    .expect("entry probed above");
+                self.revalidate && Self::revalidation_passes(entry, store)
+            };
+            let bucket = self.buckets.get_mut(&hash).expect("bucket probed above");
+            let idx = bucket.iter().position(|e| e.query == *query).expect("entry probed above");
+            if passes {
+                let entry = &mut bucket[idx];
+                entry.stale = false;
+                // The re-check only proves `matched - churn` matches
+                // remain; the original count may have genuinely shrunk.
+                // Resurrect with that proven lower bound, so the margin
+                // of the *next* demotion cycle cannot double-spend churn
+                // already consumed here — keeping the original `matched`
+                // would let repeated demote/resurrect rounds of
+                // below-floor deletes serve Overflow after the true
+                // count fell to `k`.
+                entry.eval.matched -= entry.churn as usize;
+                entry.churn = 0;
+                entry.touched = TouchedSet::Empty;
+                entry.stamp = version;
+                self.stale_len -= 1;
+                self.stats.resurrected += 1;
+            } else {
+                let entry = bucket.swap_remove(idx);
+                self.len -= 1;
+                self.stale_len -= 1;
+                self.stats.revalidation_failed += 1;
+                Self::unlink(&mut self.by_posting, hash, &entry.query);
+                if bucket.is_empty() {
+                    self.buckets.remove(&hash);
+                }
+                return None;
+            }
+        }
+        self.get_mut(hash, query, version)
+    }
+
+    /// The lookup-time re-check behind cross-round revalidation (see the
+    /// module docs for the soundness argument). Read-only; the caller
+    /// applies the verdict.
+    fn revalidation_passes(entry: &MemoEntry, store: &Store) -> bool {
+        let eval = &entry.eval;
+        debug_assert!(eval.overflow, "only overflow entries are demoted");
+        // Classification margin: even if every churned row deleted a
+        // matching tuple, strictly more than `k` matches remain.
+        let margin_ok = (eval.matched as u64)
+            .checked_sub(entry.churn)
+            .is_some_and(|left| left > eval.slots.len() as u64);
+        if !margin_ok {
+            return false;
+        }
+        // Page integrity: guaranteed untouched by the demotion rules;
+        // the alive sweep is a cheap belt-and-braces re-check, and debug
+        // builds verify the full match.
+        if eval.slots.iter().any(|&s| !store.is_alive(s)) {
+            debug_assert!(false, "stale entry's page slot died — demotion invariant broken");
+            return false;
+        }
+        debug_assert!(
+            eval.slots.iter().all(|&s| slot_matches(&entry.query, store, s)),
+            "stale entry's page drifted — demotion invariant broken"
+        );
+        // Floor check: no churned location can displace a page slot.
+        // Only the state at lookup matters — the entry was never served
+        // while stale, so transient occupants are irrelevant.
+        match &entry.touched {
+            TouchedSet::Empty => true,
+            TouchedSet::Slots(slots) => slots
+                .iter()
+                .all(|&s| !slot_matches(&entry.query, store, s) || store.score_at(s) < eval.floor),
+            TouchedSet::Segments(segs) => segs.iter().all(|&seg| {
+                (seg as usize) >= store.segment_count()
+                    || store.segment_max_score(seg as usize) < eval.floor
+            }),
+            TouchedSet::Unbounded => false,
+        }
     }
 
     /// The stamp-consistency safety net behind every debug-build hit: an
@@ -261,6 +478,12 @@ impl QueryMemo {
         else {
             return; // miss: nothing to check
         };
+        if entry.stale {
+            // Known-stale entries are exempt: they are never served
+            // without first passing (and being restamped by) the
+            // revalidation re-check.
+            return;
+        }
         assert!(
             entry.stamp <= version,
             "memo entry stamped in the future ({} > {version})",
@@ -300,7 +523,15 @@ impl QueryMemo {
         if bucket.is_empty() {
             self.clock.push_back(hash);
         }
-        bucket.push(MemoEntry { query: query.clone(), eval, stamp: version, referenced: false });
+        bucket.push(MemoEntry {
+            query: query.clone(),
+            eval,
+            stamp: version,
+            referenced: false,
+            stale: false,
+            churn: 0,
+            touched: TouchedSet::Empty,
+        });
         self.len += 1;
         self.stats.insertions += 1;
     }
@@ -322,6 +553,7 @@ impl QueryMemo {
                 Some(_) => {
                     let entries = self.buckets.remove(&hash).expect("bucket just probed");
                     self.len -= entries.len();
+                    self.stale_len -= entries.iter().filter(|e| e.stale).count();
                     self.stats.evicted += entries.len() as u64;
                     for e in &entries {
                         Self::unlink(&mut self.by_posting, hash, &e.query);
@@ -386,21 +618,46 @@ impl QueryMemo {
         }
         candidates.sort_unstable();
         candidates.dedup();
+        let revalidate = self.revalidate;
         for &hash in &candidates {
             let Some(entries) = self.buckets.get_mut(&hash) else { continue };
-            let (by_posting, len, stats) = (&mut self.by_posting, &mut self.len, &mut self.stats);
+            let (by_posting, len, stale_len, stats) =
+                (&mut self.by_posting, &mut self.len, &mut self.stale_len, &mut self.stats);
             entries.retain_mut(|e| {
-                if footprint.affects_query(&e.query) || footprint.affects_page(&e.eval.slots) {
-                    *len -= 1;
-                    stats.invalidated += 1;
-                    Self::unlink(by_posting, hash, &e.query);
-                    false
-                } else {
-                    // Explicitly checked and retained: validated at the
-                    // new version.
-                    e.stamp = version;
-                    true
+                let page_hit = footprint.affects_page(&e.eval.slots);
+                if !page_hit && !footprint.affects_query(&e.query) {
+                    // Explicitly checked and retained. A fresh entry is
+                    // validated at the new version; a stale one keeps
+                    // its demotion state — this mutation cannot have
+                    // affected it, so no churn accrues either.
+                    if !e.stale {
+                        e.stamp = version;
+                    }
+                    return true;
                 }
+                // Affected. An overflow page the churn provably spared
+                // (no touched slot on the page) demotes to `Stale` for
+                // the lookup-time re-check; anything else drops hard —
+                // in particular any page hit, which is what upholds the
+                // invariant that a stale entry's page slots are
+                // untouched since validation.
+                if revalidate && e.eval.overflow && !page_hit {
+                    if !e.stale {
+                        e.stale = true;
+                        *stale_len += 1;
+                        stats.demoted += 1;
+                    }
+                    e.churn = e.churn.saturating_add(footprint.rows() as u64);
+                    e.touched.absorb(footprint);
+                    return true;
+                }
+                *len -= 1;
+                if e.stale {
+                    *stale_len -= 1;
+                }
+                stats.invalidated += 1;
+                Self::unlink(by_posting, hash, &e.query);
+                false
             });
             if entries.is_empty() {
                 self.buckets.remove(&hash);
@@ -435,9 +692,27 @@ impl QueryMemo {
         self.by_posting.clear();
         self.clock.clear();
         self.len = 0;
+        self.stale_len = 0;
         self.stats.wholesale_clears += 1;
         // posting_stamp / root_stamp deliberately survive: they describe
         // mutation history, not cache contents.
+    }
+
+    /// Toggles stale-entry demotion/revalidation. Turning it off also
+    /// refuses to resurrect entries demoted while it was on (they drop
+    /// lazily at their next lookup).
+    pub(crate) fn set_revalidate(&mut self, on: bool) {
+        self.revalidate = on;
+    }
+
+    /// Whether demotion/revalidation is active.
+    pub(crate) fn revalidate_enabled(&self) -> bool {
+        self.revalidate
+    }
+
+    /// Number of cached queries currently demoted to `Stale`.
+    pub(crate) fn stale_len(&self) -> usize {
+        self.stale_len
     }
 
     /// Caps the number of cached entries, evicting down if over.
@@ -672,6 +947,205 @@ mod tests {
             memo.clock.len(),
             memo.buckets.len()
         );
+    }
+
+    /// Builds a one-attribute store with the given `(key, value, score)`
+    /// rows, returning the slot of each.
+    fn store_with(rows: &[(u64, u32, u64)]) -> (crate::store::Store, Vec<Slot>) {
+        use crate::tuple::Tuple;
+        use crate::value::TupleKey;
+        let mut store = crate::store::Store::new(1, 0);
+        let slots = rows
+            .iter()
+            .map(|&(key, v, score)| {
+                store.insert(Tuple::new(TupleKey(key), vec![ValueId(v)], vec![]), score).unwrap()
+            })
+            .collect();
+        (store, slots)
+    }
+
+    /// An overflow entry for `query` over `slots` with explicit
+    /// revalidation anchors.
+    fn overflow_eval(slots: Vec<Slot>, matched: usize, floor: u64) -> CachedEval {
+        let mut eval = CachedEval::new(true, slots);
+        eval.matched = matched;
+        eval.floor = floor;
+        eval
+    }
+
+    #[test]
+    fn overflow_entry_demotes_then_resurrects_when_churn_stays_below_the_floor() {
+        // Page: scores 100, 90 (floor 90); churn lands on a matching
+        // tuple scoring 10 — provably unable to enter the page.
+        let (store, slots) = store_with(&[(1, 0, 100), (2, 0, 90), (3, 0, 10)]);
+        let mut memo = QueryMemo::default();
+        let query = q(&[(0, 0)]);
+        let h = QueryMemo::hash_of(&query);
+        memo.insert(h, &query, overflow_eval(vec![slots[0], slots[1]], 5, 90), 1);
+
+        memo.invalidate(&mut fp(slots[2], &[0]), 2);
+        assert_eq!(memo.stale_len(), 1, "demoted, not dropped");
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.stats().demoted, 1);
+        assert_eq!(memo.stats().invalidated, 0);
+        assert!(memo.get_mut(h, &query, 2).is_none(), "stale entries are never served raw");
+
+        let eval = memo.get_or_revalidate(h, &query, 2, &store).expect("resurrected");
+        assert_eq!(eval.slots, vec![slots[0], slots[1]], "same page, same order");
+        assert_eq!(memo.stale_len(), 0);
+        assert_eq!(memo.stats().resurrected, 1);
+        // Fully rehabilitated: raw lookups serve it again.
+        assert!(memo.get_mut(h, &query, 2).is_some());
+    }
+
+    #[test]
+    fn revalidation_fails_when_a_churned_tuple_reaches_the_floor() {
+        // Churned occupant scores 95 >= floor 90: it may displace a page
+        // slot, so the lookup must fall through to a re-scan.
+        let (store, slots) = store_with(&[(1, 0, 100), (2, 0, 90), (3, 0, 95)]);
+        let mut memo = QueryMemo::default();
+        let query = q(&[(0, 0)]);
+        let h = QueryMemo::hash_of(&query);
+        memo.insert(h, &query, overflow_eval(vec![slots[0], slots[1]], 5, 90), 1);
+        memo.invalidate(&mut fp(slots[2], &[0]), 2);
+        assert_eq!(memo.stale_len(), 1);
+        assert!(memo.get_or_revalidate(h, &query, 2, &store).is_none(), "refuted at lookup");
+        assert_eq!(memo.len(), 0, "refuted entries drop");
+        assert_eq!(memo.stats().revalidation_failed, 1);
+    }
+
+    #[test]
+    fn revalidation_fails_when_the_classification_margin_collapses() {
+        // matched 3 with a 2-slot page: one churned row could shrink the
+        // match count to k — the overflow classification is no longer
+        // provable, even though the churned tuple itself is gone.
+        let (mut store, slots) = store_with(&[(1, 0, 100), (2, 0, 90), (3, 0, 10)]);
+        let mut memo = QueryMemo::default();
+        let query = q(&[(0, 0)]);
+        let h = QueryMemo::hash_of(&query);
+        memo.insert(h, &query, overflow_eval(vec![slots[0], slots[1]], 3, 90), 1);
+        store.delete(crate::value::TupleKey(3)).unwrap();
+        memo.invalidate(&mut fp(slots[2], &[0]), 2);
+        assert!(memo.get_or_revalidate(h, &query, 2, &store).is_none());
+        assert_eq!(memo.stats().revalidation_failed, 1);
+    }
+
+    #[test]
+    fn page_hits_and_non_overflow_entries_still_drop_hard() {
+        let (store, slots) = store_with(&[(1, 0, 100), (2, 0, 90), (3, 0, 10)]);
+        let mut memo = QueryMemo::default();
+        let query = q(&[(0, 0)]);
+        let h = QueryMemo::hash_of(&query);
+        // A footprint touching a page slot must drop the entry outright —
+        // this is what upholds the page-integrity invariant.
+        memo.insert(h, &query, overflow_eval(vec![slots[0], slots[1]], 5, 90), 1);
+        memo.invalidate(&mut fp(slots[0], &[0]), 2);
+        assert_eq!(memo.len(), 0);
+        assert_eq!(memo.stale_len(), 0);
+        assert_eq!(memo.stats().demoted, 0);
+        assert_eq!(memo.stats().invalidated, 1);
+        // Valid (non-overflow) entries are never demoted.
+        memo.insert(h, &query, CachedEval::new(false, vec![slots[0]]), 2);
+        memo.invalidate(&mut fp(slots[2], &[0]), 3);
+        assert_eq!(memo.len(), 0);
+        assert_eq!(memo.stats().demoted, 0);
+        let _ = store;
+    }
+
+    #[test]
+    fn churn_accumulates_across_rounds_until_lookup() {
+        // Two demoting rounds before the lookup: both churned tuples must
+        // be checked, and the margin must count both rows.
+        let (store, slots) =
+            store_with(&[(1, 0, 100), (2, 0, 90), (3, 0, 10), (4, 0, 20), (5, 0, 30)]);
+        let mut memo = QueryMemo::default();
+        let query = q(&[(0, 0)]);
+        let h = QueryMemo::hash_of(&query);
+        memo.insert(h, &query, overflow_eval(vec![slots[0], slots[1]], 9, 90), 1);
+        memo.invalidate(&mut fp(slots[2], &[0]), 2);
+        memo.invalidate(&mut fp(slots[3], &[0]), 3);
+        memo.invalidate(&mut fp(slots[4], &[0]), 4);
+        assert_eq!(memo.stale_len(), 1);
+        assert_eq!(memo.stats().demoted, 1, "one transition, three accumulations");
+        assert!(memo.get_or_revalidate(h, &query, 4, &store).is_some(), "all churn below floor");
+        assert_eq!(memo.stats().resurrected, 1);
+    }
+
+    /// Regression (code-review finding): resurrection must not reset the
+    /// churn margin without also lowering `matched` to the proven lower
+    /// bound — otherwise repeated demote/resurrect cycles of below-floor
+    /// deletes "forget" earlier churn and keep serving Overflow after
+    /// the true match count has fallen to `k`.
+    #[test]
+    fn margin_is_not_double_spent_across_demote_resurrect_cycles() {
+        // k=2; matches: 100, 90 (the page), 10, 20. Two below-floor
+        // deletes across two cycles leave exactly k matches — Valid.
+        let (mut store, slots) = store_with(&[(1, 0, 100), (2, 0, 90), (3, 0, 10), (4, 0, 20)]);
+        let mut memo = QueryMemo::default();
+        let query = q(&[(0, 0)]);
+        let h = QueryMemo::hash_of(&query);
+        memo.insert(h, &query, overflow_eval(vec![slots[0], slots[1]], 4, 90), 1);
+        // Cycle 1: delete the score-10 match; margin 4-1 > 2 holds.
+        store.delete(crate::value::TupleKey(3)).unwrap();
+        memo.invalidate(&mut fp(slots[2], &[0]), 2);
+        let eval = memo.get_or_revalidate(h, &query, 2, &store).expect("cycle 1 resurrects");
+        assert_eq!(eval.matched, 3, "resurrection must keep only the proven lower bound");
+        // Cycle 2: delete the score-20 match; only k matches remain, so
+        // the entry must be refuted — Overflow is no longer provable.
+        store.delete(crate::value::TupleKey(4)).unwrap();
+        memo.invalidate(&mut fp(slots[3], &[0]), 3);
+        assert!(
+            memo.get_or_revalidate(h, &query, 3, &store).is_none(),
+            "margin must account for churn consumed by the earlier resurrection"
+        );
+        assert_eq!(memo.stats().revalidation_failed, 1);
+    }
+
+    #[test]
+    fn disabling_revalidation_restores_drop_on_invalidate() {
+        let (store, slots) = store_with(&[(1, 0, 100), (2, 0, 90), (3, 0, 10)]);
+        let mut memo = QueryMemo::default();
+        memo.set_revalidate(false);
+        assert!(!memo.revalidate_enabled());
+        let query = q(&[(0, 0)]);
+        let h = QueryMemo::hash_of(&query);
+        memo.insert(h, &query, overflow_eval(vec![slots[0], slots[1]], 5, 90), 1);
+        memo.invalidate(&mut fp(slots[2], &[0]), 2);
+        assert_eq!(memo.len(), 0, "PR 2 semantics: affected entries drop");
+        assert_eq!(memo.stats().demoted, 0);
+        let _ = store;
+    }
+
+    #[test]
+    fn touched_tracking_spills_from_slots_to_segments_to_unbounded() {
+        let mut touched = TouchedSet::Empty;
+        let mut footprint = UpdateFootprint::default();
+        // Few slots: exact tracking.
+        for slot in 0..4u32 {
+            footprint.record(slot, &[ValueId(0)]);
+        }
+        footprint.seal();
+        touched.absorb(&footprint);
+        assert!(matches!(&touched, TouchedSet::Slots(v) if v.len() == 4));
+        // Blow past the slot cap within one segment: spills to segments.
+        let mut footprint = UpdateFootprint::default();
+        for slot in 0..(TRACK_SLOTS_MAX as u32 + 8) {
+            footprint.record(slot, &[ValueId(0)]);
+        }
+        footprint.seal();
+        touched.absorb(&footprint);
+        assert!(matches!(&touched, TouchedSet::Segments(v) if v.len() == 1));
+        // Blow past the segment cap: unbounded.
+        let mut footprint = UpdateFootprint::default();
+        for seg in 0..(TRACK_SEGS_MAX as u32 + 8) {
+            footprint.record(seg * crate::store::SEGMENT_SLOTS as u32, &[ValueId(0)]);
+        }
+        footprint.seal();
+        touched.absorb(&footprint);
+        assert!(matches!(touched, TouchedSet::Unbounded));
+        // Unbounded absorbs anything and stays unbounded.
+        touched.absorb(&footprint);
+        assert!(matches!(touched, TouchedSet::Unbounded));
     }
 
     #[test]

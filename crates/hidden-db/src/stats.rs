@@ -51,7 +51,8 @@ pub struct EvalStats {
 }
 
 /// Counters describing the query memo's lifecycle: what the invalidation
-/// policy dropped and what the admission policy evicted.
+/// policy dropped, what the admission policy evicted, and what the
+/// cross-round revalidation path saved.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoStats {
     /// Entries admitted into the memo.
@@ -67,6 +68,34 @@ pub struct MemoStats {
     /// Wholesale clears (policy [`Wholesale`](crate::InvalidationPolicy),
     /// `set_k`, or policy switches).
     pub wholesale_clears: u64,
+    /// Overflow entries demoted to `Stale` (kept for revalidation)
+    /// instead of being dropped by an invalidation pass.
+    pub demoted: u64,
+    /// Stale entries resurrected by the lookup-time score/bound re-check
+    /// — each one a full re-scan saved.
+    pub resurrected: u64,
+    /// Stale entries whose re-check failed at lookup (dropped, then
+    /// re-evaluated from cold).
+    pub revalidation_failed: u64,
+}
+
+/// Counters accumulated across [`crate::database::HiddenDatabase::maintain`]
+/// calls: what the segment compaction subsystem has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// `maintain`/`compact` invocations.
+    pub maintain_calls: u64,
+    /// Store segments whose score bound was recomputed exactly.
+    pub segments_recomputed: u64,
+    /// Recomputes that actually tightened a bound.
+    pub bounds_tightened: u64,
+    /// Posting lists compacted (tombstones purged, runs rebuilt).
+    pub lists_compacted: u64,
+    /// Tombstoned/duplicate postings removed from lists.
+    pub postings_purged: u64,
+    /// Slots/postings scanned by maintenance sweeps (the budget
+    /// currency).
+    pub slots_scanned: u64,
 }
 
 #[cfg(test)]

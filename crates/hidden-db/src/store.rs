@@ -21,6 +21,20 @@
 //!   bound (that would cost a segment sweep); it resets to the true
 //!   maximum whenever a segment empties, and is exact for append-mostly
 //!   workloads like `NewestFirst` timelines.
+//!
+//! ## Maintenance
+//!
+//! Each segment additionally tracks how far its bound may have drifted
+//! from exact: a **bound-staleness counter** counts the deletes and
+//! score-drops since the bound was last known exact, and the **dead-slot
+//! count** is derivable from the alive count. The maintenance pass
+//! ([`crate::database::HiddenDatabase::maintain`]) consumes these to pick
+//! the stalest segments and [`Store::recompute_segment_bound`] rewrites
+//! each bound to the true maximum over alive occupants — re-arming
+//! early exits under delete-heavy / measure-drop churn, where the lazy
+//! bound otherwise only ever grows. Maintenance never moves a tuple and
+//! never touches the free list, so slot identity (and with it every
+//! cached page, tie-break, and RNG draw) is bit-for-bit unaffected.
 
 use std::collections::HashMap;
 
@@ -58,6 +72,10 @@ struct SegmentMeta {
     /// Upper bound on the hidden score of any alive occupant. May
     /// overestimate after deletes/score-drops; never underestimates.
     max_score: u64,
+    /// Mutations since `max_score` was last known exact (deletes and
+    /// in-place score drops — the two operations that can leave the
+    /// bound standing above the true maximum). `0` means exact.
+    stale_ops: u32,
 }
 
 /// Columnar storage for tuples plus the per-tuple hidden ranking score.
@@ -173,6 +191,78 @@ impl Store {
         self.segments[seg].max_score
     }
 
+    /// Dead (allocated but not alive) slots in segment `seg` — the
+    /// sparsity signal maintenance uses to prioritise posting-list
+    /// compaction.
+    #[inline]
+    pub fn segment_dead(&self, seg: usize) -> u32 {
+        let span = self.segment_range(seg);
+        (span.end - span.start) - self.segments[seg].alive
+    }
+
+    /// Mutations since `seg`'s score bound was last known exact. `0`
+    /// means [`Store::segment_max_score`] equals the true maximum over
+    /// alive occupants.
+    #[inline]
+    pub fn segment_bound_staleness(&self, seg: usize) -> u32 {
+        self.segments[seg].stale_ops
+    }
+
+    /// Number of segments with a possibly-loose score bound
+    /// (allocation-free; [`Store::stale_segments`] builds the ordered
+    /// work queue).
+    pub fn stale_segment_count(&self) -> usize {
+        self.segments.iter().filter(|m| m.stale_ops > 0).count()
+    }
+
+    /// Segments with a possibly-loose score bound, most-stale first
+    /// (segment id breaks ties) — the maintenance pass's work queue.
+    pub fn stale_segments(&self) -> Vec<usize> {
+        let mut segs: Vec<(u32, usize)> = self
+            .segments
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.stale_ops > 0)
+            .map(|(s, m)| (m.stale_ops, s))
+            .collect();
+        segs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        segs.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Recomputes `seg`'s score bound as the exact maximum over alive
+    /// occupants (one sweep of the segment) and clears its staleness
+    /// counter. Returns whether the bound tightened. Purely a summary
+    /// rewrite: no tuple moves, no slot changes hands, and since the
+    /// bound only ever shrinks towards the true maximum, every scan
+    /// that consulted the old bound stays correct.
+    pub fn recompute_segment_bound(&mut self, seg: usize) -> bool {
+        let exact = self.alive_slots_in(seg).map(|s| self.scores[s as usize]).max().unwrap_or(0);
+        let meta = &mut self.segments[seg];
+        debug_assert!(exact <= meta.max_score, "segment bound was not an upper bound");
+        let tightened = exact < meta.max_score;
+        meta.max_score = exact;
+        meta.stale_ops = 0;
+        tightened
+    }
+
+    /// Debug-build audit: `seg`'s bound must equal the true maximum over
+    /// alive occupants. Called by the maintenance pass after every
+    /// compaction step; release builds compile it away.
+    pub fn debug_assert_bound_exact(&self, seg: usize) {
+        #[cfg(debug_assertions)]
+        {
+            let exact =
+                self.alive_slots_in(seg).map(|s| self.scores[s as usize]).max().unwrap_or(0);
+            assert_eq!(
+                self.segments[seg].max_score, exact,
+                "segment {seg}: bound not exact after compaction"
+            );
+            assert_eq!(self.segments[seg].stale_ops, 0, "segment {seg}: staleness not cleared");
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = seg;
+    }
+
     /// The slot range covered by segment `seg`, clamped to allocated
     /// slots.
     #[inline]
@@ -236,6 +326,9 @@ impl Store {
         if meta.alive == 0 {
             // Empty segment: the bound resets exactly for free.
             meta.max_score = 0;
+            meta.stale_ops = 0;
+        } else {
+            meta.stale_ops = meta.stale_ops.saturating_add(1);
         }
     }
 
@@ -305,11 +398,20 @@ impl Store {
     /// Overwrites the hidden ranking score at `slot` (used when a measure
     /// update changes a measure-based rank). Raises the segment bound if
     /// needed; a lowered score leaves the old bound standing (still a
-    /// valid upper bound).
+    /// valid upper bound) and marks the bound stale for maintenance.
     pub fn set_score(&mut self, slot: Slot, score: u64) {
         self.scores[slot as usize] = score;
         let meta = &mut self.segments[segment_of(slot)];
-        meta.max_score = meta.max_score.max(score);
+        if score >= meta.max_score {
+            // The new score meets or beats the old bound, so it *is* the
+            // segment's true maximum: the bound snaps back to exact.
+            meta.max_score = score;
+            meta.stale_ops = 0;
+        } else {
+            // A drop below the bound may have demoted the previous
+            // maximum holder; the bound stays sound but possibly loose.
+            meta.stale_ops = meta.stale_ops.saturating_add(1);
+        }
     }
 
     /// Materialises a read-only view of the tuple at `slot`.
@@ -449,6 +551,58 @@ mod tests {
         s.delete(TupleKey(1)).unwrap();
         assert_eq!(s.segment_max_score(0), 0);
         assert_eq!(s.segment_alive(0), 0);
+    }
+
+    /// The exact-after-compact sibling of
+    /// `segment_max_score_is_an_upper_bound_and_resets_on_empty`: after a
+    /// recompute the bound must equal the true maximum, not merely bound
+    /// it — and the staleness counter must reflect every loosening op.
+    #[test]
+    fn segment_max_score_is_exact_after_recompute() {
+        let mut s = Store::new(1, 0);
+        for key in 0..6u64 {
+            s.insert(t(key, &[0], &[]), key * 10).unwrap();
+        }
+        assert_eq!(s.segment_bound_staleness(0), 0, "append-only bounds are exact");
+        assert_eq!(s.segment_dead(0), 0);
+        // Delete the two top scorers: the bound goes stale-high.
+        s.delete(TupleKey(5)).unwrap();
+        s.delete(TupleKey(4)).unwrap();
+        assert_eq!(s.segment_max_score(0), 50, "lazy bound left standing");
+        assert_eq!(s.segment_bound_staleness(0), 2);
+        assert_eq!(s.segment_dead(0), 2);
+        assert_eq!(s.stale_segments(), vec![0]);
+        // Recompute: exact maximum over alive occupants, staleness reset.
+        assert!(s.recompute_segment_bound(0), "bound must tighten");
+        assert_eq!(s.segment_max_score(0), 30);
+        assert_eq!(s.segment_bound_staleness(0), 0);
+        assert!(s.stale_segments().is_empty());
+        s.debug_assert_bound_exact(0);
+        // A second recompute is a no-op.
+        assert!(!s.recompute_segment_bound(0));
+        // Score drops mark the bound stale; raises to/above the bound
+        // snap it back to exact.
+        let slot = s.slot_of(TupleKey(3)).unwrap();
+        s.set_score(slot, 5);
+        assert_eq!(s.segment_bound_staleness(0), 1);
+        assert_eq!(s.segment_max_score(0), 30, "drop leaves the bound standing");
+        s.set_score(slot, 99);
+        assert_eq!(s.segment_bound_staleness(0), 0, "raise to a new max is exact again");
+        assert_eq!(s.segment_max_score(0), 99);
+        s.debug_assert_bound_exact(0);
+    }
+
+    #[test]
+    fn emptying_a_segment_clears_staleness_too() {
+        let mut s = Store::new(1, 0);
+        s.insert(t(1, &[0], &[]), 10).unwrap();
+        s.insert(t(2, &[0], &[]), 20).unwrap();
+        s.delete(TupleKey(2)).unwrap();
+        assert_eq!(s.segment_bound_staleness(0), 1);
+        s.delete(TupleKey(1)).unwrap();
+        assert_eq!(s.segment_bound_staleness(0), 0, "empty segment is exactly bounded");
+        assert_eq!(s.segment_max_score(0), 0);
+        s.debug_assert_bound_exact(0);
     }
 
     #[test]

@@ -136,6 +136,22 @@ impl UpdateFootprint {
         &self.postings
     }
 
+    /// The touched slots (sorted + deduped after [`Self::seal`]) — what
+    /// the memo's revalidation tracks per demoted entry so the
+    /// lookup-time re-check knows exactly where churn landed.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Number of elementary changes recorded (NOT deduped — a slot
+    /// deleted and refilled twice counts twice). An upper bound on how
+    /// many matching tuples any one query can have lost, which is the
+    /// conservative margin revalidation subtracts from a cached overflow
+    /// entry's match count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
     /// Whether a cached answer to `query` may have changed: its predicate
     /// set intersects the touched postings. The root query (no predicates)
     /// is affected by any non-empty footprint, since every tuple matches it.
