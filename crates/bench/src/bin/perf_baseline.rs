@@ -1,7 +1,7 @@
 //! perf_baseline — the standard, committed performance workload.
 //!
 //! Runs fixed workloads and writes a machine-readable report (default
-//! `BENCH_PR5.json`, see `--out`) so future PRs have a perf trajectory
+//! `BENCH_PR6.json`, see `--out`) so future PRs have a perf trajectory
 //! to beat:
 //!
 //! 1. **Interface microbench** — query throughput of the hidden-database
@@ -44,30 +44,42 @@
 //!    incremental baseline vs memo-disabled, with a three-way answer
 //!    fingerprint check (`revalidation_consistent`) and a strict
 //!    hit-rate win (`revalidation_hit_rate_improved`).
+//! 10. **Fault recovery** (PR 6) — the fault-injected interface stack:
+//!     drill-level bit-identity under recovered seeded storms at three
+//!     injection rates (`faults_identical_when_recovered`), the cost of
+//!     the wrapper with a quiet schedule
+//!     (`fault_off_overhead_near_zero`), and a quality-vs-fault-rate
+//!     sweep of the tracked Fig 2 workload (faults burn budget, so
+//!     accuracy decays gracefully as the rate climbs). The interface
+//!     microbench also gains a `mutation_throughput_ok` floor pinning
+//!     the PR 5 mutation-path regression fixed by PR 6.
 //!
 //! The workloads are fixed on purpose — do not "tune" them in later
 //! PRs; add new sections instead, so the numbers stay comparable.
 //!
-//! Flags: `--out PATH` (default `BENCH_PR5.json`), `--threads N`
+//! Flags: `--out PATH` (default `BENCH_PR6.json`), `--threads N`
 //! (thread pool for the parallel track run; default auto).
 
 use std::time::Instant;
 
-use aggtrack_bench::cli::{BaseCfg, Scale};
+use aggtrack_bench::cli::{BaseCfg, FaultsMode, Scale};
 use aggtrack_bench::json::Json;
 use aggtrack_bench::runner::{
-    count_star_tracked, standard_algos, track_with_threads, TrackOutcome,
+    count_star_tracked, standard_algos, tail_mean, track_with_threads, TrackOutcome,
 };
-use aggtrack_core::RsConfig;
+use aggtrack_core::{ht_sample, AggregateSpec, RsConfig};
 use aggtrack_parallel::Threads;
+use hidden_db::fault::{FaultSchedule, FaultyBackend, ResilientBackend, RetryPolicy};
 use hidden_db::query::{ConjunctiveQuery, Predicate};
 use hidden_db::ranking::ScoringPolicy;
+use hidden_db::session::SearchSession;
 use hidden_db::tuple::Tuple;
 use hidden_db::updates::UpdateBatch;
 use hidden_db::value::{MeasureId, TupleKey};
 use hidden_db::{EvalConfig, IntersectPolicy, InvalidationPolicy, QueryOutcome};
+use query_tree::{drill_from_root, enumerate_all, QueryTree};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use workloads::{load_database, AutosGenerator, TupleFactory};
 
 fn main() {
@@ -90,6 +102,8 @@ fn main() {
     let compaction = compaction_workload();
     eprintln!(">>> perf_baseline: cross-round memo revalidation");
     let revalidation = revalidation_workload();
+    eprintln!(">>> perf_baseline: fault injection / recovery stack");
+    let faults = fault_recovery(flags.pool());
     let report = Json::obj()
         .field("schema_version", 1u64)
         .field("report", "perf_baseline")
@@ -119,7 +133,8 @@ fn main() {
         .field("early_exit", early_exit)
         .field("ground_truth_parallelism", ground_truth)
         .field("compaction", compaction)
-        .field("revalidation", revalidation);
+        .field("revalidation", revalidation)
+        .field("fault_recovery", faults);
     std::fs::write(&flags.out, report.pretty())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", flags.out));
     eprintln!(">>> perf_baseline: wrote {}", flags.out);
@@ -134,7 +149,7 @@ struct Flags {
 
 impl Flags {
     fn parse() -> Self {
-        let mut flags = Flags { out: "BENCH_PR5.json".to_string(), threads: None };
+        let mut flags = Flags { out: "BENCH_PR6.json".to_string(), threads: None };
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
             let mut value =
@@ -147,7 +162,7 @@ impl Flags {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --out PATH (default BENCH_PR5.json)  --threads N (default auto)"
+                        "flags: --out PATH (default BENCH_PR6.json)  --threads N (default auto)"
                     );
                     std::process::exit(0);
                 }
@@ -233,6 +248,12 @@ fn interface_microbench() -> Json {
     let mutations = t0.elapsed();
 
     let per_sec = |count: usize, d: std::time::Duration| count as f64 / d.as_secs_f64();
+    // Floor pinning the PR 5 mutation-path regression (the quadratic
+    // TouchedSet absorb) fixed in PR 6: deliberately far below healthy
+    // release-build rates so only a real algorithmic regression — not a
+    // slow CI runner — can trip it. Debug builds are exempt.
+    const MUTATION_FLOOR_PAIRS_PER_SEC: f64 = 100_000.0;
+    let mutation_rate = per_sec(MUTATION_PAIRS, mutations);
     Json::obj()
         .field("population", N)
         .field("attrs", ATTRS)
@@ -240,7 +261,12 @@ fn interface_microbench() -> Json {
         .field("distinct_queries", pool.len())
         .field("cold_queries_per_sec", per_sec(pool.len(), cold))
         .field("warm_queries_per_sec", per_sec(WARM_PASSES * pool.len(), warm))
-        .field("mutation_pairs_per_sec", per_sec(MUTATION_PAIRS, mutations))
+        .field("mutation_pairs_per_sec", mutation_rate)
+        .field("mutation_floor_pairs_per_sec", MUTATION_FLOOR_PAIRS_PER_SEC)
+        .field(
+            "mutation_throughput_ok",
+            cfg!(debug_assertions) || mutation_rate >= MUTATION_FLOOR_PAIRS_PER_SEC,
+        )
         .field("cold_wall_s", cold.as_secs_f64())
         .field("warm_wall_s", warm.as_secs_f64())
         .field("mutation_wall_s", mutations.as_secs_f64())
@@ -818,6 +844,158 @@ fn revalidation_workload() -> Json {
         )
         .field("revalidation_consistent", reval_fp == base_fp && reval_fp == oracle_fp)
         .field("revalidation_hit_rate_improved", reval_rate > base_rate)
+}
+
+/// PR 6: the fault-injected interface stack over a small exhaustive
+/// signature pool (schema `[3, 4, 2]`, so every drill terminates fast
+/// and the pool is enumerable).
+///
+/// Three measurements:
+/// 1. **Wrapper overhead when quiet** — the same drill pool bare vs
+///    through `FaultyBackend(off) + ResilientBackend`; the wrapper adds
+///    a schedule decision and a match per issue, so the fraction must
+///    stay small (`fault_off_overhead_near_zero`; generous slack because
+///    warm drills are memo-hit cheap and timing-noisy). The experiment
+///    runner skips the wrapper entirely at `--faults off`, so its
+///    structural overhead is exactly zero — this measures the worst
+///    case of leaving the layer permanently interposed.
+/// 2. **Recovered-storm identity** — seeded storms at rates 0.1/0.3/0.5
+///    recovered by the default policy must reproduce every fault-free
+///    drill bit-for-bit with zero give-ups
+///    (`faults_identical_when_recovered`).
+/// 3. **Quality vs fault rate** — the Fig 2 tracked workload with
+///    `--faults seeded:<rate>`: burned retries shrink the effective
+///    per-round budget, so accuracy decays gracefully as the rate
+///    climbs (reported, not asserted — the decay is the figure).
+fn fault_recovery(pool: Threads) -> Json {
+    const N: u64 = 2_000;
+    const K: usize = 50;
+    const PASSES: usize = 60;
+    const STORM_RATES: [f64; 3] = [0.1, 0.3, 0.5];
+
+    let schema = hidden_db::schema::Schema::with_domain_sizes(&[3, 4, 2], &["m"]).unwrap();
+    let mut db = hidden_db::HiddenDatabase::new(schema.clone(), K, ScoringPolicy::default());
+    let mut rng = StdRng::seed_from_u64(0xFA17);
+    for t in 0..N {
+        db.insert(Tuple::new(
+            TupleKey(t),
+            vec![
+                hidden_db::value::ValueId(rng.random_range(0..3)),
+                hidden_db::value::ValueId(rng.random_range(0..4)),
+                hidden_db::value::ValueId(rng.random_range(0..2)),
+            ],
+            vec![rng.random_range(1..100) as f64],
+        ))
+        .expect("unique keys");
+    }
+    let tree = QueryTree::full(&schema);
+    let sigs = enumerate_all(&tree);
+    let spec = AggregateSpec::sum_measure(MeasureId(0), ConjunctiveQuery::select_all());
+    let digest = |out: &query_tree::DrillOutcome| {
+        let sample = ht_sample(&spec, &tree, out);
+        (out.depth, out.cost, sample.count.to_bits(), sample.sum.to_bits())
+    };
+
+    // Bare reference (also warms the memo so both timed passes compare
+    // steady-state costs).
+    let mut reference = Vec::with_capacity(sigs.len());
+    for sig in &sigs {
+        let mut s = SearchSession::unlimited(&mut db);
+        reference.push(digest(&drill_from_root(&tree, sig, &mut s).expect("unlimited budget")));
+    }
+    let t0 = Instant::now();
+    for _ in 0..PASSES {
+        for sig in &sigs {
+            let mut s = SearchSession::unlimited(&mut db);
+            std::hint::black_box(drill_from_root(&tree, sig, &mut s).expect("unlimited budget"));
+        }
+    }
+    let bare_wall = t0.elapsed();
+
+    // The full stack with a quiet schedule: identical answers, near-zero
+    // added cost.
+    let mut off_identical = true;
+    let t0 = Instant::now();
+    for _ in 0..PASSES {
+        for (i, sig) in sigs.iter().enumerate() {
+            let session = SearchSession::unlimited(&mut db);
+            let faulty = FaultyBackend::new(session, FaultSchedule::off());
+            let mut stack = ResilientBackend::new(faulty, RetryPolicy::default(), 0xD1CE);
+            let out = drill_from_root(&tree, sig, &mut stack).expect("quiet schedule");
+            off_identical &= digest(&out) == reference[i];
+        }
+    }
+    let off_wall = t0.elapsed();
+    let overhead_frac =
+        off_wall.as_secs_f64() / bare_wall.as_secs_f64().max(f64::MIN_POSITIVE) - 1.0;
+    let off_overhead_near_zero =
+        overhead_frac < 0.5 || (off_wall.as_secs_f64() - bare_wall.as_secs_f64()).abs() < 0.1;
+
+    // Recovered storms: every drill must come back bit-identical with
+    // zero give-ups (the default burst cap sits below the retry budget).
+    let mut storm_identical = true;
+    let mut retries = 0u64;
+    let mut recovered = 0u64;
+    let mut gave_up = 0u64;
+    for (r, &rate) in STORM_RATES.iter().enumerate() {
+        for (i, sig) in sigs.iter().enumerate() {
+            let seed = 0x00FA_0000 ^ ((r as u64) << 32) ^ i as u64;
+            let session = SearchSession::unlimited(&mut db);
+            let faulty = FaultyBackend::new(session, FaultSchedule::seeded(seed, rate));
+            let mut stack = ResilientBackend::new(faulty, RetryPolicy::default(), seed ^ 0x1ABE);
+            let out = drill_from_root(&tree, sig, &mut stack).expect("recoverable storm");
+            let stats = stack.stats();
+            retries += stats.retries;
+            recovered += stats.recovered;
+            gave_up += stats.gave_up;
+            storm_identical &= digest(&out) == reference[i];
+        }
+    }
+
+    // Quality vs fault rate on the tracked workload: the burn shrinks
+    // the effective budget, accuracy decays gracefully.
+    let mut sweep = Json::obj();
+    for rate in [0.0f64, 0.2, 0.4] {
+        let mut cfg = BaseCfg::for_scale(Scale::Quick);
+        cfg.initial = 1_500;
+        cfg.rounds = 6;
+        cfg.trials = 2;
+        cfg.faults = if rate == 0.0 { FaultsMode::Off } else { FaultsMode::Seeded { rate } };
+        let t0 = Instant::now();
+        let out = track_with_threads(
+            &cfg,
+            &standard_algos(),
+            RsConfig::default(),
+            &count_star_tracked,
+            pool,
+        );
+        let wall = t0.elapsed();
+        let mut per = Json::obj().field("wall_s", wall.as_secs_f64());
+        for a in &out.algos {
+            per = per.field(
+                a.name,
+                Json::obj()
+                    .field("tail_rel_err", tail_mean(&a.rel_err, 3))
+                    .field("cum_queries_final", a.cum_queries.mean(cfg.rounds - 1)),
+            );
+        }
+        sweep = sweep.field(&format!("rate_{rate}"), per);
+    }
+
+    Json::obj()
+        .field("population", N)
+        .field("signatures", sigs.len())
+        .field("passes", PASSES)
+        .field("bare_wall_s", bare_wall.as_secs_f64())
+        .field("wrapped_off_wall_s", off_wall.as_secs_f64())
+        .field("off_overhead_frac", overhead_frac)
+        .field("fault_off_overhead_near_zero", off_overhead_near_zero && off_identical)
+        .field("storm_rates", "0.1, 0.3, 0.5")
+        .field("storm_retries", retries)
+        .field("storm_recovered", recovered)
+        .field("storm_gave_up", gave_up)
+        .field("faults_identical_when_recovered", storm_identical && gave_up == 0)
+        .field("quality_vs_rate", sweep)
 }
 
 fn outcomes_bit_identical(a: &TrackOutcome, b: &TrackOutcome) -> bool {

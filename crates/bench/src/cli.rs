@@ -11,10 +11,31 @@
 //!   suite);
 //! * `--maintain off|N` — per-round segment-maintenance budget in
 //!   scanned slots/postings (`off` = never maintain, the default;
-//!   outcome-invariant like the memo policy).
+//!   outcome-invariant like the memo policy);
+//! * `--faults off|seeded:<rate>` — interface fault injection: `off` (the
+//!   default) runs estimators straight against the session; `seeded:0.2`
+//!   interposes the deterministic FaultyBackend + ResilientBackend stack
+//!   with a per-query fault probability of 0.2 (faults only consume
+//!   budget — recovered runs stay on the fault-free drill outcomes).
 
 use hidden_db::InvalidationPolicy;
 use workloads::DeleteSpec;
+
+/// Interface fault-injection mode for the experiment loop.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FaultsMode {
+    /// No fault layer at all: estimators talk to the session directly
+    /// (wrapper overhead exactly zero).
+    #[default]
+    Off,
+    /// Deterministic seeded injection at the given per-query rate,
+    /// recovered by the default retry policy (always recoverable: the
+    /// default schedule's burst cap is below the retry budget).
+    Seeded {
+        /// Per-query fault probability in `[0, 1]`.
+        rate: f64,
+    },
+}
 
 /// Experiment size preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,6 +67,8 @@ pub struct Cli {
     /// Per-round maintenance budget override (`Some(None)` = explicit
     /// `off`, `Some(Some(n))` = budget of `n` scanned slots/postings).
     pub maintain: Option<Option<usize>>,
+    /// Fault-injection mode override.
+    pub faults: Option<FaultsMode>,
 }
 
 impl Cli {
@@ -88,11 +111,24 @@ impl Cli {
                         n => Some(n.parse().expect("--maintain takes `off` or a slot budget")),
                     })
                 }
+                "--faults" => {
+                    cli.faults = Some(match value("--faults").as_str() {
+                        "off" => FaultsMode::Off,
+                        spec => {
+                            let rate = spec
+                                .strip_prefix("seeded:")
+                                .and_then(|r| r.parse::<f64>().ok())
+                                .filter(|r| (0.0..=1.0).contains(r))
+                                .expect("--faults takes `off` or `seeded:<rate in [0,1]>`");
+                            FaultsMode::Seeded { rate }
+                        }
+                    })
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale quick|default|paper  --trials N  --rounds N  \
                          --budget N  --seed N  --memo incremental|wholesale|disabled  \
-                         --maintain off|N"
+                         --maintain off|N  --faults off|seeded:<rate>"
                     );
                     std::process::exit(0);
                 }
@@ -133,6 +169,10 @@ pub struct BaseCfg {
     /// Outcome-invariant exactly like the memo policy — pinned by the
     /// determinism suite's maintenance test.
     pub maintain_slots: Option<usize>,
+    /// Interface fault injection (PR 6). `Off` bypasses the fault layer
+    /// entirely; `Seeded` wraps every per-round session in the
+    /// deterministic FaultyBackend + ResilientBackend stack.
+    pub faults: FaultsMode,
 }
 
 impl BaseCfg {
@@ -151,6 +191,7 @@ impl BaseCfg {
                 seed: 0x5EED,
                 memo_policy: InvalidationPolicy::Incremental,
                 maintain_slots: None,
+                faults: FaultsMode::Off,
             },
             Scale::Default => Self {
                 initial: 30_000,
@@ -165,6 +206,7 @@ impl BaseCfg {
                 seed: 0x5EED,
                 memo_policy: InvalidationPolicy::Incremental,
                 maintain_slots: None,
+                faults: FaultsMode::Off,
             },
             Scale::Paper => Self {
                 initial: 170_000,
@@ -178,6 +220,7 @@ impl BaseCfg {
                 seed: 0x5EED,
                 memo_policy: InvalidationPolicy::Incremental,
                 maintain_slots: None,
+                faults: FaultsMode::Off,
             },
         }
     }
@@ -201,6 +244,9 @@ impl BaseCfg {
         }
         if let Some(m) = cli.maintain {
             self.maintain_slots = m;
+        }
+        if let Some(f) = cli.faults {
+            self.faults = f;
         }
         self
     }
@@ -278,6 +324,29 @@ mod tests {
     #[should_panic(expected = "slot budget")]
     fn bogus_maintain_budget_panics() {
         parse(&["--maintain", "sometimes"]);
+    }
+
+    #[test]
+    fn faults_flag_parses_and_applies() {
+        assert_eq!(BaseCfg::from_cli(&parse(&[])).faults, FaultsMode::Off, "off by default");
+        let cli = parse(&["--faults", "seeded:0.25"]);
+        assert_eq!(cli.faults, Some(FaultsMode::Seeded { rate: 0.25 }));
+        assert_eq!(BaseCfg::from_cli(&cli).faults, FaultsMode::Seeded { rate: 0.25 });
+        let cli = parse(&["--faults", "off"]);
+        assert_eq!(cli.faults, Some(FaultsMode::Off));
+        assert_eq!(BaseCfg::from_cli(&cli).faults, FaultsMode::Off);
+    }
+
+    #[test]
+    #[should_panic(expected = "seeded:<rate in [0,1]>")]
+    fn bogus_fault_spec_panics() {
+        parse(&["--faults", "sometimes"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "seeded:<rate in [0,1]>")]
+    fn out_of_range_fault_rate_panics() {
+        parse(&["--faults", "seeded:1.5"]);
     }
 
     #[test]

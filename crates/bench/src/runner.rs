@@ -18,6 +18,7 @@ use aggtrack_core::{
 };
 use aggtrack_parallel::{par_map_indexed, Threads};
 use hidden_db::database::HiddenDatabase;
+use hidden_db::fault::{FaultSchedule, FaultyBackend, ResilientBackend, RetryPolicy};
 use hidden_db::ranking::ScoringPolicy;
 use hidden_db::schema::Schema;
 use query_tree::QueryTree;
@@ -25,7 +26,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workloads::{load_database, AutosGenerator, PerRoundSchedule, RoundDriver};
 
-use crate::cli::BaseCfg;
+use crate::cli::{BaseCfg, FaultsMode};
 
 /// Which estimator to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -353,9 +354,30 @@ fn run_trial(
         }
         let truth_ra: Vec<f64> = ra_truth.iter_mut().map(|ra| ra.push(truth)).collect();
         for (i, est) in estimators.iter_mut().enumerate() {
-            let report: RoundReport = {
-                let mut session = driver.session(cfg.g);
-                est.run_round(&mut session)
+            let report: RoundReport = match cfg.faults {
+                FaultsMode::Off => {
+                    let mut session = driver.session(cfg.g);
+                    est.run_round(&mut session)
+                }
+                FaultsMode::Seeded { rate } => {
+                    // Deterministic per-(trial, round, algorithm) fault and
+                    // jitter streams, derived like the estimator seeds above
+                    // so any thread policy replays the same storms.
+                    let fault_seed = cfg.seed
+                        ^ trial.wrapping_mul(7919)
+                        ^ ((round as u64) << 20)
+                        ^ ((i as u64 + 1) << 8);
+                    let session = driver.session(cfg.g);
+                    let faulty =
+                        FaultyBackend::new(session, FaultSchedule::seeded(fault_seed, rate));
+                    let mut stack =
+                        ResilientBackend::new(faulty, RetryPolicy::default(), fault_seed ^ 0x171);
+                    let report = est.run_round(&mut stack);
+                    // The default schedule's burst cap sits below the default
+                    // retry budget, so recovery must always succeed here.
+                    assert_eq!(stack.stats().gave_up, 0, "recovery gave up for {}", est.name());
+                    report
+                }
             };
             assert!(report.queries_spent <= cfg.g, "budget violated by {}", est.name());
             let series = &mut out.algos[i];
@@ -484,6 +506,28 @@ mod tests {
         // Truth tracks the schedule: +8 −0.1 % per round from 1 500.
         assert!(out.truth.mean(0) == 1_500.0);
         assert!(out.truth.mean(3) > 1_500.0);
+    }
+
+    #[test]
+    fn seeded_faults_stay_within_budget_and_are_deterministic() {
+        let mut cfg = BaseCfg::for_scale(Scale::Quick);
+        cfg.rounds = 3;
+        cfg.trials = 1;
+        cfg.initial = 1_200;
+        cfg.faults = FaultsMode::Seeded { rate: 0.3 };
+        let a = track(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked);
+        let b = track(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked);
+        for (sa, sb) in a.algos.iter().zip(&b.algos) {
+            for r in 0..cfg.rounds {
+                assert!(sa.rel_err.mean(r).is_finite(), "{} round {r}", sa.name);
+                // Same seeds, same storms: replays are bit-identical.
+                assert_eq!(sa.rel_err.mean(r).to_bits(), sb.rel_err.mean(r).to_bits());
+                assert_eq!(sa.cum_queries.mean(r).to_bits(), sb.cum_queries.mean(r).to_bits());
+                // Burned retries still respect the per-round cap G.
+                let spent = sa.cum_queries.mean(r);
+                assert!(spent <= (cfg.g * (r as u64 + 1)) as f64, "{} over cap", sa.name);
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! page per round, replayable against any [`AggregateSpec`] whose
 //! selection condition is evaluable per tuple.
 
-use hidden_db::errors::BudgetExhausted;
+use hidden_db::errors::IssueError;
 use hidden_db::session::SearchBackend;
 use hidden_db::tuple::TupleView;
 use query_tree::drill::{drill_from_root, resume_from, ReissuePolicy};
@@ -83,7 +83,7 @@ impl ArchivingTracker {
                 break;
             }
             let (sig, depth, _) = &self.records[idx];
-            let result: Result<_, BudgetExhausted> =
+            let result: Result<_, IssueError> =
                 resume_from(&self.tree, sig, *depth, self.policy, backend);
             match result {
                 Ok(out) => {

@@ -5,7 +5,7 @@ use agg_stats::moments::RunningMoments;
 use hidden_db::session::SearchBackend;
 
 use crate::aggregate::{AggregateSpec, HtSample};
-use crate::report::{EstimateWithVar, RoundReport};
+use crate::report::{Degraded, EstimateWithVar, RoundReport};
 
 /// A dynamic-database aggregate estimator: call [`Estimator::run_round`]
 /// once per round with that round's budgeted session.
@@ -18,7 +18,9 @@ pub trait Estimator {
 
     /// Executes one round against the backend (which enforces the budget)
     /// and reports the round's estimates. Must never panic on budget
-    /// exhaustion — partial rounds degrade gracefully.
+    /// exhaustion or an unrecovered interface fault — partial rounds
+    /// degrade gracefully, and fault-interrupted rounds additionally
+    /// carry a [`Degraded`] marker in the report.
     fn run_round(&mut self, backend: &mut dyn SearchBackend) -> RoundReport;
 }
 
@@ -69,6 +71,7 @@ pub(crate) fn base_report(
     updated: usize,
     initiated: usize,
     samples: &SampleMoments,
+    degraded: Option<Degraded>,
 ) -> RoundReport {
     RoundReport {
         round,
@@ -79,6 +82,7 @@ pub(crate) fn base_report(
         sum: samples.sum_estimate(),
         change_count: None,
         change_sum: None,
+        degraded,
     }
 }
 

@@ -69,9 +69,9 @@ pub use aggregate::{ht_sample, AggKind, AggregateSpec, HtSample, TupleFilter, Tu
 pub use estimator::Estimator;
 pub use record::DrillRecord;
 pub use reissue::ReissueEstimator;
-pub use report::{EstimateWithVar, RoundReport};
+pub use report::{Degraded, EstimateWithVar, RoundReport};
 pub use restart::RestartEstimator;
 pub use rs::{RsConfig, RsEstimator, TrackingTarget};
 pub use stratified::StratifiedEstimator;
 pub use tracker::{MultiTracker, WorkloadReport};
-pub use transround::{ChangeAccumulator, RunningAverage};
+pub use transround::{ChangeAccumulator, DegradationLog, RunningAverage};

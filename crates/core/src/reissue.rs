@@ -25,6 +25,7 @@ use crate::aggregate::{ht_sample, AggregateSpec};
 use crate::estimator::{base_report, moments_estimate, Estimator, SampleMoments};
 use crate::record::DrillRecord;
 use crate::report::RoundReport;
+use crate::transround::DegradationLog;
 
 /// The query-reissuing estimator.
 #[derive(Debug)]
@@ -35,6 +36,7 @@ pub struct ReissueEstimator {
     rng: StdRng,
     pool: Vec<DrillRecord>,
     round: u32,
+    degradation: DegradationLog,
 }
 
 impl ReissueEstimator {
@@ -53,7 +55,15 @@ impl ReissueEstimator {
         seed: u64,
         policy: ReissuePolicy,
     ) -> Self {
-        Self { spec, tree, policy, rng: StdRng::seed_from_u64(seed), pool: Vec::new(), round: 0 }
+        Self {
+            spec,
+            tree,
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            pool: Vec::new(),
+            round: 0,
+            degradation: DegradationLog::new(),
+        }
     }
 
     /// Number of drill-downs currently remembered.
@@ -79,6 +89,7 @@ impl Estimator for ReissueEstimator {
     fn run_round(&mut self, backend: &mut dyn SearchBackend) -> RoundReport {
         self.round += 1;
         let j = self.round;
+        self.degradation.begin_round();
         let mut diffs = SampleMoments::default();
 
         // --- update pass (Algorithm 1, lines 4–10) -----------------------
@@ -103,7 +114,13 @@ impl Estimator for ReissueEstimator {
                     rec.round = j;
                     updated += 1;
                 }
-                Err(_) => break, // budget exhausted mid-resume
+                // Interrupted mid-resume (exhaustion or unrecovered
+                // fault): the record keeps its previous depth and stays
+                // resumable next round.
+                Err(e) => {
+                    self.degradation.interrupted(backend.remaining(), !e.is_budget());
+                    break;
+                }
             }
         }
 
@@ -117,7 +134,10 @@ impl Estimator for ReissueEstimator {
                     self.pool.push(DrillRecord::new(sig, out.depth, j, sample));
                     initiated += 1;
                 }
-                Err(_) => break,
+                Err(e) => {
+                    self.degradation.interrupted(backend.remaining(), !e.is_budget());
+                    break;
+                }
             }
         }
 
@@ -128,7 +148,8 @@ impl Estimator for ReissueEstimator {
                 samples.push(rec.sample);
             }
         }
-        let mut report = base_report(j, backend, updated, initiated, &samples);
+        let mut report =
+            base_report(j, backend, updated, initiated, &samples, self.degradation.tag());
         if j > 1 && diffs.n() > 0 {
             report.change_count = Some(moments_estimate(&diffs.count));
             report.change_sum = Some(moments_estimate(&diffs.sum));
@@ -254,6 +275,65 @@ mod tests {
             drills_r2 > drills_r1,
             "same budget must cover more drill-downs when reissuing: {drills_r1} vs {drills_r2}"
         );
+    }
+
+    #[test]
+    fn fault_interruption_leaves_same_resumable_state_as_exhaustion() {
+        use hidden_db::fault::{FaultKind, FaultSchedule, FaultyBackend};
+
+        // Identical twins through round 1.
+        let mut db_a = hashed_db(100, 16, 12);
+        let mut db_b = db_a.clone();
+        let tree = QueryTree::full(&db_a.schema().clone());
+        let mut est_a = ReissueEstimator::new(AggregateSpec::count_star(), tree.clone(), 13);
+        let mut est_b = ReissueEstimator::new(AggregateSpec::count_star(), tree, 13);
+        {
+            let mut s = SearchSession::new(&mut db_a, 150);
+            est_a.run_round(&mut s);
+            let mut s = SearchSession::new(&mut db_b, 150);
+            est_b.run_round(&mut s);
+        }
+        // Round 2a: plain budget exhaustion before anything happens.
+        let r_a = {
+            let mut s = SearchSession::new(&mut db_a, 0);
+            est_a.run_round(&mut s)
+        };
+        // Round 2b: budget is there, but every query faults and recovery
+        // is absent — an unrecovered interruption on the first resume.
+        let r_b = {
+            let s = SearchSession::new(&mut db_b, 50);
+            let schedule = FaultSchedule::always(FaultKind::Timeout).with_max_consecutive(u32::MAX);
+            let mut faulty = FaultyBackend::new(s, schedule);
+            est_b.run_round(&mut faulty)
+        };
+        // Exhaustion is the normal regime; the fault round is Degraded.
+        assert!(r_a.degraded.is_none());
+        let tag = r_b.degraded.expect("unrecovered fault must tag the report");
+        assert!(tag.queries_lost > 0);
+        assert_eq!(tag.rounds_affected, 1);
+        // Both interruptions leave the identical resumable pool: every
+        // record keeps its previous depth and round stamp.
+        assert_eq!(est_a.pool_size(), est_b.pool_size());
+        for (ra, rb) in est_a.pool.iter().zip(&est_b.pool) {
+            assert_eq!(ra.depth, rb.depth);
+            assert_eq!(ra.round, rb.round);
+            assert_eq!(ra.round, 1, "interrupted round must not stamp records");
+        }
+        // Round 3 (clean, ample budget): both resume the full pool.
+        let r3_a = {
+            let mut s = SearchSession::new(&mut db_a, 500);
+            est_a.run_round(&mut s)
+        };
+        let r3_b = {
+            let mut s = SearchSession::new(&mut db_b, 500);
+            est_b.run_round(&mut s)
+        };
+        assert_eq!(r3_a.updated, r3_b.updated);
+        assert!(r3_a.updated > 0);
+        assert!(r3_b.count.is_usable());
+        // The degradation marker is cumulative: it survives clean rounds.
+        assert!(r3_a.degraded.is_none());
+        assert_eq!(r3_b.degraded, Some(tag));
     }
 
     #[test]

@@ -30,6 +30,25 @@ impl EstimateWithVar {
     }
 }
 
+/// Marker that an estimator survived unrecoverable interface faults by
+/// degrading gracefully: the report's estimates are real but built from
+/// fewer drill-downs than the budget would have allowed.
+///
+/// Budget exhaustion is *not* degradation — spending the whole budget is
+/// the normal §2.1 regime. This marker appears only when queries were
+/// lost to faults the recovery layer could not cure; the interrupted
+/// drill-downs stay resumable (their pool records keep the previous
+/// depth), so the next round carries on exactly as after exhaustion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Degraded {
+    /// Budget units lost to unrecovered faults (cumulative over the
+    /// estimator's lifetime).
+    pub queries_lost: u64,
+    /// Rounds in which at least one fault interruption occurred
+    /// (cumulative).
+    pub rounds_affected: u32,
+}
+
 /// Everything an estimator reports about one round.
 #[derive(Debug, Clone)]
 pub struct RoundReport {
@@ -50,6 +69,10 @@ pub struct RoundReport {
     pub change_count: Option<EstimateWithVar>,
     /// Direct estimate of `SUM_j − SUM_{j−1}`.
     pub change_sum: Option<EstimateWithVar>,
+    /// Present iff unrecoverable faults cost this estimator queries
+    /// (this round or earlier); the estimates above are partial but
+    /// honest.
+    pub degraded: Option<Degraded>,
 }
 
 impl RoundReport {
@@ -92,6 +115,7 @@ mod tests {
             sum: EstimateWithVar::new(5_000.0, 100.0),
             change_count: Some(EstimateWithVar::new(12.0, 1.0)),
             change_sum: None,
+            degraded: None,
         }
     }
 

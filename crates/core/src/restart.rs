@@ -18,6 +18,7 @@ use rand::SeedableRng;
 use crate::aggregate::{ht_sample, AggregateSpec};
 use crate::estimator::{base_report, Estimator, SampleMoments};
 use crate::report::{EstimateWithVar, RoundReport};
+use crate::transround::DegradationLog;
 
 /// The repeated-execution baseline.
 #[derive(Debug)]
@@ -28,6 +29,7 @@ pub struct RestartEstimator {
     round: u32,
     prev_count: Option<EstimateWithVar>,
     prev_sum: Option<EstimateWithVar>,
+    degradation: DegradationLog,
 }
 
 impl RestartEstimator {
@@ -40,6 +42,7 @@ impl RestartEstimator {
             round: 0,
             prev_count: None,
             prev_sum: None,
+            degradation: DegradationLog::new(),
         }
     }
 
@@ -60,6 +63,7 @@ impl Estimator for RestartEstimator {
 
     fn run_round(&mut self, backend: &mut dyn SearchBackend) -> RoundReport {
         self.round += 1;
+        self.degradation.begin_round();
         let mut samples = SampleMoments::default();
         let mut initiated = 0;
         while backend.remaining() > 0 {
@@ -69,13 +73,18 @@ impl Estimator for RestartEstimator {
                     samples.push(ht_sample(&self.spec, &self.tree, &out));
                     initiated += 1;
                 }
-                // Budget died mid-drill: the partial drill-down cannot
-                // produce an unbiased sample; its queries are simply lost
-                // (the "wasted queries" §1 complains about).
-                Err(_) => break,
+                // Interrupted mid-drill (budget death or an unrecovered
+                // fault): the partial drill-down cannot produce an
+                // unbiased sample; its queries are simply lost (the
+                // "wasted queries" §1 complains about).
+                Err(e) => {
+                    self.degradation.interrupted(backend.remaining(), !e.is_budget());
+                    break;
+                }
             }
         }
-        let mut report = base_report(self.round, backend, 0, initiated, &samples);
+        let mut report =
+            base_report(self.round, backend, 0, initiated, &samples, self.degradation.tag());
         // Trans-round change: difference of independent estimates.
         if let (Some(pc), Some(ps)) = (self.prev_count, self.prev_sum) {
             if pc.is_usable() && report.count.is_usable() {
@@ -155,6 +164,38 @@ mod tests {
         // Truth is +30; RESTART's change estimate is noisy but finite.
         assert!(ch.value.is_finite());
         assert!(ch.variance > 0.0);
+    }
+
+    #[test]
+    fn unrecovered_fault_mid_round_degrades_instead_of_unwinding() {
+        use hidden_db::fault::{FaultSchedule, FaultyBackend};
+
+        let mut db = hashed_db(120, 16, 5);
+        let tree = QueryTree::full(&db.schema().clone());
+        let mut est = RestartEstimator::new(AggregateSpec::count_star(), tree, 21);
+        // Seeded faults with no recovery layer: the round is interrupted
+        // at the first injection but still reports partial estimates.
+        let session = SearchSession::new(&mut db, 400);
+        let mut faulty = FaultyBackend::new(
+            session,
+            FaultSchedule::seeded(3, 0.05).with_max_consecutive(u32::MAX),
+        );
+        let r = est.run_round(&mut faulty);
+        let tag = r.degraded.expect("fault interruption must tag the report");
+        assert_eq!(tag.rounds_affected, 1);
+        assert!(tag.queries_lost > 0);
+        // Partial but honest: the drills completed before the fault still
+        // feed the estimate.
+        assert!(r.initiated > 0);
+        assert!(r.count.is_usable());
+        // Budget exhaustion alone never tags: identical run, no faults.
+        let mut db2 = hashed_db(120, 16, 5);
+        let tree2 = QueryTree::full(&db2.schema().clone());
+        let mut est2 = RestartEstimator::new(AggregateSpec::count_star(), tree2, 21);
+        let mut s = SearchSession::new(&mut db2, 400);
+        let clean = est2.run_round(&mut s);
+        assert!(clean.degraded.is_none());
+        assert!(clean.initiated >= r.initiated);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use agg_stats::allocation::{allocate, GroupParams};
 use agg_stats::moments::RunningMoments;
 use agg_stats::weighted::{combine, Component};
-use hidden_db::errors::BudgetExhausted;
+use hidden_db::errors::IssueError;
 use hidden_db::session::SearchBackend;
 use query_tree::drill::{drill_from_root, resume_from, ReissuePolicy};
 use query_tree::signature::Signature;
@@ -37,6 +37,7 @@ use crate::aggregate::{ht_sample, AggKind, AggregateSpec, HtSample};
 use crate::estimator::{Estimator, SampleMoments};
 use crate::record::{group_by_age, DrillRecord};
 use crate::report::{EstimateWithVar, RoundReport};
+use crate::transround::DegradationLog;
 
 /// What the allocator optimises for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -151,6 +152,7 @@ pub struct RsEstimator {
     /// Variance-of-mean of the latest round's fresh drill-downs
     /// (count, sum) — the scale for process-noise inflation.
     last_fresh_vom: Option<(f64, f64)>,
+    degradation: DegradationLog,
 }
 
 impl RsEstimator {
@@ -170,6 +172,7 @@ impl RsEstimator {
             round: 0,
             history: Vec::new(),
             last_fresh_vom: None,
+            degradation: DegradationLog::new(),
         }
     }
 
@@ -200,7 +203,7 @@ impl RsEstimator {
         idx: usize,
         j: u32,
         backend: &mut dyn SearchBackend,
-    ) -> Result<(HtSample, u64), BudgetExhausted> {
+    ) -> Result<(HtSample, u64), IssueError> {
         let rec = &mut pool[idx];
         let out = resume_from(tree, &rec.sig, rec.depth, policy, backend)?;
         let sample = ht_sample(spec, tree, &out);
@@ -220,7 +223,7 @@ impl RsEstimator {
         rng: &mut StdRng,
         j: u32,
         backend: &mut dyn SearchBackend,
-    ) -> Result<(HtSample, u64), BudgetExhausted> {
+    ) -> Result<(HtSample, u64), IssueError> {
         let sig = Signature::sample(tree, rng);
         let out = drill_from_root(tree, &sig, backend)?;
         let sample = ht_sample(spec, tree, &out);
@@ -284,6 +287,7 @@ impl Estimator for RsEstimator {
     fn run_round(&mut self, backend: &mut dyn SearchBackend) -> RoundReport {
         self.round += 1;
         let j = self.round;
+        self.degradation.begin_round();
         let kind = self.spec.kind;
         let policy = self.config.policy;
 
@@ -331,7 +335,8 @@ impl Estimator for RsEstimator {
                             work.costs.push(cost as f64);
                             updated += 1;
                         }
-                        Err(_) => {
+                        Err(e) => {
+                            self.degradation.interrupted(backend.remaining(), !e.is_budget());
                             exhausted = true;
                             break 'pilot;
                         }
@@ -352,7 +357,8 @@ impl Estimator for RsEstimator {
                         fresh_costs.push(cost as f64);
                         initiated += 1;
                     }
-                    Err(_) => {
+                    Err(e) => {
+                        self.degradation.interrupted(backend.remaining(), !e.is_budget());
                         exhausted = true;
                         break 'pilot;
                     }
@@ -439,7 +445,10 @@ impl Estimator for RsEstimator {
                                 groups[group].1.costs.push(cost as f64);
                                 updated += 1;
                             }
-                            Err(_) => break,
+                            Err(e) => {
+                                self.degradation.interrupted(backend.remaining(), !e.is_budget());
+                                break;
+                            }
                         }
                     }
                     Plan::Fresh => {
@@ -456,7 +465,10 @@ impl Estimator for RsEstimator {
                                 fresh_costs.push(cost as f64);
                                 initiated += 1;
                             }
-                            Err(_) => break,
+                            Err(e) => {
+                                self.degradation.interrupted(backend.remaining(), !e.is_budget());
+                                break;
+                            }
                         }
                     }
                 }
@@ -476,7 +488,10 @@ impl Estimator for RsEstimator {
                         fresh_costs.push(cost as f64);
                         initiated += 1;
                     }
-                    Err(_) => break,
+                    Err(e) => {
+                        self.degradation.interrupted(backend.remaining(), !e.is_budget());
+                        break;
+                    }
                 }
             }
         }
@@ -614,6 +629,7 @@ impl Estimator for RsEstimator {
             sum: sum_est,
             change_count,
             change_sum,
+            degraded: self.degradation.tag(),
         }
     }
 }
@@ -752,6 +768,42 @@ mod tests {
         assert!(r.queries_spent <= 3);
         // Falls back to carried-forward estimate.
         assert!(r.count.value.is_finite());
+    }
+
+    #[test]
+    fn fault_interruption_is_tagged_and_pool_stays_resumable() {
+        use hidden_db::fault::{FaultKind, FaultSchedule, FaultyBackend};
+
+        let mut db = hashed_db(100, 16, 8);
+        let tree = QueryTree::full(&db.schema().clone());
+        let mut est = RsEstimator::new(AggregateSpec::count_star(), tree, 14);
+        {
+            let mut s = SearchSession::new(&mut db, 200);
+            let r = est.run_round(&mut s);
+            assert!(r.degraded.is_none());
+        }
+        let pool = est.pool_size();
+        let depths: Vec<usize> = est.pool.iter().map(|r| r.depth).collect();
+        // Round 2 dies on its very first query (a pilot update) with no
+        // recovery layer: the round must still report, tagged.
+        let r = {
+            let s = SearchSession::new(&mut db, 200);
+            let schedule = FaultSchedule::always(FaultKind::Http5xx).with_max_consecutive(u32::MAX);
+            let mut faulty = FaultyBackend::new(s, schedule);
+            est.run_round(&mut faulty)
+        };
+        assert!(r.degraded.is_some());
+        assert!(r.count.value.is_finite(), "carried-forward estimate expected");
+        // Pool untouched (minus staleness eviction, inactive after 1 gap):
+        // every record keeps its depth — resumable exactly as after
+        // budget exhaustion.
+        assert_eq!(est.pool_size(), pool);
+        assert!(est.pool.iter().map(|r| r.depth).eq(depths.into_iter()));
+        // A clean round resumes normally and keeps the cumulative tag.
+        let mut s = SearchSession::new(&mut db, 200);
+        let r3 = est.run_round(&mut s);
+        assert!(r3.updated > 0);
+        assert_eq!(r3.degraded, r.degraded);
     }
 
     #[test]

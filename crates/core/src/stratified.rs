@@ -27,6 +27,7 @@ use rand::SeedableRng;
 use crate::aggregate::{ht_sample, AggregateSpec};
 use crate::estimator::{Estimator, SampleMoments};
 use crate::report::{EstimateWithVar, RoundReport};
+use crate::transround::DegradationLog;
 
 /// Restart-style estimator with first-level stratification.
 #[derive(Debug)]
@@ -36,6 +37,7 @@ pub struct StratifiedEstimator {
     subtrees: Vec<QueryTree>,
     rng: StdRng,
     round: u32,
+    degradation: DegradationLog,
 }
 
 impl StratifiedEstimator {
@@ -61,7 +63,13 @@ impl StratifiedEstimator {
                 QueryTree::subtree(schema, fixed)
             })
             .collect();
-        Self { spec, subtrees, rng: StdRng::seed_from_u64(seed), round: 0 }
+        Self {
+            spec,
+            subtrees,
+            rng: StdRng::seed_from_u64(seed),
+            round: 0,
+            degradation: DegradationLog::new(),
+        }
     }
 
     /// Number of strata.
@@ -81,6 +89,7 @@ impl Estimator for StratifiedEstimator {
 
     fn run_round(&mut self, backend: &mut dyn SearchBackend) -> RoundReport {
         self.round += 1;
+        self.degradation.begin_round();
         let s = self.subtrees.len();
         // Random rotation so partially-covered strata are a uniform subset.
         let mut order: Vec<usize> = (0..s).collect();
@@ -102,7 +111,10 @@ impl Estimator for StratifiedEstimator {
                         initiated += 1;
                         progressed = true;
                     }
-                    Err(_) => break 'outer,
+                    Err(e) => {
+                        self.degradation.interrupted(backend.remaining(), !e.is_budget());
+                        break 'outer;
+                    }
                 }
             }
             if !progressed {
@@ -148,6 +160,7 @@ impl Estimator for StratifiedEstimator {
             sum,
             change_count: None,
             change_sum: None,
+            degraded: self.degradation.tag(),
         }
     }
 }

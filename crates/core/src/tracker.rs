@@ -13,7 +13,7 @@
 //! grows with leftover budget) and reports one [`EstimateWithVar`] per
 //! registered aggregate per round.
 
-use hidden_db::errors::BudgetExhausted;
+use hidden_db::errors::IssueError;
 use hidden_db::session::SearchBackend;
 use query_tree::drill::{drill_from_root, resume_from, DrillOutcome, ReissuePolicy};
 use query_tree::signature::Signature;
@@ -24,7 +24,8 @@ use rand::SeedableRng;
 
 use crate::aggregate::{ht_sample, AggregateSpec, HtSample};
 use crate::estimator::SampleMoments;
-use crate::report::EstimateWithVar;
+use crate::report::{Degraded, EstimateWithVar};
+use crate::transround::DegradationLog;
 
 /// One remembered drill-down with per-aggregate samples.
 #[derive(Debug, Clone)]
@@ -50,6 +51,9 @@ pub struct WorkloadReport {
     /// One `(count, sum)` estimate pair per registered aggregate, in
     /// registration order.
     pub estimates: Vec<(EstimateWithVar, EstimateWithVar)>,
+    /// Present iff unrecoverable interface faults cost the tracker
+    /// queries (see [`Degraded`]).
+    pub degraded: Option<Degraded>,
 }
 
 impl WorkloadReport {
@@ -83,6 +87,7 @@ pub struct MultiTracker {
     rng: StdRng,
     pool: Vec<MultiRecord>,
     round: u32,
+    degradation: DegradationLog,
 }
 
 impl MultiTracker {
@@ -99,6 +104,7 @@ impl MultiTracker {
             rng: StdRng::seed_from_u64(seed),
             pool: Vec::new(),
             round: 0,
+            degradation: DegradationLog::new(),
         }
     }
 
@@ -122,6 +128,7 @@ impl MultiTracker {
     pub fn run_round(&mut self, backend: &mut dyn SearchBackend) -> WorkloadReport {
         self.round += 1;
         let j = self.round;
+        self.degradation.begin_round();
         let mut order: Vec<usize> = (0..self.pool.len()).collect();
         order.shuffle(&mut self.rng);
         let mut updated = 0;
@@ -130,7 +137,7 @@ impl MultiTracker {
                 break;
             }
             let rec = &mut self.pool[idx];
-            let result: Result<DrillOutcome, BudgetExhausted> =
+            let result: Result<DrillOutcome, IssueError> =
                 resume_from(&self.tree, &rec.sig, rec.depth, self.policy, backend);
             match result {
                 Ok(out) => {
@@ -140,7 +147,12 @@ impl MultiTracker {
                         self.specs.iter().map(|spec| ht_sample(spec, &self.tree, &out)).collect();
                     updated += 1;
                 }
-                Err(_) => break,
+                // Interrupted (exhaustion or unrecovered fault): the record
+                // keeps its previous depth and stays resumable next round.
+                Err(e) => {
+                    self.degradation.interrupted(backend.remaining(), !e.is_budget());
+                    break;
+                }
             }
         }
         let mut initiated = 0;
@@ -152,7 +164,10 @@ impl MultiTracker {
                     self.pool.push(MultiRecord { sig, depth: out.depth, round: j, samples });
                     initiated += 1;
                 }
-                Err(_) => break,
+                Err(e) => {
+                    self.degradation.interrupted(backend.remaining(), !e.is_budget());
+                    break;
+                }
             }
         }
         // Estimation: per aggregate, the mean over records current at j.
@@ -171,6 +186,7 @@ impl MultiTracker {
             updated,
             initiated,
             estimates: moments.iter().map(|m| (m.count_estimate(), m.sum_estimate())).collect(),
+            degraded: self.degradation.tag(),
         }
     }
 }

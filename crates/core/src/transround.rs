@@ -9,8 +9,62 @@
 //!   come directly from [`crate::report::RoundReport::change_count`], which
 //!   each estimator populates natively (REISSUE/RS via paired differences,
 //!   RESTART by differencing independent estimates).
+//!
+//! Trans-round series are what makes graceful degradation (PR 6) matter:
+//! one round dying mid-drill must not poison the series, so every
+//! estimator routes interruptions through a [`DegradationLog`] — the
+//! round still reports (partial but honest) estimates, tagged
+//! [`Degraded`] when the cause was an unrecovered fault rather than
+//! ordinary budget exhaustion.
 
 use std::collections::VecDeque;
+
+use crate::report::Degraded;
+
+/// Shared interruption bookkeeping for all estimators: distinguishes
+/// ordinary budget exhaustion (the normal §2.1 regime, untagged) from
+/// unrecoverable interface faults (tagged [`Degraded`] in the round
+/// report), cumulatively over the estimator's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegradationLog {
+    queries_lost: u64,
+    rounds_affected: u32,
+    fault_this_round: bool,
+}
+
+impl DegradationLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the start of a round.
+    pub fn begin_round(&mut self) {
+        self.fault_this_round = false;
+    }
+
+    /// Records an interrupted drill-down. `queries_lost` is the budget
+    /// the interruption left unusable this round; `is_fault` is whether
+    /// the cause was an unrecovered interface fault (as opposed to
+    /// budget exhaustion, which is not degradation).
+    pub fn interrupted(&mut self, queries_lost: u64, is_fault: bool) {
+        if is_fault {
+            if !self.fault_this_round {
+                self.fault_this_round = true;
+                self.rounds_affected += 1;
+            }
+            self.queries_lost = self.queries_lost.saturating_add(queries_lost);
+        }
+    }
+
+    /// The report tag: `Some` iff any fault interruption ever occurred.
+    pub fn tag(&self) -> Option<Degraded> {
+        (self.rounds_affected > 0).then_some(Degraded {
+            queries_lost: self.queries_lost,
+            rounds_affected: self.rounds_affected,
+        })
+    }
+}
 
 /// Tracks `AVG(v_i, v_{i−1}, …, v_{i−w+1})` over a stream of per-round
 /// values (estimates or ground truths alike).
@@ -121,5 +175,27 @@ mod tests {
         assert_eq!(acc.push(-2.0), 3.0);
         assert_eq!(acc.total(), 3.0);
         assert_eq!(acc.rounds(), 2);
+    }
+
+    #[test]
+    fn degradation_log_ignores_budget_but_tags_faults() {
+        let mut log = DegradationLog::new();
+        log.begin_round();
+        log.interrupted(5, false); // plain exhaustion: not degradation
+        assert_eq!(log.tag(), None);
+        log.begin_round();
+        log.interrupted(3, true);
+        log.interrupted(2, true); // same round: counted once
+        let tag = log.tag().unwrap();
+        assert_eq!(tag.queries_lost, 5);
+        assert_eq!(tag.rounds_affected, 1);
+        log.begin_round();
+        log.interrupted(1, true);
+        let tag = log.tag().unwrap();
+        assert_eq!(tag.queries_lost, 6);
+        assert_eq!(tag.rounds_affected, 2);
+        // The tag is sticky: a clean round still reports the history.
+        log.begin_round();
+        assert!(log.tag().is_some());
     }
 }

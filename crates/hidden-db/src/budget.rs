@@ -34,6 +34,15 @@ impl QueryBudget {
         self.spent
     }
 
+    /// Queries spent since `earlier` was snapshotted (budgets are `Copy`,
+    /// so `let before = budget; …; budget.spent_since(&before)` is the
+    /// whole protocol). Used by the retry layer to report how many
+    /// queries a recovery burned. Saturates at zero if `earlier` is not
+    /// actually an earlier snapshot of this budget.
+    pub fn spent_since(&self, earlier: &QueryBudget) -> u64 {
+        self.spent.saturating_sub(earlier.spent)
+    }
+
     /// Queries still available.
     pub fn remaining(&self) -> u64 {
         self.limit - self.spent
@@ -97,5 +106,18 @@ mod tests {
     fn zero_budget_rejects_immediately() {
         let mut b = QueryBudget::new(0);
         assert!(b.charge().is_err());
+    }
+
+    #[test]
+    fn spent_since_diffs_snapshots() {
+        let mut b = QueryBudget::new(10);
+        b.charge().unwrap();
+        let snapshot = b;
+        assert_eq!(b.spent_since(&snapshot), 0);
+        b.charge().unwrap();
+        b.charge().unwrap();
+        assert_eq!(b.spent_since(&snapshot), 2);
+        // A later snapshot against an earlier state saturates to zero.
+        assert_eq!(snapshot.spent_since(&b), 0);
     }
 }

@@ -76,6 +76,98 @@ impl fmt::Display for BudgetExhausted {
 
 impl std::error::Error for BudgetExhausted {}
 
+/// The kind of a transient, retryable interface failure — the taxonomy a
+/// real remote search form exposes (cf. §2.1's Amazon/eBay-style
+/// interfaces, which time out, throttle, and drop pages).
+///
+/// Every kind is an **error**, never a corrupted answer: a truncated or
+/// empty page is reported as a failure the caller can detect and retry,
+/// so faults may consume budget but can never silently change an
+/// estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientFault {
+    /// Server-side 5xx-style error; the query was charged but no answer
+    /// returned.
+    Http5xx,
+    /// The result page came back truncated (detectable by the client:
+    /// fewer rows than the interface promised for this outcome class).
+    TruncatedPage,
+    /// The result page came back empty despite the query being charged.
+    EmptyPage,
+    /// The interface charged the query (possibly repeatedly) without
+    /// ever delivering the answer.
+    ChargedNoAnswer,
+}
+
+impl fmt::Display for TransientFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Http5xx => write!(f, "server error (5xx)"),
+            Self::TruncatedPage => write!(f, "truncated result page"),
+            Self::EmptyPage => write!(f, "empty result page"),
+            Self::ChargedNoAnswer => write!(f, "query charged without an answer"),
+        }
+    }
+}
+
+/// Everything [`crate::session::SearchBackend::issue`] can fail with.
+///
+/// Until PR 6 the only error an estimator could see was budget
+/// exhaustion; this is the full taxonomy of a real remote interface.
+/// [`IssueError::BudgetExhausted`] is terminal for the round; every other
+/// variant is transient and worth retrying
+/// ([`IssueError::is_recoverable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueError {
+    /// The per-round budget `G` is spent — terminal for this round.
+    BudgetExhausted(BudgetExhausted),
+    /// A transient failure; the query may or may not have been charged
+    /// (see [`TransientFault`]).
+    Transient(TransientFault),
+    /// The interface throttled the client; retry no sooner than
+    /// `retry_after` ticks.
+    RateLimited {
+        /// Minimum wait, in the backend's simulated time units.
+        retry_after: u32,
+    },
+    /// The query timed out (charged, no answer within the deadline).
+    Timeout,
+}
+
+impl IssueError {
+    /// Whether this is the terminal budget-exhaustion error.
+    pub fn is_budget(&self) -> bool {
+        matches!(self, Self::BudgetExhausted(_))
+    }
+
+    /// Whether a retry can possibly succeed (everything except budget
+    /// exhaustion, which only a new round cures).
+    pub fn is_recoverable(&self) -> bool {
+        !self.is_budget()
+    }
+}
+
+impl From<BudgetExhausted> for IssueError {
+    fn from(e: BudgetExhausted) -> Self {
+        Self::BudgetExhausted(e)
+    }
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BudgetExhausted(e) => e.fmt(f),
+            Self::Transient(fault) => write!(f, "transient interface fault: {fault}"),
+            Self::RateLimited { retry_after } => {
+                write!(f, "rate limited; retry after {retry_after} ticks")
+            }
+            Self::Timeout => write!(f, "query timed out"),
+        }
+    }
+}
+
+impl std::error::Error for IssueError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +180,27 @@ mod tests {
         assert!(e.to_string().contains("t9"));
         let e = BudgetExhausted { limit: 100 };
         assert!(e.to_string().contains("100"));
+        let e = IssueError::RateLimited { retry_after: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = IssueError::Transient(TransientFault::TruncatedPage);
+        assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn budget_is_the_only_unrecoverable_variant() {
+        let budget = IssueError::from(BudgetExhausted { limit: 3 });
+        assert!(budget.is_budget());
+        assert!(!budget.is_recoverable());
+        for e in [
+            IssueError::Transient(TransientFault::Http5xx),
+            IssueError::Transient(TransientFault::TruncatedPage),
+            IssueError::Transient(TransientFault::EmptyPage),
+            IssueError::Transient(TransientFault::ChargedNoAnswer),
+            IssueError::RateLimited { retry_after: 2 },
+            IssueError::Timeout,
+        ] {
+            assert!(!e.is_budget());
+            assert!(e.is_recoverable(), "{e} must be retryable");
+        }
     }
 }

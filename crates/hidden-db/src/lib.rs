@@ -57,6 +57,7 @@ pub mod budget;
 pub mod codec;
 pub mod database;
 pub mod errors;
+pub mod fault;
 pub mod index;
 pub mod interface;
 mod memo;
@@ -75,7 +76,11 @@ pub use codec::{read_snapshot, write_snapshot};
 pub use database::{
     EvalConfig, HiddenDatabase, IntersectPolicy, MaintenanceBudget, MaintenanceReport, TupleRef,
 };
-pub use errors::{BudgetExhausted, DbError, SchemaError};
+pub use errors::{BudgetExhausted, DbError, IssueError, SchemaError, TransientFault};
+pub use fault::{
+    FaultKind, FaultSchedule, FaultStats, FaultyBackend, RecoveryStats, ResilientBackend,
+    RetryPolicy,
+};
 pub use index::IndexMaintenance;
 pub use interface::{OutcomeClass, QueryOutcome};
 pub use memo::{InvalidationPolicy, DEFAULT_MEMO_CAPACITY};

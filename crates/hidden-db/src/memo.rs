@@ -69,12 +69,28 @@
 //! and served; any fails → the entry is dropped and the query re-scans
 //! from cold, exactly as before. Soundness leans on the demotion
 //! invariant that a stale entry's page slots are untouched since
-//! validation: a mutation touching a page slot records that tuple's full
-//! row, whose postings cover the query's predicates, so the entry is a
-//! candidate of that very mutation and the page check drops it hard.
-//! Only the state *at lookup* matters — a stale entry is never served
-//! between demotion and resurrection, so transient churn needs no
-//! tracking beyond the counters above.
+//! validation. Only the state *at lookup* matters — a stale entry is
+//! never served between demotion and resurrection, so transient churn
+//! needs no tracking beyond the counters above.
+//!
+//! ### Deferred reconciliation (PR 6)
+//!
+//! Stale entries used to stay in `by_posting` and absorb every matching
+//! mutation's footprint eagerly, which put ~30 bucket probes back on the
+//! pure-mutation hot path and collapsed insert+delete throughput by
+//! ~10× (the PR 5 regression). Demotion now **unlinks** the entry from
+//! the posting index, and the memo keeps a bounded, version-ordered
+//! **churn journal** of sealed footprints recorded while any stale entry
+//! exists. The entry's next lookup replays the journal suffix newer than
+//! its demotion stamp: a journalled page touch drops it hard (the same
+//! verdict the eager path produced, just deferred — the entry was never
+//! served in between), a predicate match folds churn and touched slots
+//! in, and only then does the re-check above run. A stale entry whose
+//! demotion stamp has been evicted off the journal's front cannot prove
+//! coverage and drops — bounded memory wins over maximal resurrection,
+//! exactly like the [`TouchedSet`] spill ladder. Mutations therefore pay
+//! one journal append (plus the fresh-entry candidate walk) no matter
+//! how many demoted entries are parked.
 //!
 //! ## Version stamps
 //!
@@ -180,68 +196,144 @@ fn pack_posting(attr: AttrId, value: ValueId) -> u64 {
     (u64::from(attr.0) << 32) | u64::from(value.0)
 }
 
-/// Exact touched-slot tracking caps out here and spills to segments.
+/// Exact touched-slot tracking caps out here (unique slots) and spills
+/// to segments.
 const TRACK_SLOTS_MAX: usize = 64;
 
-/// Touched-segment tracking caps out here and gives up (`Unbounded`).
+/// Touched-segment tracking caps out here (unique segments) and gives up
+/// (`Unbounded`).
 const TRACK_SEGS_MAX: usize = 16;
+
+/// Raw (unsorted, duplicates allowed) buffers compact when they exceed
+/// 4× their level's unique-count cap. PR 6 regression fix: `absorb` used
+/// to sort+dedup per demoted entry per mutation, which collapsed
+/// pure-mutation throughput by ~10×; now a mutation pays a plain append
+/// and the sort/dedup amortises over many absorptions.
+const RAW_SLOTS_MAX: usize = TRACK_SLOTS_MAX * 4;
+
+/// Raw cap of the segment level (see [`RAW_SLOTS_MAX`]).
+const RAW_SEGS_MAX: usize = TRACK_SEGS_MAX * 4;
 
 /// Where churn landed since an entry went stale, at decreasing precision
 /// as it accumulates. Bounded: a stale entry costs O(1) memory no matter
-/// how many rounds of churn pass before its next lookup.
+/// how many rounds of churn pass before its next lookup — the raw
+/// buffers never exceed their cap plus one footprint.
 #[derive(Debug, Clone, Default, PartialEq)]
 enum TouchedSet {
     /// Fresh entry (or just resurrected): nothing tracked.
     #[default]
     Empty,
-    /// Exact touched slots — the precise occupant-score re-check.
+    /// Touched slots (raw between compactions) — the precise
+    /// occupant-score re-check.
     Slots(Vec<Slot>),
-    /// Spilled to touched segments — the coarser max-score-bound
-    /// re-check (which segment compaction keeps tight).
+    /// Spilled to touched segments (raw between compactions) — the
+    /// coarser max-score-bound re-check (which segment compaction keeps
+    /// tight).
     Segments(Vec<u32>),
     /// Too much churn to track: the next lookup re-scans.
     Unbounded,
 }
 
 impl TouchedSet {
-    /// Folds a (sealed) footprint's touched slots in, degrading
-    /// precision when a level overflows its cap.
+    /// Folds a (sealed) footprint's touched slots in with a raw append;
+    /// classification (dedup + spill to the next precision level) is
+    /// deferred to [`TouchedSet::compact`], which runs only when the raw
+    /// buffer overflows its cap. The floor check tolerates unsorted,
+    /// duplicated lists, so compaction timing never affects a
+    /// revalidation verdict — only memory and mutation throughput.
     fn absorb(&mut self, footprint: &UpdateFootprint) {
+        self.absorb_slots(footprint.slots());
+    }
+
+    /// [`TouchedSet::absorb`] from a raw slot list (sorted + deduped, as
+    /// a sealed footprint's is) — the journal replay path folds stored
+    /// footprints in through here.
+    fn absorb_slots(&mut self, new: &[Slot]) {
         match self {
             Self::Unbounded => {}
             Self::Empty => {
-                *self = Self::Slots(footprint.slots().to_vec());
-                self.spill();
+                // Sealed footprints are sorted and deduped already.
+                *self = Self::Slots(new.to_vec());
+                self.compact();
             }
             Self::Slots(slots) => {
-                slots.extend_from_slice(footprint.slots());
-                slots.sort_unstable();
-                slots.dedup();
-                self.spill();
+                slots.extend_from_slice(new);
+                if slots.len() > RAW_SLOTS_MAX {
+                    self.compact();
+                }
             }
             Self::Segments(segs) => {
-                segs.extend(footprint.slots().iter().map(|&s| segment_of(s) as u32));
-                segs.sort_unstable();
-                segs.dedup();
-                self.spill();
+                segs.extend(new.iter().map(|&s| segment_of(s) as u32));
+                if segs.len() > RAW_SEGS_MAX {
+                    self.compact();
+                }
             }
         }
     }
 
-    fn spill(&mut self) {
+    /// Dedups the current level and spills to the next when the unique
+    /// count exceeds the level's cap.
+    fn compact(&mut self) {
         if let Self::Slots(slots) = self {
+            slots.sort_unstable();
+            slots.dedup();
             if slots.len() > TRACK_SLOTS_MAX {
-                let mut segs: Vec<u32> = slots.iter().map(|&s| segment_of(s) as u32).collect();
-                segs.sort_unstable();
-                segs.dedup();
+                let segs: Vec<u32> = slots.iter().map(|&s| segment_of(s) as u32).collect();
                 *self = Self::Segments(segs);
             }
         }
         if let Self::Segments(segs) = self {
+            segs.sort_unstable();
+            segs.dedup();
             if segs.len() > TRACK_SEGS_MAX {
                 *self = Self::Unbounded;
             }
         }
+    }
+}
+
+/// Caps on the churn journal: entry count, total stored slots, total
+/// stored postings. Comfortably above what accrues between two lookups
+/// of any estimator workload; an adversarial stale-and-never-look-up
+/// stream just evicts from the front and forfeits resurrection.
+const JOURNAL_ENTRIES_MAX: usize = 1024;
+
+/// Total touched-slot cap across the journal (see [`JOURNAL_ENTRIES_MAX`]).
+const JOURNAL_SLOTS_MAX: usize = 8192;
+
+/// Total touched-posting cap across the journal (see
+/// [`JOURNAL_ENTRIES_MAX`]).
+const JOURNAL_POSTINGS_MAX: usize = 16384;
+
+/// One mutation's sealed footprint, retained so stale entries reconcile
+/// churn at their next lookup instead of being walked on the mutation
+/// hot path (see "Deferred reconciliation" in the module docs).
+#[derive(Debug, Clone)]
+struct JournalEntry {
+    /// Post-mutation database version (unique per mutation).
+    version: u64,
+    /// Elementary changes in the mutation (not deduped) — the margin
+    /// charge for every stale entry the mutation can have affected.
+    rows: u64,
+    /// Touched postings, sorted + deduped (copied from the sealed
+    /// footprint).
+    postings: Vec<(AttrId, ValueId)>,
+    /// Touched slots, sorted + deduped.
+    slots: Vec<Slot>,
+}
+
+impl JournalEntry {
+    /// [`UpdateFootprint::affects_query`] over the stored footprint.
+    fn affects_query(&self, query: &ConjunctiveQuery) -> bool {
+        if query.is_empty() {
+            return !(self.postings.is_empty() && self.slots.is_empty());
+        }
+        query.predicates().iter().any(|p| self.postings.binary_search(&(p.attr, p.value)).is_ok())
+    }
+
+    /// [`UpdateFootprint::affects_page`] over the stored footprint.
+    fn affects_page(&self, page_slots: &[Slot]) -> bool {
+        page_slots.iter().any(|s| self.slots.binary_search(s).is_ok())
     }
 }
 
@@ -250,12 +342,16 @@ impl TouchedSet {
 struct MemoEntry {
     query: ConjunctiveQuery,
     eval: CachedEval,
-    /// Database version at which this entry was last validated.
+    /// Database version at which this entry was last validated — or, for
+    /// a stale entry, the version whose churn it has folded in so far
+    /// (set at demotion, advanced by journal replay): the journal-replay
+    /// low-water mark.
     stamp: u64,
     /// CLOCK referenced bit: set on hit, cleared by the sweep.
     referenced: bool,
     /// Demoted by an invalidation pass; must pass the lookup-time
-    /// re-check before it may be served again.
+    /// re-check before it may be served again. A stale entry is unlinked
+    /// from `by_posting` (stale ⟺ unlinked), so mutations never walk it.
     stale: bool,
     /// Rows churned since demotion (upper bound on matching tuples
     /// lost) — the classification margin.
@@ -298,6 +394,19 @@ pub(crate) struct QueryMemo {
     /// Reusable candidate buffer for invalidation passes (mutation hot
     /// path: no allocation per mutation).
     scratch: Vec<u64>,
+    /// Churn journal: sealed footprints of mutations that ran while any
+    /// entry was stale, in version order. Replayed by
+    /// [`QueryMemo::get_or_revalidate`] to reconcile a stale entry
+    /// before its re-check; bounded by the `JOURNAL_*_MAX` caps.
+    journal: VecDeque<JournalEntry>,
+    /// Running total of slots stored across `journal`.
+    journal_slots: usize,
+    /// Running total of postings stored across `journal`.
+    journal_postings: usize,
+    /// Highest version dropped off the journal's front (or skipped while
+    /// revalidation was toggled off). A stale entry demoted at or before
+    /// this version cannot prove coverage and fails its re-check.
+    journal_evicted_through: u64,
 }
 
 impl Default for QueryMemo {
@@ -315,6 +424,10 @@ impl Default for QueryMemo {
             revalidate: true,
             stats: MemoStats::default(),
             scratch: Vec::new(),
+            journal: VecDeque::new(),
+            journal_slots: 0,
+            journal_postings: 0,
+            journal_evicted_through: 0,
         }
     }
 }
@@ -383,15 +496,20 @@ impl QueryMemo {
             .and_then(|b| b.iter().find(|e| e.query == *query))
             .map(|e| e.stale)?;
         if stale {
-            let passes = {
-                let entry = self
-                    .buckets
-                    .get(&hash)
-                    .and_then(|b| b.iter().find(|e| e.query == *query))
+            let passes = self.revalidate && {
+                // Deferred reconciliation: fold every journalled
+                // mutation since demotion into the entry's churn record
+                // before the re-check runs (see the module docs).
+                let Self { ref journal, journal_evicted_through, ref mut buckets, .. } = *self;
+                let entry = buckets
+                    .get_mut(&hash)
+                    .and_then(|b| b.iter_mut().find(|e| e.query == *query))
                     .expect("entry probed above");
-                self.revalidate && Self::revalidation_passes(entry, store)
+                Self::reconcile(entry, journal, journal_evicted_through)
+                    && Self::revalidation_passes(entry, store)
             };
-            let bucket = self.buckets.get_mut(&hash).expect("bucket probed above");
+            let Self { ref mut buckets, ref mut by_posting, .. } = *self;
+            let bucket = buckets.get_mut(&hash).expect("bucket probed above");
             let idx = bucket.iter().position(|e| e.query == *query).expect("entry probed above");
             if passes {
                 let entry = &mut bucket[idx];
@@ -408,14 +526,19 @@ impl QueryMemo {
                 entry.churn = 0;
                 entry.touched = TouchedSet::Empty;
                 entry.stamp = version;
+                // Re-enter the posting index (demotion unlinked it).
+                for p in entry.query.predicates() {
+                    by_posting.entry(pack_posting(p.attr, p.value)).or_default().push(hash);
+                }
                 self.stale_len -= 1;
                 self.stats.resurrected += 1;
             } else {
-                let entry = bucket.swap_remove(idx);
+                // No unlink: demotion already removed the entry from
+                // `by_posting` (stale ⟺ unlinked).
+                bucket.swap_remove(idx);
                 self.len -= 1;
                 self.stale_len -= 1;
                 self.stats.revalidation_failed += 1;
-                Self::unlink(&mut self.by_posting, hash, &entry.query);
                 if bucket.is_empty() {
                     self.buckets.remove(&hash);
                 }
@@ -423,6 +546,41 @@ impl QueryMemo {
             }
         }
         self.get_mut(hash, query, version)
+    }
+
+    /// Folds every journalled mutation newer than the entry's replay
+    /// low-water mark (`stamp`) into its churn/touched record, in
+    /// version order. Returns `false` when the entry cannot be proven
+    /// reconcilable: the journal no longer covers its demotion (front
+    /// evicted past `stamp`) or a journalled mutation touched its cached
+    /// page — the same hard-drop verdict the eager path used to issue at
+    /// mutation time, just deferred to the first lookup (sound because a
+    /// stale entry is never served in between).
+    fn reconcile(
+        entry: &mut MemoEntry,
+        journal: &VecDeque<JournalEntry>,
+        evicted_through: u64,
+    ) -> bool {
+        debug_assert!(entry.stale, "only stale entries reconcile");
+        if evicted_through > entry.stamp {
+            return false;
+        }
+        let start = journal.partition_point(|j| j.version <= entry.stamp);
+        for j in journal.iter().skip(start) {
+            if j.affects_page(&entry.eval.slots) {
+                return false;
+            }
+            if j.affects_query(&entry.query) {
+                entry.churn = entry.churn.saturating_add(j.rows);
+                entry.touched.absorb_slots(&j.slots);
+            }
+        }
+        // Advance the low-water mark so a future replay (after further
+        // demote-free mutations) cannot double-count this suffix.
+        if let Some(last) = journal.back() {
+            entry.stamp = entry.stamp.max(last.version);
+        }
+        true
     }
 
     /// The lookup-time re-check behind cross-round revalidation (see the
@@ -555,7 +713,10 @@ impl QueryMemo {
                     self.len -= entries.len();
                     self.stale_len -= entries.iter().filter(|e| e.stale).count();
                     self.stats.evicted += entries.len() as u64;
-                    for e in &entries {
+                    // Stale entries were already unlinked at demotion;
+                    // unlinking them again would steal a bucket mate's
+                    // registration under any shared posting.
+                    for e in entries.iter().filter(|e| !e.stale) {
                         Self::unlink(&mut self.by_posting, hash, &e.query);
                     }
                     return;
@@ -624,15 +785,19 @@ impl QueryMemo {
             let (by_posting, len, stale_len, stats) =
                 (&mut self.by_posting, &mut self.len, &mut self.stale_len, &mut self.stats);
             entries.retain_mut(|e| {
+                if e.stale {
+                    // Already demoted: unlinked from `by_posting`, so it
+                    // is only reachable here as a bucket mate (hash
+                    // collision) or via the root bucket. Its churn since
+                    // demotion comes from the journal at its next
+                    // lookup — the mutation pays nothing for it.
+                    return true;
+                }
                 let page_hit = footprint.affects_page(&e.eval.slots);
                 if !page_hit && !footprint.affects_query(&e.query) {
-                    // Explicitly checked and retained. A fresh entry is
-                    // validated at the new version; a stale one keeps
-                    // its demotion state — this mutation cannot have
-                    // affected it, so no churn accrues either.
-                    if !e.stale {
-                        e.stamp = version;
-                    }
+                    // Explicitly checked and retained: validated at the
+                    // new version.
+                    e.stamp = version;
                     return true;
                 }
                 // Affected. An overflow page the churn provably spared
@@ -642,19 +807,21 @@ impl QueryMemo {
                 // invariant that a stale entry's page slots are
                 // untouched since validation.
                 if revalidate && e.eval.overflow && !page_hit {
-                    if !e.stale {
-                        e.stale = true;
-                        *stale_len += 1;
-                        stats.demoted += 1;
-                    }
+                    e.stale = true;
+                    *stale_len += 1;
+                    stats.demoted += 1;
+                    // The demoting footprint is absorbed eagerly (it is
+                    // in hand) and `stamp` records the demotion version:
+                    // the journal-replay low-water mark. Everything
+                    // after this mutation reaches the entry through the
+                    // journal, so drop it from the posting index.
+                    e.stamp = version;
                     e.churn = e.churn.saturating_add(footprint.rows() as u64);
                     e.touched.absorb(footprint);
+                    Self::unlink(by_posting, hash, &e.query);
                     return true;
                 }
                 *len -= 1;
-                if e.stale {
-                    *stale_len -= 1;
-                }
                 stats.invalidated += 1;
                 Self::unlink(by_posting, hash, &e.query);
                 false
@@ -667,7 +834,35 @@ impl QueryMemo {
         // Entries surviving this pass (len_before minus dropped).
         debug_assert!(self.len <= len_before);
         self.stats.retained += self.len as u64;
+        if revalidate && self.stale_len > 0 {
+            self.journal_push(footprint, version);
+        }
         self.maybe_compact_clock();
+    }
+
+    /// Appends a sealed footprint to the churn journal, evicting from
+    /// the front when any cap is exceeded. An entry demoted at or before
+    /// an evicted version can no longer prove coverage and drops at its
+    /// next lookup — bounded memory wins over maximal resurrection,
+    /// exactly like the [`TouchedSet`] spill ladder.
+    fn journal_push(&mut self, footprint: &UpdateFootprint, version: u64) {
+        self.journal.push_back(JournalEntry {
+            version,
+            rows: footprint.rows() as u64,
+            postings: footprint.postings().to_vec(),
+            slots: footprint.slots().to_vec(),
+        });
+        self.journal_slots += footprint.slots().len();
+        self.journal_postings += footprint.postings().len();
+        while self.journal.len() > JOURNAL_ENTRIES_MAX
+            || self.journal_slots > JOURNAL_SLOTS_MAX
+            || self.journal_postings > JOURNAL_POSTINGS_MAX
+        {
+            let old = self.journal.pop_front().expect("over-cap journal is non-empty");
+            self.journal_slots -= old.slots.len();
+            self.journal_postings -= old.postings.len();
+            self.journal_evicted_through = old.version;
+        }
     }
 
     /// Bounds the CLOCK ring. Invalidation removes buckets without
@@ -693,6 +888,10 @@ impl QueryMemo {
         self.clock.clear();
         self.len = 0;
         self.stale_len = 0;
+        self.journal.clear();
+        self.journal_slots = 0;
+        self.journal_postings = 0;
+        self.journal_evicted_through = self.root_stamp;
         self.stats.wholesale_clears += 1;
         // posting_stamp / root_stamp deliberately survive: they describe
         // mutation history, not cache contents.
@@ -700,8 +899,17 @@ impl QueryMemo {
 
     /// Toggles stale-entry demotion/revalidation. Turning it off also
     /// refuses to resurrect entries demoted while it was on (they drop
-    /// lazily at their next lookup).
+    /// lazily at their next lookup). Any toggle resets the churn journal
+    /// and poisons coverage up to the current version: mutations during
+    /// an off window are not journalled, so entries demoted before the
+    /// window must not resurrect with that gap unaccounted.
     pub(crate) fn set_revalidate(&mut self, on: bool) {
+        if on != self.revalidate {
+            self.journal.clear();
+            self.journal_slots = 0;
+            self.journal_postings = 0;
+            self.journal_evicted_through = self.root_stamp;
+        }
         self.revalidate = on;
     }
 
@@ -1117,6 +1325,117 @@ mod tests {
     }
 
     #[test]
+    fn demotion_unlinks_from_the_posting_index_and_resurrection_relinks() {
+        // The PR 6 throughput fix: a parked stale entry must not appear
+        // in `by_posting`, so pure-mutation passes never walk it.
+        let (store, slots) = store_with(&[(1, 0, 100), (2, 0, 90), (3, 0, 10)]);
+        let mut memo = QueryMemo::default();
+        let query = q(&[(0, 0)]);
+        let h = QueryMemo::hash_of(&query);
+        let key = pack_posting(AttrId(0), ValueId(0));
+        memo.insert(h, &query, overflow_eval(vec![slots[0], slots[1]], 5, 90), 1);
+        assert!(memo.by_posting.get(&key).is_some_and(|v| v.contains(&h)));
+        memo.invalidate(&mut fp(slots[2], &[0]), 2);
+        assert_eq!(memo.stale_len(), 1);
+        assert!(
+            memo.by_posting.get(&key).is_none_or(|v| !v.contains(&h)),
+            "stale entries must leave the posting index"
+        );
+        assert!(memo.get_or_revalidate(h, &query, 2, &store).is_some(), "resurrects");
+        assert!(
+            memo.by_posting.get(&key).is_some_and(|v| v.contains(&h)),
+            "resurrection must re-enter the posting index"
+        );
+        // And invalidation reaches it again afterwards: a page hit drops.
+        memo.invalidate(&mut fp(slots[0], &[0]), 3);
+        assert_eq!(memo.len(), 0);
+    }
+
+    #[test]
+    fn journal_replay_charges_churn_missed_while_unlinked() {
+        // matched 9, page of 2: three below-floor single-row mutations
+        // after demotion leave margin 9-3 > 2 — resurrect with the full
+        // charge folded in from the journal (the entry was unlinked for
+        // mutations 2 and 3).
+        let (store, slots) =
+            store_with(&[(1, 0, 100), (2, 0, 90), (3, 0, 10), (4, 0, 20), (5, 0, 30)]);
+        let mut memo = QueryMemo::default();
+        let query = q(&[(0, 0)]);
+        let h = QueryMemo::hash_of(&query);
+        memo.insert(h, &query, overflow_eval(vec![slots[0], slots[1]], 9, 90), 1);
+        memo.invalidate(&mut fp(slots[2], &[0]), 2);
+        memo.invalidate(&mut fp(slots[3], &[0]), 3);
+        memo.invalidate(&mut fp(slots[4], &[0]), 4);
+        let eval = memo.get_or_revalidate(h, &query, 4, &store).expect("margin holds");
+        assert_eq!(
+            eval.matched, 6,
+            "all three churned rows must be charged, not just the demoting one"
+        );
+    }
+
+    #[test]
+    fn journalled_page_hit_drops_the_stale_entry_at_lookup() {
+        // After demotion the entry is unlinked, so a later mutation that
+        // touches one of its page slots cannot hard-drop it at mutation
+        // time — the journal replay must deliver that verdict at lookup.
+        let (store, slots) = store_with(&[(1, 0, 100), (2, 0, 90), (3, 0, 10)]);
+        let mut memo = QueryMemo::default();
+        let query = q(&[(0, 0)]);
+        let h = QueryMemo::hash_of(&query);
+        memo.insert(h, &query, overflow_eval(vec![slots[0], slots[1]], 9, 90), 1);
+        memo.invalidate(&mut fp(slots[2], &[0]), 2);
+        assert_eq!(memo.stale_len(), 1);
+        memo.invalidate(&mut fp(slots[0], &[0]), 3);
+        assert_eq!(memo.stale_len(), 1, "page hit is deferred, not applied at mutation time");
+        assert!(memo.get_or_revalidate(h, &query, 3, &store).is_none(), "refuted at lookup");
+        assert_eq!(memo.len(), 0);
+        assert_eq!(memo.stats().revalidation_failed, 1);
+    }
+
+    #[test]
+    fn journal_eviction_forfeits_resurrection() {
+        // Blow past the journal's entry cap with mutations that cannot
+        // have affected the parked entry: coverage of its demotion
+        // version is lost, so the lookup must refuse to resurrect.
+        let (store, slots) = store_with(&[(1, 0, 100), (2, 0, 90), (3, 0, 10)]);
+        let mut memo = QueryMemo::default();
+        let query = q(&[(0, 0)]);
+        let h = QueryMemo::hash_of(&query);
+        memo.insert(h, &query, overflow_eval(vec![slots[0], slots[1]], 1000, 90), 1);
+        memo.invalidate(&mut fp(slots[2], &[0]), 2);
+        for i in 0..(JOURNAL_ENTRIES_MAX as u64 + 8) {
+            // Distinct value, untouched pages: irrelevant to the entry.
+            memo.invalidate(&mut fp(1_000 + i as u32, &[7]), 3 + i);
+        }
+        assert!(
+            memo.get_or_revalidate(h, &query, JOURNAL_ENTRIES_MAX as u64 + 16, &store).is_none(),
+            "evicted journal coverage must fail closed"
+        );
+        assert_eq!(memo.stats().revalidation_failed, 1);
+    }
+
+    #[test]
+    fn revalidation_toggle_poisons_journal_coverage() {
+        // Mutations during an off window are not journalled; an entry
+        // demoted before the window must not resurrect with that gap
+        // unaccounted, even if every mutation stayed below the floor.
+        let (store, slots) = store_with(&[(1, 0, 100), (2, 0, 90), (3, 0, 10), (4, 0, 20)]);
+        let mut memo = QueryMemo::default();
+        let query = q(&[(0, 0)]);
+        let h = QueryMemo::hash_of(&query);
+        memo.insert(h, &query, overflow_eval(vec![slots[0], slots[1]], 9, 90), 1);
+        memo.invalidate(&mut fp(slots[2], &[0]), 2);
+        assert_eq!(memo.stale_len(), 1);
+        memo.set_revalidate(false);
+        memo.invalidate(&mut fp(slots[3], &[0]), 3);
+        memo.set_revalidate(true);
+        assert!(
+            memo.get_or_revalidate(h, &query, 3, &store).is_none(),
+            "the off-window mutation left an unjournalled gap"
+        );
+    }
+
+    #[test]
     fn touched_tracking_spills_from_slots_to_segments_to_unbounded() {
         let mut touched = TouchedSet::Empty;
         let mut footprint = UpdateFootprint::default();
@@ -1127,17 +1446,19 @@ mod tests {
         footprint.seal();
         touched.absorb(&footprint);
         assert!(matches!(&touched, TouchedSet::Slots(v) if v.len() == 4));
-        // Blow past the slot cap within one segment: spills to segments.
+        // One footprint past the raw slot cap within one segment: the
+        // overflow triggers compaction, which spills to segments.
         let mut footprint = UpdateFootprint::default();
-        for slot in 0..(TRACK_SLOTS_MAX as u32 + 8) {
+        for slot in 0..(RAW_SLOTS_MAX as u32 + 8) {
             footprint.record(slot, &[ValueId(0)]);
         }
         footprint.seal();
         touched.absorb(&footprint);
+        touched.compact();
         assert!(matches!(&touched, TouchedSet::Segments(v) if v.len() == 1));
-        // Blow past the segment cap: unbounded.
+        // Blow past the raw segment cap: unbounded.
         let mut footprint = UpdateFootprint::default();
-        for seg in 0..(TRACK_SEGS_MAX as u32 + 8) {
+        for seg in 0..(RAW_SEGS_MAX as u32 + 8) {
             footprint.record(seg * crate::store::SEGMENT_SLOTS as u32, &[ValueId(0)]);
         }
         footprint.seal();
@@ -1146,6 +1467,30 @@ mod tests {
         // Unbounded absorbs anything and stays unbounded.
         touched.absorb(&footprint);
         assert!(matches!(touched, TouchedSet::Unbounded));
+    }
+
+    #[test]
+    fn touched_tracking_amortises_absorbs_and_stays_bounded() {
+        // The PR 6 throughput fix: repeated small absorptions must not
+        // sort/dedup each time, yet the raw buffer must stay bounded and
+        // the unique-slot classification must survive compaction.
+        let mut touched = TouchedSet::Empty;
+        let mut footprint = UpdateFootprint::default();
+        for slot in 0..4u32 {
+            footprint.record(slot, &[ValueId(0)]);
+        }
+        footprint.seal();
+        for _ in 0..10_000 {
+            touched.absorb(&footprint);
+            match &touched {
+                TouchedSet::Slots(v) => {
+                    assert!(v.len() <= RAW_SLOTS_MAX + 4, "raw buffer leaked: {}", v.len())
+                }
+                other => panic!("4 unique slots must stay at the Slots level, got {other:?}"),
+            }
+        }
+        touched.compact();
+        assert!(matches!(&touched, TouchedSet::Slots(v) if v.len() == 4));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::budget::QueryBudget;
 use crate::database::HiddenDatabase;
-use crate::errors::BudgetExhausted;
+use crate::errors::IssueError;
 use crate::interface::QueryOutcome;
 use crate::query::ConjunctiveQuery;
 use crate::schema::Schema;
@@ -23,7 +23,13 @@ pub trait SearchBackend {
     fn k(&self) -> usize;
 
     /// Issues one search query, charging one unit of budget.
-    fn issue(&mut self, query: &ConjunctiveQuery) -> Result<QueryOutcome, BudgetExhausted>;
+    ///
+    /// Since PR 6 the error type is the full [`IssueError`] taxonomy:
+    /// an in-process session only ever raises
+    /// [`IssueError::BudgetExhausted`], but fault-injecting and remote
+    /// adapters surface transient errors, rate limits, and timeouts
+    /// through the same signature.
+    fn issue(&mut self, query: &ConjunctiveQuery) -> Result<QueryOutcome, IssueError>;
 
     /// Queries remaining in this round's budget.
     fn remaining(&self) -> u64;
@@ -65,7 +71,7 @@ impl SearchBackend for SearchSession<'_> {
         self.db.k()
     }
 
-    fn issue(&mut self, query: &ConjunctiveQuery) -> Result<QueryOutcome, BudgetExhausted> {
+    fn issue(&mut self, query: &ConjunctiveQuery) -> Result<QueryOutcome, IssueError> {
         self.budget.charge()?;
         Ok(self.db.answer(query))
     }
@@ -104,7 +110,8 @@ mod tests {
         assert_eq!(s.remaining(), 1);
         assert!(s.issue(&root).is_ok());
         assert_eq!(s.remaining(), 0);
-        assert!(s.issue(&root).is_err());
+        let err = s.issue(&root).unwrap_err();
+        assert!(err.is_budget(), "a plain session only ever raises budget errors: {err}");
         assert_eq!(s.spent(), 2);
     }
 

@@ -2,7 +2,7 @@
 //! estimator of \[13\], reused by RESTART) and *resumed* drill-downs that
 //! start from the previous round's terminal node (REISSUE/RS, §3.1).
 
-use hidden_db::errors::BudgetExhausted;
+use hidden_db::errors::IssueError;
 use hidden_db::interface::QueryOutcome;
 use hidden_db::session::SearchBackend;
 
@@ -52,11 +52,15 @@ impl DrillOutcome {
 
 /// Performs a fresh drill-down: issue the path's nodes root-first until one
 /// does not overflow (§3.1).
+///
+/// Errors abort the drill-down mid-path: budget exhaustion is terminal
+/// for the round, and an unrecovered interface fault (PR 6) surfaces the
+/// same way — the caller treats both as a resumable interruption.
 pub fn drill_from_root<B: SearchBackend + ?Sized>(
     tree: &QueryTree,
     sig: &Signature,
     backend: &mut B,
-) -> Result<DrillOutcome, BudgetExhausted> {
+) -> Result<DrillOutcome, IssueError> {
     descend(tree, sig, 0, 0, backend)
 }
 
@@ -68,7 +72,7 @@ fn descend<B: SearchBackend + ?Sized>(
     from_depth: usize,
     base_cost: u64,
     backend: &mut B,
-) -> Result<DrillOutcome, BudgetExhausted> {
+) -> Result<DrillOutcome, IssueError> {
     let mut cost = base_cost;
     let mut depth = from_depth;
     loop {
@@ -94,7 +98,7 @@ pub fn resume_from<B: SearchBackend + ?Sized>(
     prev_depth: usize,
     policy: ReissuePolicy,
     backend: &mut B,
-) -> Result<DrillOutcome, BudgetExhausted> {
+) -> Result<DrillOutcome, IssueError> {
     assert!(
         prev_depth <= tree.depth(),
         "previous depth {prev_depth} exceeds tree depth {}",

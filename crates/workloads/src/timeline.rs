@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 
 use hidden_db::budget::QueryBudget;
 use hidden_db::database::HiddenDatabase;
-use hidden_db::errors::BudgetExhausted;
+use hidden_db::errors::IssueError;
 use hidden_db::interface::QueryOutcome;
 use hidden_db::query::ConjunctiveQuery;
 use hidden_db::schema::Schema;
@@ -143,7 +143,7 @@ impl SearchBackend for IntraRoundSession<'_> {
         self.db.k()
     }
 
-    fn issue(&mut self, query: &ConjunctiveQuery) -> Result<QueryOutcome, BudgetExhausted> {
+    fn issue(&mut self, query: &ConjunctiveQuery) -> Result<QueryOutcome, IssueError> {
         self.budget.charge()?;
         self.apply_due();
         Ok(self.db.answer(query))

@@ -32,14 +32,14 @@ pub use workloads;
 pub mod prelude {
     pub use agg_stats::{relative_error, SeriesSummary};
     pub use aggtrack_core::{
-        AggKind, AggregateSpec, ArchivingTracker, Estimator, MultiTracker, ReissueEstimator,
-        RestartEstimator, RoundReport, RsConfig, RsEstimator, RunningAverage, StratifiedEstimator,
-        TrackingTarget, TupleFilter, TupleFn, WorkloadReport,
+        AggKind, AggregateSpec, ArchivingTracker, Degraded, Estimator, MultiTracker,
+        ReissueEstimator, RestartEstimator, RoundReport, RsConfig, RsEstimator, RunningAverage,
+        StratifiedEstimator, TrackingTarget, TupleFilter, TupleFn, WorkloadReport,
     };
     pub use hidden_db::{
-        AttrId, ConjunctiveQuery, HiddenDatabase, MeasureId, Predicate, QueryOutcome, Schema,
-        ScoringPolicy, SearchBackend, SearchSession, Tuple, TupleKey, TupleView, UpdateBatch,
-        ValueId,
+        AttrId, ConjunctiveQuery, FaultSchedule, FaultyBackend, HiddenDatabase, IssueError,
+        MeasureId, Predicate, QueryOutcome, ResilientBackend, RetryPolicy, Schema, ScoringPolicy,
+        SearchBackend, SearchSession, Tuple, TupleKey, TupleView, UpdateBatch, ValueId,
     };
     pub use query_tree::{QueryTree, ReissuePolicy, Signature};
     pub use workloads::{

@@ -1,0 +1,187 @@
+//! Chaos oracle for the PR 6 fault/recovery stack: whenever the recovery
+//! layer cures every injected fault, the estimation pipeline must be
+//! **bit-identical** to the fault-free run — faults may only consume
+//! budget, never change answers.
+//!
+//! Why drill-level bit-identity is the right oracle: every fault kind is
+//! an `Err` variant of [`IssueError`] (truncated/empty pages surface as
+//! detectable transient errors, never as corrupted `Ok` pages), so a
+//! recovered run's sequence of `Ok` outcomes is structurally the true
+//! sequence. The default schedule caps fault bursts at 4 consecutive
+//! injections while the default retry policy allows 8 retries, so
+//! default-on-default recovery always succeeds.
+
+use aggtrack::core::{ht_sample, AggregateSpec};
+use aggtrack::prelude::*;
+use hidden_db::database::HiddenDatabase;
+use hidden_db::fault::FaultKind;
+use proptest::prelude::*;
+use query_tree::{drill_from_root, enumerate_all};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_db(seed: u64, n: u64, k: usize) -> HiddenDatabase {
+    let schema = Schema::with_domain_sizes(&[2, 3, 2], &["m"]).unwrap();
+    let mut db = HiddenDatabase::new(schema, k, ScoringPolicy::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for t in 0..n {
+        db.insert(Tuple::new(
+            TupleKey(t),
+            vec![
+                ValueId(rng.random_range(0..2)),
+                ValueId(rng.random_range(0..3)),
+                ValueId(rng.random_range(0..2)),
+            ],
+            vec![rng.random_range(1..100) as f64],
+        ))
+        .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // For random recoverable fault schedules, every drill-down through
+    // the FaultyBackend + ResilientBackend stack returns the exact
+    // outcome of the fault-free run: same terminal depth, same
+    // estimator-visible cost, bitwise-equal HT sample.
+    #[test]
+    fn recovered_faults_never_change_drill_outcomes(
+        db_seed in 0u64..40,
+        fault_seed in 0u64..10_000,
+        rate in 0.05f64..0.6,
+    ) {
+        let mut db = random_db(db_seed, 40, 16);
+        let tree = QueryTree::full(&db.schema().clone());
+        let sigs = enumerate_all(&tree);
+        let spec = AggregateSpec::sum_measure(MeasureId(0), ConjunctiveQuery::select_all());
+
+        // Fault-free reference series.
+        let mut reference = Vec::with_capacity(sigs.len());
+        for sig in &sigs {
+            let mut s = SearchSession::unlimited(&mut db);
+            let out = drill_from_root(&tree, sig, &mut s).unwrap();
+            let sample = ht_sample(&spec, &tree, &out);
+            reference.push((out.depth, out.cost, sample.count.to_bits(), sample.sum.to_bits()));
+        }
+
+        // Same drills through the chaos stack.
+        for (i, sig) in sigs.iter().enumerate() {
+            let session = SearchSession::unlimited(&mut db);
+            let faulty =
+                FaultyBackend::new(session, FaultSchedule::seeded(fault_seed ^ i as u64, rate));
+            let mut resilient =
+                ResilientBackend::new(faulty, RetryPolicy::default(), fault_seed ^ 0x5EED);
+            let out = drill_from_root(&tree, sig, &mut resilient).unwrap();
+            let sample = ht_sample(&spec, &tree, &out);
+            let stats = resilient.stats();
+            prop_assert_eq!(stats.gave_up, 0, "default-on-default recovery must always succeed");
+            let (depth, cost, count_bits, sum_bits) = reference[i];
+            prop_assert_eq!(out.depth, depth);
+            prop_assert_eq!(out.cost, cost, "retries must be invisible to estimator-side cost");
+            prop_assert_eq!(sample.count.to_bits(), count_bits);
+            prop_assert_eq!(sample.sum.to_bits(), sum_bits);
+        }
+    }
+
+    // Budget accounting under faults: the inner session's `spent` must
+    // equal served queries plus the fault taxonomy's burn (0 for rate
+    // limits, 1 for transients/timeouts, 2 for charged-no-answer) — every
+    // issued attempt is charged, nothing else is.
+    #[test]
+    fn every_retry_is_charged_to_the_budget(
+        db_seed in 0u64..40,
+        fault_seed in 0u64..10_000,
+        rate in 0.05f64..0.6,
+        g in 30u64..150,
+    ) {
+        let mut db = random_db(db_seed, 40, 16);
+        let tree = QueryTree::full(&db.schema().clone());
+        let spec = AggregateSpec::count_star();
+        let mut est = ReissueEstimator::new(spec, tree, db_seed ^ 0xE57);
+
+        let session = SearchSession::new(&mut db, g);
+        let before = session.budget();
+        let faulty = FaultyBackend::new(session, FaultSchedule::seeded(fault_seed, rate));
+        let mut resilient =
+            ResilientBackend::new(faulty, RetryPolicy::default(), fault_seed ^ 0x1ABE);
+        let report = est.run_round(&mut resilient);
+
+        let recovery = resilient.stats();
+        let faulty = resilient.into_inner();
+        let fault_stats = faulty.stats();
+        let session = faulty.into_inner();
+
+        // Recovered-by-construction: no degradation, no give-ups mid-budget.
+        prop_assert!(report.degraded.is_none());
+        // Every attempt (served or burned) hits the same budget.
+        let spent = session.budget().spent_since(&before);
+        prop_assert_eq!(session.budget().spent(), spent);
+        prop_assert!(spent <= g);
+        prop_assert_eq!(spent, fault_stats.served + fault_stats.queries_burned);
+        // The recovery layer's own burn ledger agrees with the injector's
+        // (modulo a final attempt cut short by budget exhaustion).
+        prop_assert!(recovery.queries_burned <= fault_stats.queries_burned);
+        // The estimator saw only real outcomes, so its spent-counter view
+        // (through the resilient wrapper) matches the inner session.
+        prop_assert_eq!(report.queries_spent, spent);
+    }
+}
+
+/// Deterministic spot-check (not property-based): a recovered fault storm
+/// across estimator rounds leaves reports untagged, within budget, and
+/// non-panicking for all three estimators.
+#[test]
+fn estimators_survive_recovered_fault_storms_untagged() {
+    let mut db = random_db(7, 60, 16);
+    let tree = QueryTree::full(&db.schema().clone());
+    let spec = AggregateSpec::count_star();
+    let mut reissue = ReissueEstimator::new(spec.clone(), tree.clone(), 1);
+    let mut restart = RestartEstimator::new(spec.clone(), tree.clone(), 2);
+    let mut rs = RsEstimator::new(spec, tree, 3);
+    for round in 0..4u64 {
+        for (est, tag) in [
+            (&mut reissue as &mut dyn Estimator, "reissue"),
+            (&mut restart, "restart"),
+            (&mut rs, "rs"),
+        ] {
+            let session = SearchSession::new(&mut db, 150);
+            let faulty = FaultyBackend::new(session, FaultSchedule::seeded(round ^ 0xFA, 0.3));
+            let mut resilient = ResilientBackend::new(faulty, RetryPolicy::default(), round);
+            let r = est.run_round(&mut resilient);
+            assert!(r.degraded.is_none(), "{tag}: recovered faults must not degrade");
+            assert!(r.queries_spent <= 150, "{tag}: budget cap");
+            assert_eq!(resilient.stats().gave_up, 0, "{tag}: recovery must succeed");
+        }
+    }
+}
+
+/// An unrecoverable storm (infinite burst, starved retry policy) must
+/// degrade gracefully — tagged partial reports, never a panic — and the
+/// budget consumed by the doomed retries is visible in `spent`.
+#[test]
+fn unrecoverable_storms_degrade_gracefully() {
+    let mut db = random_db(11, 60, 16);
+    let tree = QueryTree::full(&db.schema().clone());
+    let mut est = ReissueEstimator::new(AggregateSpec::count_star(), tree, 4);
+    {
+        let mut s = SearchSession::new(&mut db, 150);
+        let r = est.run_round(&mut s);
+        assert!(r.degraded.is_none());
+    }
+    let session = SearchSession::new(&mut db, 150);
+    let schedule = FaultSchedule::always(FaultKind::ChargedNoAnswer).with_max_consecutive(u32::MAX);
+    let faulty = FaultyBackend::new(session, schedule);
+    let policy = RetryPolicy { max_retries: 2, ..RetryPolicy::default() };
+    let mut resilient = ResilientBackend::new(faulty, policy, 9);
+    let r = est.run_round(&mut resilient);
+    let tag = r.degraded.expect("give-ups must tag the round");
+    assert!(tag.queries_lost > 0);
+    assert!(resilient.stats().gave_up > 0);
+    // ChargedNoAnswer burns 2 per injection and a give-up cycle is 3
+    // attempts (1 + 2 retries); the estimator is interrupted twice — once
+    // in its update pass and once in the fresh-drill pass — so the doomed
+    // round charges exactly 2 cycles x 3 attempts x 2 queries.
+    assert_eq!(r.queries_spent, 12);
+}

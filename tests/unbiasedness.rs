@@ -233,6 +233,90 @@ fn maintenance_between_estimator_rounds_changes_nothing_bitwise() {
 }
 
 #[test]
+fn recovered_fault_storms_change_nothing_bitwise() {
+    // The PR 6 satellite of Theorem 3.1: interpose the fault-injection +
+    // deterministic-recovery stack (FaultyBackend + ResilientBackend)
+    // between the drill code and the database, under schedules whose
+    // faults are always recovered. The per-signature REISSUE and RESTART
+    // series must be bit-identical to the fault-free run across churn
+    // rounds, and the exhaustive REISSUE mean must stay exactly unbiased —
+    // faults may only consume budget, never change answers.
+    for seed in 0..2u64 {
+        let run = |faults: bool| {
+            let mut db = random_db(400 + seed, 48, 16);
+            let tree = QueryTree::full(&db.schema().clone());
+            let sigs = enumerate_all(&tree);
+            let spec = AggregateSpec::count_star();
+            let mut depths = Vec::with_capacity(sigs.len());
+            for sig in &sigs {
+                let mut session = SearchSession::unlimited(&mut db);
+                depths.push(drill_from_root(&tree, sig, &mut session).unwrap().depth);
+            }
+            let mut series: Vec<u64> = Vec::new();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17);
+            for round in 0..3u64 {
+                let victims = db.sample_alive_keys(&mut rng, 8);
+                for v in &victims {
+                    db.delete(*v).unwrap();
+                }
+                for v in &victims {
+                    db.insert(Tuple::new(
+                        *v,
+                        vec![
+                            ValueId(rng.random_range(0..2)),
+                            ValueId(rng.random_range(0..3)),
+                            ValueId(rng.random_range(0..2)),
+                        ],
+                        vec![rng.random_range(1..100) as f64],
+                    ))
+                    .unwrap();
+                }
+                let truth = db.exact_count(None) as f64;
+                let mut reissue_mean = 0.0;
+                for (i, (sig, depth)) in sigs.iter().zip(&mut depths).enumerate() {
+                    let fault_seed = (seed << 32) ^ (round << 16) ^ i as u64;
+                    let schedule = if faults {
+                        FaultSchedule::seeded(fault_seed, 0.35)
+                    } else {
+                        FaultSchedule::off()
+                    };
+                    // REISSUE through the chaos stack.
+                    let session = SearchSession::unlimited(&mut db);
+                    let faulty = FaultyBackend::new(session, schedule.clone());
+                    let mut stack =
+                        ResilientBackend::new(faulty, RetryPolicy::default(), fault_seed ^ 0xACE);
+                    let out =
+                        resume_from(&tree, sig, *depth, ReissuePolicy::Strict, &mut stack).unwrap();
+                    assert_eq!(stack.stats().gave_up, 0, "schedule must be recoverable");
+                    *depth = out.depth;
+                    let s = ht_sample(&spec, &tree, &out);
+                    reissue_mean += s.count / sigs.len() as f64;
+                    series.push(out.depth as u64);
+                    series.push(out.cost);
+                    series.push(s.count.to_bits());
+                    // RESTART through the chaos stack.
+                    let session = SearchSession::unlimited(&mut db);
+                    let faulty = FaultyBackend::new(session, schedule);
+                    let mut stack =
+                        ResilientBackend::new(faulty, RetryPolicy::default(), fault_seed ^ 0xBEE);
+                    let out = drill_from_root(&tree, sig, &mut stack).unwrap();
+                    series.push(ht_sample(&spec, &tree, &out).count.to_bits());
+                }
+                assert!(
+                    (reissue_mean - truth).abs() < 1e-6,
+                    "seed {seed} round {round} (faults {faults}): \
+                     reissued mean {reissue_mean} != truth {truth}"
+                );
+            }
+            series
+        };
+        let clean = run(false);
+        let stormy = run(true);
+        assert_eq!(clean, stormy, "seed {seed}: a recovered fault changed an estimate bitwise");
+    }
+}
+
+#[test]
 fn trusting_policy_can_be_biased_strict_cannot() {
     // The documented Strict/Trusting trade-off, verified end-to-end: build
     // the §3.2-style scenario where deletions shrink an overflowing
