@@ -16,9 +16,14 @@
 //!   default) runs estimators straight against the session; `seeded:0.2`
 //!   interposes the deterministic FaultyBackend + ResilientBackend stack
 //!   with a per-query fault probability of 0.2 (faults only consume
-//!   budget — recovered runs stay on the fault-free drill outcomes).
+//!   budget — recovered runs stay on the fault-free drill outcomes);
+//! * `--auto-maintain off|pressure:<t>` — pressure-triggered automatic
+//!   compaction: `off` (the default) never compacts on its own;
+//!   `pressure:64` compacts after any round that leaves a segment with
+//!   pressure (stale bound ops + dead slots) ≥ 64. Outcome-invariant
+//!   like `--maintain`.
 
-use hidden_db::InvalidationPolicy;
+use hidden_db::{AutoMaintain, InvalidationPolicy};
 use workloads::DeleteSpec;
 
 /// Interface fault-injection mode for the experiment loop.
@@ -69,6 +74,8 @@ pub struct Cli {
     pub maintain: Option<Option<usize>>,
     /// Fault-injection mode override.
     pub faults: Option<FaultsMode>,
+    /// Pressure-triggered automatic maintenance override.
+    pub auto_maintain: Option<AutoMaintain>,
 }
 
 impl Cli {
@@ -124,11 +131,18 @@ impl Cli {
                         }
                     })
                 }
+                "--auto-maintain" => {
+                    cli.auto_maintain = Some(
+                        AutoMaintain::parse(&value("--auto-maintain"))
+                            .unwrap_or_else(|e| panic!("{e}")),
+                    )
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale quick|default|paper  --trials N  --rounds N  \
                          --budget N  --seed N  --memo incremental|wholesale|disabled  \
-                         --maintain off|N  --faults off|seeded:<rate>"
+                         --maintain off|N  --faults off|seeded:<rate>  \
+                         --auto-maintain off|pressure:<t>"
                     );
                     std::process::exit(0);
                 }
@@ -173,6 +187,10 @@ pub struct BaseCfg {
     /// entirely; `Seeded` wraps every per-round session in the
     /// deterministic FaultyBackend + ResilientBackend stack.
     pub faults: FaultsMode,
+    /// Pressure-triggered automatic compaction (PR 7): after each round's
+    /// updates, compact if any segment's pressure reached the threshold.
+    /// Outcome-invariant like `maintain_slots`.
+    pub auto_maintain: AutoMaintain,
 }
 
 impl BaseCfg {
@@ -192,6 +210,7 @@ impl BaseCfg {
                 memo_policy: InvalidationPolicy::Incremental,
                 maintain_slots: None,
                 faults: FaultsMode::Off,
+                auto_maintain: AutoMaintain::Off,
             },
             Scale::Default => Self {
                 initial: 30_000,
@@ -207,6 +226,7 @@ impl BaseCfg {
                 memo_policy: InvalidationPolicy::Incremental,
                 maintain_slots: None,
                 faults: FaultsMode::Off,
+                auto_maintain: AutoMaintain::Off,
             },
             Scale::Paper => Self {
                 initial: 170_000,
@@ -221,6 +241,7 @@ impl BaseCfg {
                 memo_policy: InvalidationPolicy::Incremental,
                 maintain_slots: None,
                 faults: FaultsMode::Off,
+                auto_maintain: AutoMaintain::Off,
             },
         }
     }
@@ -247,6 +268,9 @@ impl BaseCfg {
         }
         if let Some(f) = cli.faults {
             self.faults = f;
+        }
+        if let Some(a) = cli.auto_maintain {
+            self.auto_maintain = a;
         }
         self
     }
@@ -347,6 +371,27 @@ mod tests {
     #[should_panic(expected = "seeded:<rate in [0,1]>")]
     fn out_of_range_fault_rate_panics() {
         parse(&["--faults", "seeded:1.5"]);
+    }
+
+    #[test]
+    fn auto_maintain_flag_parses_and_applies() {
+        assert_eq!(
+            BaseCfg::from_cli(&parse(&[])).auto_maintain,
+            AutoMaintain::Off,
+            "off by default"
+        );
+        let cli = parse(&["--auto-maintain", "pressure:64"]);
+        assert_eq!(cli.auto_maintain, Some(AutoMaintain::Pressure { threshold: 64 }));
+        assert_eq!(BaseCfg::from_cli(&cli).auto_maintain, AutoMaintain::Pressure { threshold: 64 });
+        let cli = parse(&["--auto-maintain", "off"]);
+        assert_eq!(cli.auto_maintain, Some(AutoMaintain::Off));
+        assert_eq!(BaseCfg::from_cli(&cli).auto_maintain, AutoMaintain::Off);
+    }
+
+    #[test]
+    #[should_panic(expected = "off|pressure:<t>")]
+    fn bogus_auto_maintain_panics() {
+        parse(&["--auto-maintain", "sometimes"]);
     }
 
     #[test]

@@ -408,6 +408,13 @@ fn run_trial(
         if let Some(budget) = cfg.maintain_slots {
             driver.db_mut().maintain(hidden_db::MaintenanceBudget::slots(budget));
         }
+        // Pressure-triggered automatic compaction — the same trigger the
+        // shared service's writer queue applies after draining a batch.
+        if let hidden_db::AutoMaintain::Pressure { threshold } = cfg.auto_maintain {
+            if driver.db().max_segment_pressure() >= threshold {
+                driver.db_mut().compact();
+            }
+        }
     }
     out
 }

@@ -18,11 +18,11 @@ use crate::errors::DbError;
 use crate::index::{gallop_to, InvertedIndex, SortedPostings};
 use crate::interface::{slot_matches, CachedEval, QueryOutcome, TopK};
 use crate::memo::{InvalidationPolicy, QueryMemo};
-use crate::query::ConjunctiveQuery;
+use crate::query::{ConjunctiveQuery, Predicate};
 use crate::ranking::ScoringPolicy;
 use crate::schema::Schema;
 use crate::stats::{EvalStats, InterfaceStats, MaintenanceStats, MemoStats};
-use crate::store::{segment_of, Slot, Store, SEGMENT_SLOTS};
+use crate::store::{segment_of, Slot, Store, StoreCore, SEGMENT_SLOTS};
 use crate::tuple::Tuple;
 use crate::updates::{UpdateBatch, UpdateFootprint, UpdateSummary};
 use crate::value::{AttrId, MeasureId, TupleKey, ValueId};
@@ -120,7 +120,7 @@ pub struct MaintenanceReport {
 /// owner-side ground-truth API.
 #[derive(Clone, Copy)]
 pub struct TupleRef<'a> {
-    store: &'a Store,
+    store: &'a StoreCore,
     slot: Slot,
 }
 
@@ -340,6 +340,32 @@ impl HiddenDatabase {
     /// outstanding bound-maintenance work.
     pub fn stale_segment_count(&self) -> usize {
         self.store.stale_segment_count()
+    }
+
+    /// The worst per-segment maintenance pressure:
+    /// `max(stale_ops + dead slots)` over all store segments. The
+    /// service's automatic maintenance trigger
+    /// ([`crate::service::AutoMaintain::Pressure`]) fires `compact` when
+    /// this crosses its threshold.
+    pub fn max_segment_pressure(&self) -> u32 {
+        self.store.max_segment_pressure()
+    }
+
+    /// The pieces of an immutable epoch snapshot: pays every pending
+    /// posting-list sort, then hands out cheap clones of the shared
+    /// read-side state. Consumed by [`crate::service::DbSnapshot`].
+    pub(crate) fn snapshot_parts(
+        &mut self,
+    ) -> (Schema, StoreCore, InvertedIndex, usize, u64, EvalConfig) {
+        self.index.ensure_all_sorted();
+        (
+            self.schema.clone(),
+            self.store.core().clone(),
+            self.index.clone(),
+            self.k,
+            self.version,
+            self.eval_config,
+        )
     }
 
     /// `|D|`: number of alive tuples.
@@ -615,125 +641,29 @@ impl HiddenDatabase {
         }
     }
 
-    /// The uncached evaluation engine. Dispatch:
-    ///
-    /// * **root** — segment-ordered alive scan (descending max-score
-    ///   order so early exits fire as soon as the page stabilises);
-    /// * **one predicate** — the posting list's segment runs, visited in
-    ///   descending max-score order, with the same early exit;
-    /// * **two or more** — intersection of the two rarest lists
-    ///   (galloping when lopsided, per-segment bitsets when dense),
-    ///   residual predicates checked columnar per candidate.
-    ///
-    /// Every path produces the same `CachedEval` bit-for-bit (pinned by
-    /// the oracle proptest): the top-`k` page under the total
-    /// `(score, slot)` order is independent of candidate visit order, and
-    /// early exits only skip candidates that provably cannot enter it.
+    /// The uncached evaluation path: pays any pending lazy sorts for the
+    /// query's posting lists, then runs the shared read-only engine
+    /// ([`evaluate_query`]) over disjoint borrows of store/index/stats.
     fn evaluate_uncached(&mut self, query: &ConjunctiveQuery) -> CachedEval {
-        match *query.predicates() {
-            [] => self.eval_root(),
-            [driver] => self.eval_single(query, driver),
-            _ => self.eval_multi(query),
+        // Sorting up front (rather than inside the engine) is what lets
+        // snapshot readers share the engine with `&self` access: by the
+        // time a snapshot is published, `ensure_all_sorted` has paid
+        // every pending sort. Sorting *all* of the query's lists (not
+        // just the eventual drivers) is outcome-invariant — the top-`k`
+        // page is independent of driver choice (oracle-pinned) — and
+        // keeps the owner path's driver ranking on the same post-dedup
+        // estimates a snapshot reader sees.
+        for p in query.predicates() {
+            self.index.ensure_sorted(p.attr, p.value);
         }
-    }
-
-    /// Root (`SELECT *`): every alive tuple matches; scan segments in
-    /// descending max-score order and stop once the page is proven.
-    fn eval_root(&mut self) -> CachedEval {
-        self.eval_stats.root_scans += 1;
-        let mut topk = TopK::new(self.k);
-        let order = self.store.segments_by_score_desc();
-        for (i, &(seg, bound)) in order.iter().enumerate() {
-            // `order` is bound-descending, so this segment's bound caps
-            // every remaining candidate.
-            if self.eval_config.early_exit && topk.can_stop(bound) {
-                self.eval_stats.early_exits += 1;
-                self.eval_stats.segments_skipped += (order.len() - i) as u64;
-                break;
-            }
-            for slot in self.store.alive_slots_in(seg) {
-                topk.offer(self.store.score_at(slot), slot);
-            }
-        }
-        topk.finish(&self.store)
-    }
-
-    /// One predicate: walk the posting list's segment runs best-first.
-    fn eval_single(
-        &mut self,
-        query: &ConjunctiveQuery,
-        driver: crate::query::Predicate,
-    ) -> CachedEval {
-        self.eval_stats.single_scans += 1;
-        self.index.ensure_sorted(driver.attr, driver.value);
-        let postings = self.index.sorted_postings(driver.attr, driver.value);
-        let mut runs: Vec<(u64, usize, &[Slot])> = postings
-            .runs()
-            .map(|(seg, run)| (self.store.segment_max_score(seg), seg, run))
-            .collect();
-        runs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        let mut topk = TopK::new(self.k);
-        for (i, &(bound, _, run)) in runs.iter().enumerate() {
-            if self.eval_config.early_exit && topk.can_stop(bound) {
-                self.eval_stats.early_exits += 1;
-                self.eval_stats.segments_skipped += (runs.len() - i) as u64;
-                break;
-            }
-            offer_run(query, &self.store, run, &mut topk);
-        }
-        topk.finish(&self.store)
-    }
-
-    /// The two rarest predicates of a multi-predicate query, by
-    /// `(estimated live postings, attr, value)`. The explicit tie-break
-    /// replaces the old order-dependent `min_by_key` (which silently
-    /// kept whichever tied predicate it met first), so the driver pair —
-    /// and with it the whole evaluation order — is stable no matter how
-    /// the query was assembled or how lists drift through mutations.
-    fn driver_pair(
-        &self,
-        query: &ConjunctiveQuery,
-    ) -> (crate::query::Predicate, crate::query::Predicate) {
-        let mut ranked: Vec<crate::query::Predicate> = query.predicates().to_vec();
-        ranked
-            .sort_unstable_by_key(|p| (self.index.estimated_len(p.attr, p.value), p.attr, p.value));
-        (ranked[0], ranked[1])
-    }
-
-    /// Two or more predicates: intersect the two rarest posting lists.
-    fn eval_multi(&mut self, query: &ConjunctiveQuery) -> CachedEval {
-        let (a, b) = self.driver_pair(query);
-        self.index.ensure_sorted(a.attr, a.value);
-        self.index.ensure_sorted(b.attr, b.value);
-        let pa = self.index.sorted_postings(a.attr, a.value);
-        let pb = self.index.sorted_postings(b.attr, b.value);
-        // Empty lists need no special case: every strategy degenerates to
-        // an empty candidate stream (underflow), and routing through the
-        // strategy keeps the EvalStats counters summing to the number of
-        // evaluations performed.
-        let mode = match self.eval_config.intersect {
-            IntersectPolicy::Auto => {
-                if pb.len() >= GALLOP_RATIO * pa.len() {
-                    IntersectPolicy::Gallop
-                } else {
-                    IntersectPolicy::Bitset
-                }
-            }
-            forced => forced,
-        };
-        let early_exit = self.eval_config.early_exit;
-        match mode {
-            IntersectPolicy::Gallop => {
-                eval_gallop(query, &self.store, pa, pb, self.k, early_exit, &mut self.eval_stats)
-            }
-            IntersectPolicy::Bitset => {
-                eval_bitset(query, &self.store, pa, pb, self.k, early_exit, &mut self.eval_stats)
-            }
-            IntersectPolicy::Recheck => {
-                eval_recheck(query, &self.store, pa, self.k, &mut self.eval_stats)
-            }
-            IntersectPolicy::Auto => unreachable!("Auto resolves to a concrete strategy above"),
-        }
+        evaluate_query(
+            query,
+            &self.store,
+            &self.index,
+            self.k,
+            self.eval_config,
+            &mut self.eval_stats,
+        )
     }
 
     // ----- ground truth (experiments/tests only) --------------------------
@@ -866,10 +796,137 @@ impl HiddenDatabase {
     }
 }
 
+/// The uncached evaluation engine, shared verbatim by the owner path
+/// ([`HiddenDatabase::answer`]) and snapshot readers
+/// ([`crate::service::DbSnapshot`]). Requires the posting list of every
+/// query predicate to be sorted already (the owner path sorts on demand;
+/// snapshots are published fully sorted). Dispatch:
+///
+/// * **root** — segment-ordered alive scan (descending max-score
+///   order so early exits fire as soon as the page stabilises);
+/// * **one predicate** — the posting list's segment runs, visited in
+///   descending max-score order, with the same early exit;
+/// * **two or more** — intersection of the two rarest lists
+///   (galloping when lopsided, per-segment bitsets when dense),
+///   residual predicates checked columnar per candidate.
+///
+/// Every path produces the same `CachedEval` bit-for-bit (pinned by
+/// the oracle proptest): the top-`k` page under the total
+/// `(score, slot)` order is independent of candidate visit order, and
+/// early exits only skip candidates that provably cannot enter it.
+pub(crate) fn evaluate_query(
+    query: &ConjunctiveQuery,
+    store: &StoreCore,
+    index: &InvertedIndex,
+    k: usize,
+    config: EvalConfig,
+    stats: &mut EvalStats,
+) -> CachedEval {
+    match *query.predicates() {
+        [] => eval_root(store, k, config, stats),
+        [driver] => eval_single(query, driver, store, index, k, config, stats),
+        _ => eval_multi(query, store, index, k, config, stats),
+    }
+}
+
+/// Root (`SELECT *`): every alive tuple matches; scan segments in
+/// descending max-score order and stop once the page is proven.
+fn eval_root(store: &StoreCore, k: usize, config: EvalConfig, stats: &mut EvalStats) -> CachedEval {
+    stats.root_scans += 1;
+    let mut topk = TopK::new(k);
+    let order = store.segments_by_score_desc();
+    for (i, &(seg, bound)) in order.iter().enumerate() {
+        // `order` is bound-descending, so this segment's bound caps
+        // every remaining candidate.
+        if config.early_exit && topk.can_stop(bound) {
+            stats.early_exits += 1;
+            stats.segments_skipped += (order.len() - i) as u64;
+            break;
+        }
+        for slot in store.alive_slots_in(seg) {
+            topk.offer(store.score_at(slot), slot);
+        }
+    }
+    topk.finish(store)
+}
+
+/// One predicate: walk the posting list's segment runs best-first.
+fn eval_single(
+    query: &ConjunctiveQuery,
+    driver: Predicate,
+    store: &StoreCore,
+    index: &InvertedIndex,
+    k: usize,
+    config: EvalConfig,
+    stats: &mut EvalStats,
+) -> CachedEval {
+    stats.single_scans += 1;
+    let postings = index.sorted_postings(driver.attr, driver.value);
+    let mut runs: Vec<(u64, usize, &[Slot])> =
+        postings.runs().map(|(seg, run)| (store.segment_max_score(seg), seg, run)).collect();
+    runs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut topk = TopK::new(k);
+    for (i, &(bound, _, run)) in runs.iter().enumerate() {
+        if config.early_exit && topk.can_stop(bound) {
+            stats.early_exits += 1;
+            stats.segments_skipped += (runs.len() - i) as u64;
+            break;
+        }
+        offer_run(query, store, run, &mut topk);
+    }
+    topk.finish(store)
+}
+
+/// The two rarest predicates of a multi-predicate query, by
+/// `(estimated live postings, attr, value)`. The explicit tie-break
+/// replaces the old order-dependent `min_by_key` (which silently
+/// kept whichever tied predicate it met first), so the driver pair —
+/// and with it the whole evaluation order — is stable no matter how
+/// the query was assembled or how lists drift through mutations.
+fn driver_pair(index: &InvertedIndex, query: &ConjunctiveQuery) -> (Predicate, Predicate) {
+    let mut ranked: Vec<Predicate> = query.predicates().to_vec();
+    ranked.sort_unstable_by_key(|p| (index.estimated_len(p.attr, p.value), p.attr, p.value));
+    (ranked[0], ranked[1])
+}
+
+/// Two or more predicates: intersect the two rarest posting lists.
+fn eval_multi(
+    query: &ConjunctiveQuery,
+    store: &StoreCore,
+    index: &InvertedIndex,
+    k: usize,
+    config: EvalConfig,
+    stats: &mut EvalStats,
+) -> CachedEval {
+    let (a, b) = driver_pair(index, query);
+    let pa = index.sorted_postings(a.attr, a.value);
+    let pb = index.sorted_postings(b.attr, b.value);
+    // Empty lists need no special case: every strategy degenerates to
+    // an empty candidate stream (underflow), and routing through the
+    // strategy keeps the EvalStats counters summing to the number of
+    // evaluations performed.
+    let mode = match config.intersect {
+        IntersectPolicy::Auto => {
+            if pb.len() >= GALLOP_RATIO * pa.len() {
+                IntersectPolicy::Gallop
+            } else {
+                IntersectPolicy::Bitset
+            }
+        }
+        forced => forced,
+    };
+    match mode {
+        IntersectPolicy::Gallop => eval_gallop(query, store, pa, pb, k, config.early_exit, stats),
+        IntersectPolicy::Bitset => eval_bitset(query, store, pa, pb, k, config.early_exit, stats),
+        IntersectPolicy::Recheck => eval_recheck(query, store, pa, k, stats),
+        IntersectPolicy::Auto => unreachable!("Auto resolves to a concrete strategy above"),
+    }
+}
+
 /// Feeds one posting run into the heap: adjacent-duplicate skip (sorted
 /// lists keep duplicates adjacent), then the columnar residual check.
 #[inline]
-fn offer_run(query: &ConjunctiveQuery, store: &Store, run: &[Slot], topk: &mut TopK) {
+fn offer_run(query: &ConjunctiveQuery, store: &StoreCore, run: &[Slot], topk: &mut TopK) {
     let mut prev = None;
     for &slot in run {
         if prev == Some(slot) {
@@ -890,7 +947,7 @@ fn offer_run(query: &ConjunctiveQuery, store: &Store, run: &[Slot], topk: &mut T
 /// bound at each segment boundary.
 fn eval_gallop(
     query: &ConjunctiveQuery,
-    store: &Store,
+    store: &StoreCore,
     small: SortedPostings<'_>,
     large: SortedPostings<'_>,
     k: usize,
@@ -945,7 +1002,7 @@ fn eval_gallop(
 /// segments best-score-first so the early exit can skip whole segments.
 fn eval_bitset(
     query: &ConjunctiveQuery,
-    store: &Store,
+    store: &StoreCore,
     pa: SortedPostings<'_>,
     pb: SortedPostings<'_>,
     k: usize,
@@ -999,7 +1056,7 @@ fn eval_bitset(
 /// bench/oracle comparison ([`IntersectPolicy::Recheck`]).
 fn eval_recheck(
     query: &ConjunctiveQuery,
-    store: &Store,
+    store: &StoreCore,
     driver: SortedPostings<'_>,
     k: usize,
     stats: &mut EvalStats,
@@ -1383,7 +1440,7 @@ mod tests {
             Predicate::new(AttrId(0), ValueId(1)),
             Predicate::new(AttrId(1), ValueId(2)),
         ]);
-        let (a, b) = d.driver_pair(&query);
+        let (a, b) = driver_pair(&d.index, &query);
         // All three tie at 2 live postings: (attr, value) order wins.
         assert_eq!((a.attr, a.value), (AttrId(0), ValueId(1)));
         assert_eq!((b.attr, b.value), (AttrId(1), ValueId(2)));
@@ -1393,7 +1450,7 @@ mod tests {
             Predicate::new(AttrId(0), ValueId(1)),
             Predicate::new(AttrId(2), ValueId(1)),
         ]);
-        assert_eq!(d.driver_pair(&permuted), (a, b));
+        assert_eq!(driver_pair(&d.index, &permuted), (a, b));
         assert_eq!(d.answer(&query), d.answer(&permuted));
     }
 

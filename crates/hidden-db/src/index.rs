@@ -24,9 +24,20 @@
 //! same value while its stale posting survived) are **adjacent**, so
 //! exactly-once candidate emission is a one-comparison skip instead of a
 //! hash set.
+//!
+//! ## Snapshot sharing
+//!
+//! Each posting list lives behind an [`Arc`], so cloning the whole index
+//! into an epoch snapshot is one reference-count bump per list; mutation
+//! goes through [`Arc::make_mut`] (copy-on-write at list granularity).
+//! Before a snapshot is published, [`InvertedIndex::ensure_all_sorted`]
+//! pays any pending lazy sorts so snapshot readers never need `&mut`
+//! access — a published list's run metadata is immutable.
+
+use std::sync::Arc;
 
 use crate::schema::Schema;
-use crate::store::{segment_of, Slot, Store};
+use crate::store::{segment_of, Slot, StoreCore};
 use crate::value::{AttrId, ValueId};
 
 /// A posting list compacts when dead entries exceed this fraction.
@@ -235,16 +246,20 @@ pub struct IndexMaintenance {
 /// Inverted index over all (attribute, value) pairs of a schema.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
-    /// `lists[a]` has one posting list per value of attribute `a`.
-    lists: Vec<Vec<PostingList>>,
+    /// `lists[a]` has one `Arc`-shared posting list per value of
+    /// attribute `a`; snapshots clone the `Arc`s, mutation copies on
+    /// write.
+    lists: Vec<Vec<Arc<PostingList>>>,
 }
 
 impl InvertedIndex {
     /// Creates an empty index shaped after `schema`.
     pub fn new(schema: &Schema) -> Self {
+        // All empty lists share one allocation until first written.
+        let empty = Arc::new(PostingList::default());
         let lists = schema
             .attr_ids()
-            .map(|a| vec![PostingList::default(); schema.domain_size(a) as usize])
+            .map(|a| vec![Arc::clone(&empty); schema.domain_size(a) as usize])
             .collect();
         Self { lists }
     }
@@ -256,15 +271,15 @@ impl InvertedIndex {
     /// they are filtered out on scan because the column no longer matches.
     pub fn insert(&mut self, slot: Slot, values: &[ValueId]) {
         for (a, &v) in values.iter().enumerate() {
-            self.lists[a][v.index()].push(slot);
+            Arc::make_mut(&mut self.lists[a][v.index()]).push(slot);
         }
     }
 
     /// Notes the deletion of `slot` (which carried `values`), updating
     /// tombstone counters and compacting lists that crossed the threshold.
-    pub fn delete(&mut self, slot: Slot, values: &[ValueId], store: &Store) {
+    pub fn delete(&mut self, slot: Slot, values: &[ValueId], store: &StoreCore) {
         for (a, &v) in values.iter().enumerate() {
-            let list = &mut self.lists[a][v.index()];
+            let list = Arc::make_mut(&mut self.lists[a][v.index()]);
             list.dead += 1;
             let len = list.slots.len();
             if len >= COMPACT_MIN_LEN && (list.dead as f64) > COMPACT_DEAD_FRACTION * len as f64 {
@@ -274,7 +289,7 @@ impl InvertedIndex {
         let _ = slot; // identity not needed: compaction revalidates by value.
     }
 
-    fn compact(list: &mut PostingList, attr_idx: usize, value: ValueId, store: &Store) {
+    fn compact(list: &mut PostingList, attr_idx: usize, value: ValueId, store: &StoreCore) {
         list.slots.retain(|&s| store.is_alive(s) && store.value_at(attr_idx, s) == value.0);
         list.slots.sort_unstable();
         list.slots.dedup();
@@ -295,7 +310,7 @@ impl InvertedIndex {
     /// Purely an index rewrite — scans already filter tombstones through
     /// the store, so query answers are bit-identical before and after
     /// (pinned by `compaction_oracle_proptest`).
-    pub fn maintain(&mut self, store: &Store, budget: &mut usize) -> IndexMaintenance {
+    pub fn maintain(&mut self, store: &StoreCore, budget: &mut usize) -> IndexMaintenance {
         let mut report = IndexMaintenance::default();
         for (a, attr_lists) in self.lists.iter_mut().enumerate() {
             for (v, list) in attr_lists.iter_mut().enumerate() {
@@ -312,6 +327,7 @@ impl InvertedIndex {
                     continue;
                 }
                 *budget -= cost;
+                let list = Arc::make_mut(list);
                 let before = list.slots.len();
                 Self::compact(list, a, ValueId(v as u32), store);
                 report.lists_compacted += 1;
@@ -332,7 +348,28 @@ impl InvertedIndex {
     /// append (slot reuse) left it dirty. Amortised cost: appends are
     /// ascending in the common case, so this is usually a flag check.
     pub fn ensure_sorted(&mut self, attr: AttrId, value: ValueId) {
-        self.lists[attr.index()][value.index()].ensure_sorted();
+        let list = &mut self.lists[attr.index()][value.index()];
+        // Guard before `make_mut`: a clean list must not be copied just
+        // to discover there is nothing to do.
+        if !list.sorted && !list.slots.is_empty() {
+            Arc::make_mut(list).ensure_sorted();
+        }
+    }
+
+    /// Pays every pending lazy sort in the index, in deterministic
+    /// `(attr, value)` order. Called right before an epoch snapshot is
+    /// published so snapshot readers can use [`sorted_postings`]
+    /// (`&self`) without ever needing a mutable sort pass.
+    ///
+    /// [`sorted_postings`]: InvertedIndex::sorted_postings
+    pub fn ensure_all_sorted(&mut self) {
+        for attr_lists in &mut self.lists {
+            for list in attr_lists.iter_mut() {
+                if !list.sorted && !list.slots.is_empty() {
+                    Arc::make_mut(list).ensure_sorted();
+                }
+            }
+        }
     }
 
     /// Sorted view of the posting list for `(attr, value)` with its
@@ -368,7 +405,7 @@ impl InvertedIndex {
         &self,
         attr: AttrId,
         value: ValueId,
-        store: &Store,
+        store: &StoreCore,
         mut f: impl FnMut(Slot),
     ) {
         let list = &self.lists[attr.index()][value.index()];
@@ -395,9 +432,13 @@ impl InvertedIndex {
 
     /// Fully rebuilds the index from the store (used by tests and after
     /// bulk loads).
-    pub fn rebuild(&mut self, store: &Store) {
+    pub fn rebuild(&mut self, store: &StoreCore) {
         for attr_lists in &mut self.lists {
             for list in attr_lists.iter_mut() {
+                if list.slots.is_empty() && list.runs.is_empty() && list.dead == 0 {
+                    continue;
+                }
+                let list = Arc::make_mut(list);
                 list.slots.clear();
                 list.runs.clear();
                 list.dead = 0;
@@ -407,7 +448,7 @@ impl InvertedIndex {
         for slot in store.alive_slots() {
             for (a, attr_lists) in self.lists.iter_mut().enumerate() {
                 let v = store.value_at(a, slot);
-                attr_lists[v as usize].push(slot);
+                Arc::make_mut(&mut attr_lists[v as usize]).push(slot);
             }
         }
     }
@@ -416,6 +457,7 @@ impl InvertedIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::Store;
     use crate::tuple::Tuple;
     use crate::value::TupleKey;
 

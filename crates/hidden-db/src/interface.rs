@@ -30,7 +30,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use crate::query::ConjunctiveQuery;
-use crate::store::{Slot, Store};
+use crate::store::{Slot, StoreCore};
 use crate::tuple::TupleView;
 use crate::value::TupleKey;
 
@@ -144,7 +144,7 @@ impl CachedEval {
 
     /// The outcome, materialising tuple views on first use and sharing
     /// them on every subsequent cache hit.
-    pub(crate) fn outcome(&mut self, store: &Store) -> QueryOutcome {
+    pub(crate) fn outcome(&mut self, store: &StoreCore) -> QueryOutcome {
         if self.slots.is_empty() {
             return QueryOutcome::Underflow;
         }
@@ -222,7 +222,7 @@ impl TopK {
 
     /// Materialises the evaluation: page slots best-first, plus the
     /// match count and page floor the memo's revalidation anchors on.
-    pub(crate) fn finish(self, store: &Store) -> CachedEval {
+    pub(crate) fn finish(self, store: &StoreCore) -> CachedEval {
         let mut slots: Vec<Slot> = self.heap.into_iter().map(|Reverse((_, s))| s).collect();
         // Best-first: sort by score descending (ties by slot for
         // determinism).
@@ -244,7 +244,7 @@ impl TopK {
 #[cfg(test)]
 pub(crate) fn evaluate_streaming(
     query: &ConjunctiveQuery,
-    store: &Store,
+    store: &StoreCore,
     k: usize,
     feed: impl FnOnce(&mut dyn FnMut(Slot)),
 ) -> CachedEval {
@@ -262,7 +262,7 @@ pub(crate) fn evaluate_streaming(
 #[cfg(test)]
 pub(crate) fn evaluate<I>(
     query: &ConjunctiveQuery,
-    store: &Store,
+    store: &StoreCore,
     k: usize,
     candidates: I,
 ) -> CachedEval
@@ -280,7 +280,7 @@ where
 /// every predicate — the columnar residual check behind every driver:
 /// per predicate, two array loads.
 #[inline]
-pub(crate) fn slot_matches(query: &ConjunctiveQuery, store: &Store, slot: Slot) -> bool {
+pub(crate) fn slot_matches(query: &ConjunctiveQuery, store: &StoreCore, slot: Slot) -> bool {
     if !store.is_alive(slot) {
         return false;
     }
@@ -291,6 +291,7 @@ pub(crate) fn slot_matches(query: &ConjunctiveQuery, store: &Store, slot: Slot) 
 mod tests {
     use super::*;
     use crate::query::Predicate;
+    use crate::store::Store;
     use crate::tuple::Tuple;
     use crate::value::{AttrId, TupleKey, ValueId};
 

@@ -64,6 +64,7 @@ mod memo;
 pub mod query;
 pub mod ranking;
 pub mod schema;
+pub mod service;
 pub mod session;
 pub mod stats;
 pub mod store;
@@ -87,8 +88,9 @@ pub use memo::{InvalidationPolicy, DEFAULT_MEMO_CAPACITY};
 pub use query::{ConjunctiveQuery, Predicate};
 pub use ranking::ScoringPolicy;
 pub use schema::{AttributeDef, MeasureDef, Schema};
+pub use service::{AutoMaintain, DbService, DbSnapshot, ServiceSession, ServiceStats};
 pub use session::{SearchBackend, SearchSession};
-pub use stats::{EvalStats, InterfaceStats, MaintenanceStats, MemoStats};
+pub use stats::{EvalStats, InterfaceStats, MaintenanceStats, MemoStats, SharedMemoStats};
 pub use store::{segment_of, SEGMENT_SLOTS};
 pub use tuple::{Tuple, TupleView};
 pub use updates::{UpdateBatch, UpdateFootprint, UpdateSummary};

@@ -8,8 +8,16 @@
 //! ## Segments
 //!
 //! Slots are grouped into fixed-size segments of [`SEGMENT_SLOTS`]
-//! consecutive slots. Each segment carries two summaries maintained on
-//! every mutation:
+//! consecutive slots. Each segment's column data lives in its own
+//! [`Arc`]-shared block ([`SegmentData`]), so cloning the read-side of the
+//! store ([`StoreCore`]) is a handful of reference-count bumps plus the
+//! small per-segment summary vector — the substrate for the epoch-published
+//! snapshots of [`crate::service::DbService`]. Mutation goes through
+//! [`Arc::make_mut`]: copy-on-write at segment granularity, so a published
+//! snapshot keeps the old block while the writer pays one segment copy the
+//! first time it touches a shared segment.
+//!
+//! Each segment carries two summaries maintained on every mutation:
 //!
 //! * an **alive count** — lets scans (and the parallel ground-truth
 //!   fan-out) skip fully dead segments without touching the bitmap;
@@ -37,6 +45,8 @@
 //! cached page, tie-break, and RNG draw) is bit-for-bit unaffected.
 
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use crate::errors::DbError;
 use crate::tuple::{Tuple, TupleView};
@@ -58,10 +68,19 @@ const _: () = assert!(SEGMENT_SLOTS.is_power_of_two() && SEGMENT_SLOTS.is_multip
 /// `log2(SEGMENT_SLOTS)` — segment of a slot is `slot >> SEGMENT_SHIFT`.
 pub const SEGMENT_SHIFT: u32 = SEGMENT_SLOTS.trailing_zeros();
 
+/// `slot & SEGMENT_MASK` is the slot's offset within its segment.
+pub const SEGMENT_MASK: usize = SEGMENT_SLOTS - 1;
+
 /// The segment a slot belongs to.
 #[inline]
 pub fn segment_of(slot: Slot) -> usize {
     (slot >> SEGMENT_SHIFT) as usize
+}
+
+/// `(segment, offset within segment)` of a slot.
+#[inline]
+fn locate(slot: Slot) -> (usize, usize) {
+    (segment_of(slot), slot as usize & SEGMENT_MASK)
 }
 
 /// Per-segment summary maintained incrementally by the store.
@@ -78,46 +97,113 @@ struct SegmentMeta {
     stale_ops: u32,
 }
 
+/// One segment's column data: up to [`SEGMENT_SLOTS`] rows, grown lazily
+/// as slots are allocated. Shared between the writer and any published
+/// snapshots via [`Arc`]; mutated only through [`Arc::make_mut`].
+#[derive(Debug, Clone)]
+struct SegmentData {
+    /// `columns[a][off]` = value code of attribute `a` for local slot `off`.
+    columns: Vec<Vec<u32>>,
+    /// `measures[m][off]` = measure value.
+    measures: Vec<Vec<f64>>,
+    /// `keys[off]` = external key of the occupant (stale if dead).
+    keys: Vec<u64>,
+    /// `scores[off]` = hidden ranking score of the occupant.
+    scores: Vec<u64>,
+    /// Liveness per local slot.
+    alive: Vec<bool>,
+}
+
+impl SegmentData {
+    fn empty(attr_count: usize, measure_count: usize) -> Self {
+        Self {
+            columns: vec![Vec::new(); attr_count],
+            measures: vec![Vec::new(); measure_count],
+            keys: Vec::new(),
+            scores: Vec::new(),
+            alive: Vec::new(),
+        }
+    }
+
+    /// Appends a row at the next local offset (caller tracks allocation).
+    fn push_row(&mut self, values: &[ValueId], measures: &[f64], key: u64, score: u64) {
+        for (a, col) in self.columns.iter_mut().enumerate() {
+            col.push(values[a].0);
+        }
+        for (m, col) in self.measures.iter_mut().enumerate() {
+            col.push(measures[m]);
+        }
+        self.keys.push(key);
+        self.scores.push(score);
+        self.alive.push(true);
+    }
+
+    /// Overwrites the row at local offset `off` (slot reuse).
+    fn write_row(
+        &mut self,
+        off: usize,
+        values: &[ValueId],
+        measures: &[f64],
+        key: u64,
+        score: u64,
+    ) {
+        for (a, col) in self.columns.iter_mut().enumerate() {
+            col[off] = values[a].0;
+        }
+        for (m, col) in self.measures.iter_mut().enumerate() {
+            col[off] = measures[m];
+        }
+        self.keys[off] = key;
+        self.scores[off] = score;
+        self.alive[off] = true;
+    }
+}
+
+/// The read side of the store: `Arc`-shared segment data blocks plus the
+/// per-segment summaries. Everything query evaluation, ground truth, and
+/// the memo need lives here; cloning is cheap (reference-count bumps plus
+/// the summary vector), which is what makes publishing an immutable
+/// snapshot per epoch affordable. [`Store`] derefs to this, so owner-side
+/// code reads through the same API.
+#[derive(Debug, Clone)]
+pub struct StoreCore {
+    attr_count: usize,
+    measure_count: usize,
+    /// Segment data blocks; segment `s` covers slots
+    /// `s * SEGMENT_SLOTS .. (s+1) * SEGMENT_SLOTS`.
+    segs: Vec<Arc<SegmentData>>,
+    /// Per-segment alive counts and score upper bounds, in lockstep with
+    /// `segs`.
+    meta: Vec<SegmentMeta>,
+    /// Total slots allocated (alive + dead). Slots are allocated in
+    /// ascending order, so only the last segment is partially grown.
+    allocated: usize,
+    alive_count: usize,
+}
+
 /// Columnar storage for tuples plus the per-tuple hidden ranking score.
+///
+/// Wraps the shared [`StoreCore`] with the writer-only state: the free
+/// list and the key → slot map. Read accessors come through `Deref`.
 #[derive(Debug, Clone)]
 pub struct Store {
-    /// `columns[a][slot]` = value code of attribute `a` for that slot.
-    columns: Vec<Vec<u32>>,
-    /// `measure_cols[m][slot]` = measure value.
-    measure_cols: Vec<Vec<f64>>,
-    /// `keys[slot]` = external key of the occupant (stale if dead).
-    keys: Vec<u64>,
-    /// `scores[slot]` = hidden ranking score of the occupant.
-    scores: Vec<u64>,
-    /// Liveness per slot.
-    alive: Vec<bool>,
+    core: StoreCore,
     /// Free slots available for reuse.
     free: Vec<Slot>,
     /// Alive key → slot.
     key_to_slot: HashMap<u64, Slot>,
-    alive_count: usize,
-    /// Per-segment alive counts and score upper bounds; segment `s`
-    /// covers slots `s * SEGMENT_SLOTS .. (s+1) * SEGMENT_SLOTS`.
-    segments: Vec<SegmentMeta>,
 }
 
-impl Store {
-    /// Creates an empty store for `attr_count` attributes and
-    /// `measure_count` measures.
-    pub fn new(attr_count: usize, measure_count: usize) -> Self {
-        Self {
-            columns: vec![Vec::new(); attr_count],
-            measure_cols: vec![Vec::new(); measure_count],
-            keys: Vec::new(),
-            scores: Vec::new(),
-            alive: Vec::new(),
-            free: Vec::new(),
-            key_to_slot: HashMap::new(),
-            alive_count: 0,
-            segments: Vec::new(),
-        }
-    }
+impl Deref for Store {
+    type Target = StoreCore;
 
+    #[inline]
+    fn deref(&self) -> &StoreCore {
+        &self.core
+    }
+}
+
+impl StoreCore {
     /// Number of alive tuples (`|D|`).
     pub fn len(&self) -> usize {
         self.alive_count
@@ -131,64 +217,64 @@ impl Store {
     /// Total slots allocated (alive + dead); the exclusive upper bound of
     /// valid slot indices.
     pub fn slot_bound(&self) -> Slot {
-        self.keys.len() as Slot
+        self.allocated as Slot
     }
 
     /// Whether `slot` currently holds an alive tuple.
     #[inline]
     pub fn is_alive(&self, slot: Slot) -> bool {
-        self.alive[slot as usize]
+        let (seg, off) = locate(slot);
+        self.segs[seg].alive[off]
     }
 
     /// Value code of attribute `attr_idx` at `slot` (caller guarantees the
     /// slot is alive).
     #[inline]
     pub fn value_at(&self, attr_idx: usize, slot: Slot) -> u32 {
-        self.columns[attr_idx][slot as usize]
+        let (seg, off) = locate(slot);
+        self.segs[seg].columns[attr_idx][off]
     }
 
     /// Measure value at `slot`.
     #[inline]
     pub fn measure_at(&self, measure_idx: usize, slot: Slot) -> f64 {
-        self.measure_cols[measure_idx][slot as usize]
+        let (seg, off) = locate(slot);
+        self.segs[seg].measures[measure_idx][off]
     }
 
     /// Hidden ranking score at `slot`.
     #[inline]
     pub fn score_at(&self, slot: Slot) -> u64 {
-        self.scores[slot as usize]
+        let (seg, off) = locate(slot);
+        self.segs[seg].scores[off]
     }
 
     /// External key at `slot`.
     #[inline]
     pub fn key_at(&self, slot: Slot) -> TupleKey {
-        TupleKey(self.keys[slot as usize])
-    }
-
-    /// Slot of an alive tuple by key.
-    pub fn slot_of(&self, key: TupleKey) -> Option<Slot> {
-        self.key_to_slot.get(&key.0).copied()
+        let (seg, off) = locate(slot);
+        TupleKey(self.segs[seg].keys[off])
     }
 
     // ----- segment summaries ---------------------------------------------
 
     /// Number of segments allocated (covers every slot below
-    /// [`Store::slot_bound`]).
+    /// [`StoreCore::slot_bound`]).
     pub fn segment_count(&self) -> usize {
-        self.segments.len()
+        self.meta.len()
     }
 
     /// Alive tuples in segment `seg`.
     #[inline]
     pub fn segment_alive(&self, seg: usize) -> u32 {
-        self.segments[seg].alive
+        self.meta[seg].alive
     }
 
     /// Upper bound on the hidden score of any alive tuple in `seg`
     /// (never underestimates; exact until a delete or score-drop).
     #[inline]
     pub fn segment_max_score(&self, seg: usize) -> u64 {
-        self.segments[seg].max_score
+        self.meta[seg].max_score
     }
 
     /// Dead (allocated but not alive) slots in segment `seg` — the
@@ -197,29 +283,39 @@ impl Store {
     #[inline]
     pub fn segment_dead(&self, seg: usize) -> u32 {
         let span = self.segment_range(seg);
-        (span.end - span.start) - self.segments[seg].alive
+        (span.end - span.start) - self.meta[seg].alive
     }
 
     /// Mutations since `seg`'s score bound was last known exact. `0`
-    /// means [`Store::segment_max_score`] equals the true maximum over
+    /// means [`StoreCore::segment_max_score`] equals the true maximum over
     /// alive occupants.
     #[inline]
     pub fn segment_bound_staleness(&self, seg: usize) -> u32 {
-        self.segments[seg].stale_ops
+        self.meta[seg].stale_ops
     }
 
     /// Number of segments with a possibly-loose score bound
-    /// (allocation-free; [`Store::stale_segments`] builds the ordered
+    /// (allocation-free; [`StoreCore::stale_segments`] builds the ordered
     /// work queue).
     pub fn stale_segment_count(&self) -> usize {
-        self.segments.iter().filter(|m| m.stale_ops > 0).count()
+        self.meta.iter().filter(|m| m.stale_ops > 0).count()
+    }
+
+    /// The worst per-segment maintenance pressure across the store:
+    /// `max(stale_ops + dead slots)` over all segments. The writer queue's
+    /// automatic maintenance trigger compares this against its threshold.
+    pub fn max_segment_pressure(&self) -> u32 {
+        (0..self.meta.len())
+            .map(|s| self.meta[s].stale_ops.saturating_add(self.segment_dead(s)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Segments with a possibly-loose score bound, most-stale first
     /// (segment id breaks ties) — the maintenance pass's work queue.
     pub fn stale_segments(&self) -> Vec<usize> {
         let mut segs: Vec<(u32, usize)> = self
-            .segments
+            .meta
             .iter()
             .enumerate()
             .filter(|(_, m)| m.stale_ops > 0)
@@ -229,52 +325,18 @@ impl Store {
         segs.into_iter().map(|(_, s)| s).collect()
     }
 
-    /// Recomputes `seg`'s score bound as the exact maximum over alive
-    /// occupants (one sweep of the segment) and clears its staleness
-    /// counter. Returns whether the bound tightened. Purely a summary
-    /// rewrite: no tuple moves, no slot changes hands, and since the
-    /// bound only ever shrinks towards the true maximum, every scan
-    /// that consulted the old bound stays correct.
-    pub fn recompute_segment_bound(&mut self, seg: usize) -> bool {
-        let exact = self.alive_slots_in(seg).map(|s| self.scores[s as usize]).max().unwrap_or(0);
-        let meta = &mut self.segments[seg];
-        debug_assert!(exact <= meta.max_score, "segment bound was not an upper bound");
-        let tightened = exact < meta.max_score;
-        meta.max_score = exact;
-        meta.stale_ops = 0;
-        tightened
-    }
-
-    /// Debug-build audit: `seg`'s bound must equal the true maximum over
-    /// alive occupants. Called by the maintenance pass after every
-    /// compaction step; release builds compile it away.
-    pub fn debug_assert_bound_exact(&self, seg: usize) {
-        #[cfg(debug_assertions)]
-        {
-            let exact =
-                self.alive_slots_in(seg).map(|s| self.scores[s as usize]).max().unwrap_or(0);
-            assert_eq!(
-                self.segments[seg].max_score, exact,
-                "segment {seg}: bound not exact after compaction"
-            );
-            assert_eq!(self.segments[seg].stale_ops, 0, "segment {seg}: staleness not cleared");
-        }
-        #[cfg(not(debug_assertions))]
-        let _ = seg;
-    }
-
     /// The slot range covered by segment `seg`, clamped to allocated
     /// slots.
     #[inline]
     pub fn segment_range(&self, seg: usize) -> std::ops::Range<Slot> {
         let start = (seg * SEGMENT_SLOTS) as Slot;
-        let end = ((seg + 1) * SEGMENT_SLOTS).min(self.keys.len()) as Slot;
+        let end = ((seg + 1) * SEGMENT_SLOTS).min(self.allocated) as Slot;
         start..end
     }
 
     /// Segment ids with at least one alive tuple, ascending.
     pub fn live_segments(&self) -> impl Iterator<Item = usize> + '_ {
-        self.segments.iter().enumerate().filter(|(_, m)| m.alive > 0).map(|(s, _)| s)
+        self.meta.iter().enumerate().filter(|(_, m)| m.alive > 0).map(|(s, _)| s)
     }
 
     /// For every segment (descending max-score order, segment id as the
@@ -283,7 +345,7 @@ impl Store {
     /// heap floor beats the bound of the *next* segment.
     pub fn segments_by_score_desc(&self) -> Vec<(usize, u64)> {
         let mut order: Vec<(usize, u64)> = self
-            .segments
+            .meta
             .iter()
             .enumerate()
             .filter(|(_, m)| m.alive > 0)
@@ -297,9 +359,9 @@ impl Store {
     /// `>= seg` — the early-exit bound for *slot-ascending* scans
     /// (galloping intersections emit candidates in slot order).
     pub fn segment_suffix_max(&self) -> Vec<u64> {
-        let mut suffix = vec![0u64; self.segments.len()];
+        let mut suffix = vec![0u64; self.meta.len()];
         let mut best = 0u64;
-        for (s, meta) in self.segments.iter().enumerate().rev() {
+        for (s, meta) in self.meta.iter().enumerate().rev() {
             if meta.alive > 0 {
                 best = best.max(meta.max_score);
             }
@@ -308,20 +370,129 @@ impl Store {
         suffix
     }
 
+    /// Materialises a read-only view of the tuple at `slot`.
+    pub fn view(&self, slot: Slot) -> TupleView {
+        let (seg, off) = locate(slot);
+        let data = &self.segs[seg];
+        let values: Box<[ValueId]> = data.columns.iter().map(|col| ValueId(col[off])).collect();
+        let measures: Box<[f64]> = data.measures.iter().map(|col| col[off]).collect();
+        TupleView::new(TupleKey(data.keys[off]), values, measures)
+    }
+
+    /// Iterates over the slots of all alive tuples.
+    pub fn alive_slots(&self) -> impl Iterator<Item = Slot> + '_ {
+        self.segs.iter().enumerate().flat_map(|(seg, data)| {
+            let base = (seg * SEGMENT_SLOTS) as Slot;
+            data.alive
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a)
+                .map(move |(off, _)| base + off as Slot)
+        })
+    }
+
+    /// Iterates over the alive slots of one segment, ascending. Skipping
+    /// the scan entirely for empty segments is the caller's job (check
+    /// [`StoreCore::segment_alive`] first).
+    pub fn alive_slots_in(&self, seg: usize) -> impl Iterator<Item = Slot> + '_ {
+        let base = (seg * SEGMENT_SLOTS) as Slot;
+        self.segs[seg]
+            .alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(move |(off, _)| base + off as Slot)
+    }
+
+    /// Exact maximum score over alive occupants of `seg` (one sweep).
+    fn exact_segment_max(&self, seg: usize) -> u64 {
+        let data = &self.segs[seg];
+        data.alive
+            .iter()
+            .zip(data.scores.iter())
+            .filter(|(&a, _)| a)
+            .map(|(_, &score)| score)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Store {
+    /// Creates an empty store for `attr_count` attributes and
+    /// `measure_count` measures.
+    pub fn new(attr_count: usize, measure_count: usize) -> Self {
+        Self {
+            core: StoreCore {
+                attr_count,
+                measure_count,
+                segs: Vec::new(),
+                meta: Vec::new(),
+                allocated: 0,
+                alive_count: 0,
+            },
+            free: Vec::new(),
+            key_to_slot: HashMap::new(),
+        }
+    }
+
+    /// The shared read side, cloned cheaply into published snapshots.
+    pub fn core(&self) -> &StoreCore {
+        &self.core
+    }
+
+    /// Slot of an alive tuple by key.
+    pub fn slot_of(&self, key: TupleKey) -> Option<Slot> {
+        self.key_to_slot.get(&key.0).copied()
+    }
+
+    /// Iterates over `(key, slot)` of all alive tuples in unspecified order.
+    pub fn alive_keys(&self) -> impl Iterator<Item = (TupleKey, Slot)> + '_ {
+        self.key_to_slot.iter().map(|(&k, &s)| (TupleKey(k), s))
+    }
+
+    /// Recomputes `seg`'s score bound as the exact maximum over alive
+    /// occupants (one sweep of the segment) and clears its staleness
+    /// counter. Returns whether the bound tightened. Purely a summary
+    /// rewrite: no tuple moves, no slot changes hands, and since the
+    /// bound only ever shrinks towards the true maximum, every scan
+    /// that consulted the old bound stays correct.
+    pub fn recompute_segment_bound(&mut self, seg: usize) -> bool {
+        let exact = self.core.exact_segment_max(seg);
+        let meta = &mut self.core.meta[seg];
+        debug_assert!(exact <= meta.max_score, "segment bound was not an upper bound");
+        let tightened = exact < meta.max_score;
+        meta.max_score = exact;
+        meta.stale_ops = 0;
+        tightened
+    }
+
+    /// Debug-build audit: `seg`'s bound must equal the true maximum over
+    /// alive occupants. Called by the maintenance pass after every
+    /// compaction step; release builds compile it away.
+    pub fn debug_assert_bound_exact(&self, seg: usize) {
+        #[cfg(debug_assertions)]
+        {
+            let exact = self.core.exact_segment_max(seg);
+            assert_eq!(
+                self.core.meta[seg].max_score, exact,
+                "segment {seg}: bound not exact after compaction"
+            );
+            assert_eq!(self.core.meta[seg].stale_ops, 0, "segment {seg}: staleness not cleared");
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = seg;
+    }
+
     #[inline]
     fn note_insert(&mut self, slot: Slot, score: u64) {
-        let seg = segment_of(slot);
-        if seg >= self.segments.len() {
-            self.segments.resize(seg + 1, SegmentMeta::default());
-        }
-        let meta = &mut self.segments[seg];
+        let meta = &mut self.core.meta[segment_of(slot)];
         meta.alive += 1;
         meta.max_score = meta.max_score.max(score);
     }
 
     #[inline]
     fn note_delete(&mut self, slot: Slot) {
-        let meta = &mut self.segments[segment_of(slot)];
+        let meta = &mut self.core.meta[segment_of(slot)];
         meta.alive -= 1;
         if meta.alive == 0 {
             // Empty segment: the bound resets exactly for free.
@@ -343,34 +514,26 @@ impl Store {
         }
         let slot = match self.free.pop() {
             Some(s) => {
-                let i = s as usize;
-                for (a, col) in self.columns.iter_mut().enumerate() {
-                    col[i] = values[a].0;
-                }
-                for (m, col) in self.measure_cols.iter_mut().enumerate() {
-                    col[i] = measures[m];
-                }
-                self.keys[i] = key.0;
-                self.scores[i] = score;
-                self.alive[i] = true;
+                let (seg, off) = locate(s);
+                Arc::make_mut(&mut self.core.segs[seg])
+                    .write_row(off, &values, &measures, key.0, score);
                 s
             }
             None => {
-                let s = self.keys.len() as Slot;
-                for (a, col) in self.columns.iter_mut().enumerate() {
-                    col.push(values[a].0);
+                let s = self.core.allocated as Slot;
+                let seg = segment_of(s);
+                if seg == self.core.segs.len() {
+                    let (attrs, ms) = (self.core.attr_count, self.core.measure_count);
+                    self.core.segs.push(Arc::new(SegmentData::empty(attrs, ms)));
+                    self.core.meta.push(SegmentMeta::default());
                 }
-                for (m, col) in self.measure_cols.iter_mut().enumerate() {
-                    col.push(measures[m]);
-                }
-                self.keys.push(key.0);
-                self.scores.push(score);
-                self.alive.push(true);
+                Arc::make_mut(&mut self.core.segs[seg]).push_row(&values, &measures, key.0, score);
+                self.core.allocated += 1;
                 s
             }
         };
         self.key_to_slot.insert(key.0, slot);
-        self.alive_count += 1;
+        self.core.alive_count += 1;
         self.note_insert(slot, score);
         Ok(slot)
     }
@@ -378,9 +541,10 @@ impl Store {
     /// Deletes the alive tuple with `key`, returning the freed slot.
     pub fn delete(&mut self, key: TupleKey) -> Result<Slot, DbError> {
         let slot = self.key_to_slot.remove(&key.0).ok_or(DbError::UnknownKey(key))?;
-        self.alive[slot as usize] = false;
+        let (seg, off) = locate(slot);
+        Arc::make_mut(&mut self.core.segs[seg]).alive[off] = false;
         self.free.push(slot);
-        self.alive_count -= 1;
+        self.core.alive_count -= 1;
         self.note_delete(slot);
         Ok(slot)
     }
@@ -389,8 +553,10 @@ impl Store {
     /// change that does not move the tuple in the query tree).
     pub fn update_measures(&mut self, key: TupleKey, measures: &[f64]) -> Result<Slot, DbError> {
         let slot = self.slot_of(key).ok_or(DbError::UnknownKey(key))?;
-        for (m, col) in self.measure_cols.iter_mut().enumerate() {
-            col[slot as usize] = measures[m];
+        let (seg, off) = locate(slot);
+        let data = Arc::make_mut(&mut self.core.segs[seg]);
+        for (m, col) in data.measures.iter_mut().enumerate() {
+            col[off] = measures[m];
         }
         Ok(slot)
     }
@@ -400,8 +566,9 @@ impl Store {
     /// needed; a lowered score leaves the old bound standing (still a
     /// valid upper bound) and marks the bound stale for maintenance.
     pub fn set_score(&mut self, slot: Slot, score: u64) {
-        self.scores[slot as usize] = score;
-        let meta = &mut self.segments[segment_of(slot)];
+        let (seg, off) = locate(slot);
+        Arc::make_mut(&mut self.core.segs[seg]).scores[off] = score;
+        let meta = &mut self.core.meta[seg];
         if score >= meta.max_score {
             // The new score meets or beats the old bound, so it *is* the
             // segment's true maximum: the bound snaps back to exact.
@@ -412,32 +579,6 @@ impl Store {
             // maximum holder; the bound stays sound but possibly loose.
             meta.stale_ops = meta.stale_ops.saturating_add(1);
         }
-    }
-
-    /// Materialises a read-only view of the tuple at `slot`.
-    pub fn view(&self, slot: Slot) -> TupleView {
-        let i = slot as usize;
-        let values: Box<[ValueId]> = self.columns.iter().map(|col| ValueId(col[i])).collect();
-        let measures: Box<[f64]> = self.measure_cols.iter().map(|col| col[i]).collect();
-        TupleView::new(TupleKey(self.keys[i]), values, measures)
-    }
-
-    /// Iterates over the slots of all alive tuples.
-    pub fn alive_slots(&self) -> impl Iterator<Item = Slot> + '_ {
-        self.alive.iter().enumerate().filter(|(_, &a)| a).map(|(i, _)| i as Slot)
-    }
-
-    /// Iterates over `(key, slot)` of all alive tuples in unspecified order.
-    pub fn alive_keys(&self) -> impl Iterator<Item = (TupleKey, Slot)> + '_ {
-        self.key_to_slot.iter().map(|(&k, &s)| (TupleKey(k), s))
-    }
-
-    /// Iterates over the alive slots of one segment, ascending. Skipping
-    /// the scan entirely for empty segments is the caller's job (check
-    /// [`Store::segment_alive`] first).
-    pub fn alive_slots_in(&self, seg: usize) -> impl Iterator<Item = Slot> + '_ {
-        let range = self.segment_range(seg);
-        (range.start..range.end).filter(|&s| self.alive[s as usize])
     }
 }
 
@@ -617,5 +758,34 @@ mod tests {
         assert_eq!(desc, vec![(0, 40)]);
         let suffix = s.segment_suffix_max();
         assert_eq!(suffix, vec![40]);
+    }
+
+    /// A cloned `StoreCore` is an immutable snapshot: segment-granular
+    /// copy-on-write means later writer mutations never show through, and
+    /// untouched segments keep sharing the same blocks.
+    #[test]
+    fn core_clone_is_isolated_from_later_mutations() {
+        let mut s = Store::new(1, 1);
+        for key in 0..8u64 {
+            s.insert(t(key, &[0], &[key as f64]), key * 10).unwrap();
+        }
+        let snap = s.core().clone();
+        assert!(Arc::ptr_eq(&snap.segs[0], &s.core.segs[0]), "clone shares segment blocks");
+
+        s.delete(TupleKey(3)).unwrap();
+        s.update_measures(TupleKey(5), &[99.0]).unwrap();
+        s.insert(t(100, &[0], &[1.0]), 500).unwrap();
+
+        // The snapshot still sees the pre-mutation world, bit for bit.
+        assert_eq!(snap.len(), 8);
+        assert!(snap.is_alive(3));
+        assert_eq!(snap.measure_at(0, 5), 5.0);
+        assert_eq!(snap.segment_max_score(0), 70);
+        assert_eq!(snap.alive_slots().count(), 8);
+        // The writer moved on (slot 3 reused by key 100, score bound up).
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.key_at(3), TupleKey(100));
+        assert_eq!(s.segment_max_score(0), 500);
+        assert!(!Arc::ptr_eq(&snap.segs[0], &s.core.segs[0]), "writer copied on write");
     }
 }
