@@ -1,7 +1,7 @@
 //! perf_baseline — the standard, committed performance workload.
 //!
 //! Runs fixed workloads and writes a machine-readable report (default
-//! `BENCH_PR7.json`, see `--out`) so future PRs have a perf trajectory
+//! `BENCH_PR8.json`, see `--out`) so future PRs have a perf trajectory
 //! to beat:
 //!
 //! 1. **Interface microbench** — query throughput of the hidden-database
@@ -61,11 +61,22 @@
 //!     equal the one a private database frozen at epoch 0 produces
 //!     (`shared_service_bit_identical`), and aggregate read throughput
 //!     is recorded per client count.
+//! 12. **K-way block-max intersection** (PR 8) — conjunctions of
+//!     2/3/4/6 half-density predicates (every posting list ≈ N/2, the
+//!     regime where two-rarest + residual re-check pays the most per
+//!     candidate) on the canonical block-max score distribution: one
+//!     hot 256-slot block per segment with hot scores interleaved
+//!     across segments, so segment bounds are all near the maximum
+//!     (segment-granular pruning is blind) while block bounds still
+//!     discriminate. All four strategies must agree bit-for-bit
+//!     (`kway_identical`), and the block-max engine must beat the
+//!     better pair engine by ≥1.3× on the 4-predicate pool
+//!     (`kway_speedup_on_multipredicate`).
 //!
 //! The workloads are fixed on purpose — do not "tune" them in later
 //! PRs; add new sections instead, so the numbers stay comparable.
 //!
-//! Flags: `--out PATH` (default `BENCH_PR7.json`), `--threads N`
+//! Flags: `--out PATH` (default `BENCH_PR8.json`), `--threads N`
 //! (thread pool for the parallel track run; default auto).
 
 use std::time::Instant;
@@ -105,6 +116,8 @@ fn main() {
     let memo_adv = memo_adversarial();
     eprintln!(">>> perf_baseline: deep-query intersection engine");
     let intersection = intersection_engine();
+    eprintln!(">>> perf_baseline: k-way block-max intersection");
+    let kway = intersection_kway();
     eprintln!(">>> perf_baseline: early-exit overflow classification");
     let early_exit = early_exit_workload();
     eprintln!(">>> perf_baseline: ground-truth segment fan-out");
@@ -151,6 +164,7 @@ fn main() {
         .field("memo_little_change", memo_little)
         .field("memo_adversarial", memo_adv)
         .field("intersection", intersection)
+        .field("intersection_kway", kway)
         .field("early_exit", early_exit)
         .field("ground_truth_parallelism", ground_truth)
         .field("compaction", compaction)
@@ -171,7 +185,7 @@ struct Flags {
 
 impl Flags {
     fn parse() -> Self {
-        let mut flags = Flags { out: "BENCH_PR7.json".to_string(), threads: None };
+        let mut flags = Flags { out: "BENCH_PR8.json".to_string(), threads: None };
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
             let mut value =
@@ -184,7 +198,7 @@ impl Flags {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --out PATH (default BENCH_PR7.json)  --threads N (default auto)"
+                        "flags: --out PATH (default BENCH_PR8.json)  --threads N (default auto)"
                     );
                     std::process::exit(0);
                 }
@@ -561,9 +575,141 @@ fn intersection_engine() -> Json {
         .field("engine_speedup", engine_qps / recheck_qps)
         .field("gallop_intersections", stats.gallop_intersections)
         .field("bitset_intersections", stats.bitset_intersections)
+        .field("blockmax_intersections", stats.blockmax_intersections)
+        .field("blocks_scanned", stats.blocks_scanned)
+        .field("blocks_skipped", stats.blocks_skipped)
+        .field("pivot_advances", stats.pivot_advances)
         .field("early_exits", stats.early_exits)
         .field("intersect_identical", engine_fp == recheck_fp)
         .field("engine_beats_recheck", engine_qps > recheck_qps)
+}
+
+/// PR 8: the k-way block-max engine vs the pair strategies on
+/// conjunctions of 2/3/4/6 half-density predicates — six binary
+/// attributes populated from independent key bits, so every posting
+/// list covers ≈ N/2 tuples and a `p`-predicate conjunction selects
+/// ≈ N/2^p. This is the regime where two-rarest + residual re-check
+/// pays the most per candidate: the pair engines intersect two ~60 k
+/// lists and column-check the rest per survivor, while the block-max
+/// engine merges all lists at once.
+///
+/// The ranking is the canonical block-max motivating distribution: the
+/// top scorers live in one *hot* 256-slot block per segment, with the
+/// hot scores interleaved across segments so every segment's bound is
+/// within a hair of the global maximum. Segment-granular pruning is
+/// blind — no segment bound ever drops under the top-`k` floor, so the
+/// pair engines scan every segment end to end — while per-block bounds
+/// still discriminate perfectly: the block-max engine visits the ~30
+/// hot blocks and skips the other ~450 whole.
+/// `kway_identical` must always be true;
+/// `kway_speedup_on_multipredicate` asserts the ≥1.3× win on the
+/// 4-predicate pool against the better pair engine.
+fn intersection_kway() -> Json {
+    const SEGMENTS: u64 = 30;
+    const N: u64 = SEGMENTS * hidden_db::SEGMENT_SLOTS as u64;
+    const K: usize = 25;
+    const PASSES: usize = 10;
+    const ATTRS: usize = 6;
+
+    let block_slots = hidden_db::BLOCK_SLOTS as u64;
+    let blocks_per_segment = hidden_db::BLOCKS_PER_SEGMENT as u64;
+    // Hot block = the first block of each segment. Hot scores form one
+    // global staircase dealt round-robin across segments (rank
+    // `i * SEGMENTS + segment` within the hot set), so the true top-k
+    // spans many segments and every segment bound stays near the top.
+    // Cold tuples cycle far below.
+    let measure = move |key: u64| {
+        let in_block = key % block_slots;
+        if (key / block_slots).is_multiple_of(blocks_per_segment) {
+            1_000_000.0 - (in_block * SEGMENTS + key / (block_slots * blocks_per_segment)) as f64
+        } else {
+            in_block as f64
+        }
+    };
+    let fresh = |config: EvalConfig| {
+        let schema = hidden_db::schema::Schema::with_domain_sizes(&[2; ATTRS], &["m"])
+            .expect("valid schema");
+        let mut db =
+            hidden_db::HiddenDatabase::new(schema, K, ScoringPolicy::ByMeasureDesc(MeasureId(0)));
+        db.set_invalidation_policy(InvalidationPolicy::Disabled);
+        db.set_eval_config(config);
+        for key in 0..N {
+            let values = (0..ATTRS)
+                .map(|bit| hidden_db::value::ValueId(((key >> bit) & 1) as u32))
+                .collect();
+            db.insert(Tuple::new(TupleKey(key), values, vec![measure(key)])).expect("fresh key");
+        }
+        db
+    };
+    // All value combinations over the first `preds` attributes.
+    let pool_for = |preds: usize| -> Vec<ConjunctiveQuery> {
+        (0..1u32 << preds)
+            .map(|mask| {
+                ConjunctiveQuery::from_predicates((0..preds).map(|a| {
+                    Predicate::new(
+                        hidden_db::value::AttrId(a as u16),
+                        hidden_db::value::ValueId((mask >> a) & 1),
+                    )
+                }))
+            })
+            .collect()
+    };
+
+    let policies = [
+        ("blockmax", EvalConfig { early_exit: true, intersect: IntersectPolicy::BlockMax }),
+        ("gallop", EvalConfig { early_exit: true, intersect: IntersectPolicy::Gallop }),
+        ("bitset", EvalConfig { early_exit: true, intersect: IntersectPolicy::Bitset }),
+        ("recheck", EvalConfig { early_exit: false, intersect: IntersectPolicy::Recheck }),
+    ];
+    let mut dbs: Vec<(&str, hidden_db::HiddenDatabase)> =
+        policies.iter().map(|&(name, config)| (name, fresh(config))).collect();
+
+    let mut report = Json::obj()
+        .field("population", N)
+        .field("k", K)
+        .field("passes", PASSES)
+        .field("list_density", "each of 6 binary attributes covers ~N/2");
+    let mut all_identical = true;
+    let mut speedup4 = 0.0f64;
+    for preds in [2usize, 3, 4, 6] {
+        let pool = pool_for(preds);
+        let mut section = Json::obj().field("pool_queries", pool.len());
+        let mut fingerprints: Vec<u64> = Vec::new();
+        let mut qps_by_policy: Vec<f64> = Vec::new();
+        for (name, db) in dbs.iter_mut() {
+            let mut fp = 0xcbf2_9ce4_8422_2325u64;
+            let t0 = Instant::now();
+            for _ in 0..PASSES {
+                for q in &pool {
+                    fp = fold_outcome(fp, &db.answer(q));
+                }
+            }
+            let wall = t0.elapsed();
+            let qps = (PASSES * pool.len()) as f64 / wall.as_secs_f64();
+            fingerprints.push(fp);
+            qps_by_policy.push(qps);
+            section = section.field(&format!("{name}_queries_per_sec"), qps);
+        }
+        let identical = fingerprints.iter().all(|&fp| fp == fingerprints[0]);
+        all_identical &= identical;
+        section = section.field("identical", identical);
+        if preds == 4 {
+            // policies[0] is blockmax; [1]/[2] are the pair engines.
+            speedup4 = qps_by_policy[0] / qps_by_policy[1].max(qps_by_policy[2]);
+            section = section.field("blockmax_vs_best_pair_speedup", speedup4);
+        }
+        report = report.field(&format!("preds_{preds}"), section);
+    }
+    let stats = dbs[0].1.eval_stats();
+    report
+        .field("blockmax_intersections", stats.blockmax_intersections)
+        .field("blocks_scanned", stats.blocks_scanned)
+        .field("blocks_skipped", stats.blocks_skipped)
+        .field("pivot_advances", stats.pivot_advances)
+        .field("early_exits", stats.early_exits)
+        .field("speedup_4pred", speedup4)
+        .field("kway_identical", all_identical)
+        .field("kway_speedup_on_multipredicate", speedup4 >= 1.3)
 }
 
 /// PR 3: overflow-heavy `NewestFirst` scans with the heap-floor early
