@@ -73,10 +73,22 @@
 //!     better pair engine by ≥1.3× on the 4-predicate pool
 //!     (`kway_speedup_on_multipredicate`).
 //!
+//! 13. **Persistence tier** (PR 9) — the out-of-core pager on a fig12-
+//!     style size sweep (10⁵/10⁶/10⁷ tuples): each pool is built three
+//!     times — fully in RAM, and out-of-core at resident budgets of 1/4
+//!     and 1/16 of the segment count — churned (contiguous deletes,
+//!     strided measure updates, free-slot reuse), queried, and
+//!     ground-truth aggregated. Every fingerprint and aggregate must be
+//!     bit-identical across the three builds (`persistence_identical`)
+//!     and every paged build's residency high-water mark must respect
+//!     its budget (`resident_memory_bounded`). The largest size also
+//!     times a checkpoint + warm restart (`open_persistent`) whose
+//!     reopened fingerprint folds into the identity flag.
+//!
 //! The workloads are fixed on purpose — do not "tune" them in later
 //! PRs; add new sections instead, so the numbers stay comparable.
 //!
-//! Flags: `--out PATH` (default `BENCH_PR8.json`), `--threads N`
+//! Flags: `--out PATH` (default `BENCH_PR9.json`), `--threads N`
 //! (thread pool for the parallel track run; default auto).
 
 use std::time::Instant;
@@ -130,6 +142,8 @@ fn main() {
     let faults = fault_recovery(flags.pool());
     eprintln!(">>> perf_baseline: shared concurrent service");
     let shared = shared_service();
+    eprintln!(">>> perf_baseline: out-of-core persistence tier");
+    let persistence = persistence_tier();
     let report = Json::obj()
         .field("schema_version", 1u64)
         .field("report", "perf_baseline")
@@ -170,7 +184,8 @@ fn main() {
         .field("compaction", compaction)
         .field("revalidation", revalidation)
         .field("fault_recovery", faults)
-        .field("shared_service", shared);
+        .field("shared_service", shared)
+        .field("persistence", persistence);
     std::fs::write(&flags.out, report.pretty())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", flags.out));
     eprintln!(">>> perf_baseline: wrote {}", flags.out);
@@ -185,7 +200,7 @@ struct Flags {
 
 impl Flags {
     fn parse() -> Self {
-        let mut flags = Flags { out: "BENCH_PR8.json".to_string(), threads: None };
+        let mut flags = Flags { out: "BENCH_PR9.json".to_string(), threads: None };
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
             let mut value =
@@ -198,7 +213,7 @@ impl Flags {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --out PATH (default BENCH_PR8.json)  --threads N (default auto)"
+                        "flags: --out PATH (default BENCH_PR9.json)  --threads N (default auto)"
                     );
                     std::process::exit(0);
                 }
@@ -1299,6 +1314,182 @@ fn shared_service() -> Json {
         .field("memo_misses", last_memo.misses)
         .field("memo_hit_rate", last_memo.hit_rate())
         .field("shared_service_bit_identical", bit_identical)
+}
+
+/// PR 9: the out-of-core persistence tier on a fig12-style size sweep.
+///
+/// Per size `n`: the same deterministic pool (6 attributes and one
+/// measure derived from multiplicative key hashes) is built three ways —
+/// in RAM, and paged at resident budgets of `segments/4` and
+/// `segments/16` (min 2, pager-clamped) with the tier attached from the
+/// first insert, so residency is bounded through the *entire* build, not
+/// just at query time. Each build then takes the same churn (a
+/// contiguous 2 % delete window, strided measure updates, and fresh
+/// inserts that reuse freed slots), answers the same query pool, and
+/// computes the same ground-truth aggregates.
+///
+/// `persistence_identical`: every fingerprint and aggregate bit agrees
+/// across all three builds at every size — paging is invisible to
+/// answers. `resident_memory_bounded`: every paged build's
+/// `peak_resident_segments` stays within its budget. At the largest
+/// size the 1/4-budget build is also checkpointed and reopened
+/// (`open_persistent`); the reopened database must reproduce the query
+/// fingerprint, and both walls are recorded.
+fn persistence_tier() -> Json {
+    const DOMAINS: [u32; 6] = [4, 3, 5, 2, 6, 2];
+    const K: usize = 100;
+    // Debug builds sweep toy sizes (the flags still must hold); the
+    // committed report is release-built at the full fig12-style sweep.
+    let sizes: &[usize] =
+        if cfg!(debug_assertions) { &[20_000, 60_000] } else { &[100_000, 1_000_000, 10_000_000] };
+
+    let schema = hidden_db::schema::Schema::with_domain_sizes(&DOMAINS, &["m"]).unwrap();
+    let value_of = |key: u64, a: usize| {
+        (key.wrapping_mul(2654435761).rotate_left(a as u32 * 7) % u64::from(DOMAINS[a])) as u32
+    };
+    let measure_of = |key: u64| (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64;
+    let tuple_of = |key: u64| {
+        Tuple::new(
+            TupleKey(key),
+            (0..DOMAINS.len()).map(|a| hidden_db::value::ValueId(value_of(key, a))).collect(),
+            vec![measure_of(key)],
+        )
+    };
+    let pool = {
+        let mut pool = vec![ConjunctiveQuery::select_all()];
+        for a in [0u16, 1] {
+            for v in 0..DOMAINS[a as usize] {
+                pool.push(ConjunctiveQuery::from_predicates([Predicate::new(
+                    hidden_db::value::AttrId(a),
+                    hidden_db::value::ValueId(v),
+                )]));
+            }
+        }
+        pool.push(ConjunctiveQuery::from_predicates([
+            Predicate::new(hidden_db::value::AttrId(2), hidden_db::value::ValueId(1)),
+            Predicate::new(hidden_db::value::AttrId(4), hidden_db::value::ValueId(3)),
+        ]));
+        pool
+    };
+
+    struct BuildOut {
+        db: hidden_db::HiddenDatabase,
+        build_wall_s: f64,
+        query_wall_s: f64,
+        fingerprint: u64,
+        count: u64,
+        sum_bits: u64,
+    }
+    let run = |n: usize, persist: Option<(&std::path::Path, usize)>| -> BuildOut {
+        let mut db = hidden_db::HiddenDatabase::new(schema.clone(), K, ScoringPolicy::default());
+        // No memo: every answer must travel the paged eval path.
+        db.set_invalidation_policy(InvalidationPolicy::Disabled);
+        if let Some((dir, budget)) = persist {
+            db.enable_persist(&hidden_db::PersistConfig::new(dir, budget))
+                .expect("--persist dir must be writable");
+        }
+        let t0 = Instant::now();
+        for key in 0..n as u64 {
+            db.insert(tuple_of(key)).expect("unique keys");
+        }
+        // Churn: a contiguous 2 % delete window (sequential segments, so
+        // the paged builds fault a bounded strip), strided measure
+        // updates, then fresh inserts that pop the freed slots.
+        let lo = (n / 2) as u64;
+        let hi = lo + (n / 50) as u64;
+        for key in lo..hi {
+            db.delete(TupleKey(key)).expect("alive key");
+        }
+        for key in (0..lo).step_by(2_048) {
+            db.update_measures(TupleKey(key), vec![measure_of(key) + 1.0]).expect("alive key");
+        }
+        for i in 0..(n / 200) as u64 {
+            db.insert(tuple_of(10 * n as u64 + i)).expect("fresh key");
+        }
+        let build_wall_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+        for q in &pool {
+            fingerprint = fold_outcome(fingerprint, &db.answer(q));
+        }
+        let count = db.exact_count(None);
+        let sum_bits = db.exact_sum(None, |t| t.measure(MeasureId(0))).to_bits();
+        let query_wall_s = t0.elapsed().as_secs_f64();
+        BuildOut { db, build_wall_s, query_wall_s, fingerprint, count, sum_bits }
+    };
+
+    let scratch =
+        std::env::temp_dir().join(format!("aggtrack-persist-bench-{}", std::process::id()));
+    let mut report = Json::obj()
+        .field("attrs", DOMAINS.len())
+        .field("k", K)
+        .field("pool_queries", pool.len())
+        .field("churn", "2% contiguous deletes, 1/2048 measure updates, 0.5% reinserts");
+    let mut identical = true;
+    let mut bounded = true;
+    let largest = *sizes.last().unwrap();
+    for &n in sizes {
+        let segments = (n + n / 200).div_ceil(hidden_db::SEGMENT_SLOTS);
+        let ram = run(n, None);
+        let mut section = Json::obj().field("segments", segments).field(
+            "in_ram",
+            Json::obj()
+                .field("build_wall_s", ram.build_wall_s)
+                .field("query_wall_s", ram.query_wall_s)
+                .field("inserts_per_sec", n as f64 / ram.build_wall_s.max(f64::MIN_POSITIVE)),
+        );
+        for (label, frac) in [("budget_quarter", 4usize), ("budget_sixteenth", 16)] {
+            let budget = (segments / frac).max(2);
+            let dir = scratch.join(format!("{n}-{frac}"));
+            let out = run(n, Some((&dir, budget)));
+            let stats = out.db.persist_stats();
+            identical &= out.fingerprint == ram.fingerprint
+                && out.count == ram.count
+                && out.sum_bits == ram.sum_bits;
+            bounded &= stats.peak_resident_segments <= budget as u64;
+            let mut sub = Json::obj()
+                .field("resident_budget", budget)
+                .field("build_wall_s", out.build_wall_s)
+                .field("query_wall_s", out.query_wall_s)
+                .field("inserts_per_sec", n as f64 / out.build_wall_s.max(f64::MIN_POSITIVE))
+                .field("segments_spilled", stats.segments_spilled)
+                .field("segments_faulted", stats.segments_faulted)
+                .field("evictions", stats.evictions)
+                .field("bytes_on_disk", stats.bytes_on_disk)
+                .field("resident_segments", stats.resident_segments)
+                .field("peak_resident_segments", stats.peak_resident_segments);
+            // Warm restart at the largest size, 1/4 budget: checkpoint
+            // the churned pool, reopen from the journal, re-answer.
+            if n == largest && frac == 4 {
+                let t0 = Instant::now();
+                out.db.checkpoint().expect("checkpoint must succeed");
+                let checkpoint_wall_s = t0.elapsed().as_secs_f64();
+                drop(out);
+                let t0 = Instant::now();
+                let mut reopened = hidden_db::HiddenDatabase::open_persistent(
+                    &hidden_db::PersistConfig::new(&dir, budget),
+                )
+                .expect("journal has a durable snapshot");
+                let reopen_wall_s = t0.elapsed().as_secs_f64();
+                reopened.set_invalidation_policy(InvalidationPolicy::Disabled);
+                let mut fp = 0xcbf2_9ce4_8422_2325u64;
+                for q in &pool {
+                    fp = fold_outcome(fp, &reopened.answer(q));
+                }
+                identical &= fp == ram.fingerprint;
+                sub = sub
+                    .field("checkpoint_wall_s", checkpoint_wall_s)
+                    .field("reopen_wall_s", reopen_wall_s)
+                    .field("reopened_identical", fp == ram.fingerprint);
+            }
+            section = section.field(label, sub);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        report = report.field(&format!("size_{n}"), section);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    report.field("persistence_identical", identical).field("resident_memory_bounded", bounded)
 }
 
 fn outcomes_bit_identical(a: &TrackOutcome, b: &TrackOutcome) -> bool {

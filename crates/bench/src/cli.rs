@@ -22,8 +22,13 @@
 //!   `pressure:64` compacts after any round that leaves a segment with
 //!   pressure (stale bound ops + dead slots) ≥ 64. Outcome-invariant
 //!   like `--maintain`.
+//! * `--persist <dir>,resident:<N>` — attach the out-of-core persistence
+//!   tier to every trial database: segment columns live in a region file
+//!   under `<dir>` (one subdirectory per trial) with at most `N`
+//!   segments resident in memory. Outcome-invariant by construction —
+//!   paging never changes an answer bit.
 
-use hidden_db::{AutoMaintain, InvalidationPolicy};
+use hidden_db::{AutoMaintain, InvalidationPolicy, PersistConfig};
 use workloads::DeleteSpec;
 
 /// Interface fault-injection mode for the experiment loop.
@@ -76,6 +81,8 @@ pub struct Cli {
     pub faults: Option<FaultsMode>,
     /// Pressure-triggered automatic maintenance override.
     pub auto_maintain: Option<AutoMaintain>,
+    /// Out-of-core persistence tier for trial databases.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Cli {
@@ -137,12 +144,18 @@ impl Cli {
                             .unwrap_or_else(|e| panic!("{e}")),
                     )
                 }
+                "--persist" => {
+                    cli.persist = Some(
+                        PersistConfig::parse(&value("--persist")).unwrap_or_else(|e| panic!("{e}")),
+                    )
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale quick|default|paper  --trials N  --rounds N  \
                          --budget N  --seed N  --memo incremental|wholesale|disabled  \
                          --maintain off|N  --faults off|seeded:<rate>  \
-                         --auto-maintain off|pressure:<t>"
+                         --auto-maintain off|pressure:<t>  \
+                         --persist <dir>,resident:<N>"
                     );
                     std::process::exit(0);
                 }
@@ -191,6 +204,11 @@ pub struct BaseCfg {
     /// updates, compact if any segment's pressure reached the threshold.
     /// Outcome-invariant like `maintain_slots`.
     pub auto_maintain: AutoMaintain,
+    /// Out-of-core persistence tier (PR 9): when set, every trial
+    /// database pages its segments through a region file in a unique
+    /// subdirectory of `dir`, holding at most `resident_segments` in
+    /// memory. Outcome-invariant like the other knobs.
+    pub persist: Option<PersistConfig>,
 }
 
 impl BaseCfg {
@@ -211,6 +229,7 @@ impl BaseCfg {
                 maintain_slots: None,
                 faults: FaultsMode::Off,
                 auto_maintain: AutoMaintain::Off,
+                persist: None,
             },
             Scale::Default => Self {
                 initial: 30_000,
@@ -227,6 +246,7 @@ impl BaseCfg {
                 maintain_slots: None,
                 faults: FaultsMode::Off,
                 auto_maintain: AutoMaintain::Off,
+                persist: None,
             },
             Scale::Paper => Self {
                 initial: 170_000,
@@ -242,6 +262,7 @@ impl BaseCfg {
                 maintain_slots: None,
                 faults: FaultsMode::Off,
                 auto_maintain: AutoMaintain::Off,
+                persist: None,
             },
         }
     }
@@ -271,6 +292,9 @@ impl BaseCfg {
         }
         if let Some(a) = cli.auto_maintain {
             self.auto_maintain = a;
+        }
+        if let Some(p) = &cli.persist {
+            self.persist = Some(p.clone());
         }
         self
     }
@@ -392,6 +416,22 @@ mod tests {
     #[should_panic(expected = "off|pressure:<t>")]
     fn bogus_auto_maintain_panics() {
         parse(&["--auto-maintain", "sometimes"]);
+    }
+
+    #[test]
+    fn persist_flag_parses_and_applies() {
+        assert_eq!(BaseCfg::from_cli(&parse(&[])).persist, None, "off by default");
+        let cli = parse(&["--persist", "/tmp/pool,resident:64"]);
+        let cfg = cli.persist.clone().expect("parsed");
+        assert_eq!(cfg.dir, std::path::PathBuf::from("/tmp/pool"));
+        assert_eq!(cfg.resident_segments, 64);
+        assert_eq!(BaseCfg::from_cli(&cli).persist, Some(cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "resident:")]
+    fn bogus_persist_spec_panics() {
+        parse(&["--persist", "/tmp/pool"]);
     }
 
     #[test]

@@ -18,16 +18,18 @@ use crate::errors::DbError;
 use crate::index::{gallop_to, InvertedIndex, SortedPostings};
 use crate::interface::{slot_matches, CachedEval, QueryOutcome, TopK};
 use crate::memo::{InvalidationPolicy, QueryMemo};
+use crate::persist::{Pager, PersistConfig};
 use crate::query::{ConjunctiveQuery, Predicate};
 use crate::ranking::ScoringPolicy;
 use crate::schema::Schema;
-use crate::stats::{EvalStats, InterfaceStats, MaintenanceStats, MemoStats};
+use crate::stats::{EvalStats, InterfaceStats, MaintenanceStats, MemoStats, PersistStats};
 use crate::store::{segment_of, Slot, Store, StoreCore, BLOCK_SLOTS, SEGMENT_SLOTS};
 use crate::tuple::Tuple;
 use crate::updates::{UpdateBatch, UpdateFootprint, UpdateSummary};
 use crate::value::{AttrId, MeasureId, TupleKey, ValueId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::io;
 
 /// How multi-predicate queries pick their intersection strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -436,6 +438,114 @@ impl HiddenDatabase {
     /// disclose it).
     pub fn scoring_policy(&self) -> ScoringPolicy {
         self.scoring
+    }
+
+    // ----- persistence tier -----------------------------------------------
+
+    /// Attaches the out-of-core persistence tier: segment data pages
+    /// between memory and `cfg.dir/segments.dat` under a
+    /// `cfg.resident_segments` budget (see [`crate::persist`]), spilling
+    /// the cold majority immediately. **Outcome-invariant**: every
+    /// answer, page, and tie-break is bit-identical to the all-RAM
+    /// database (pinned by the out-of-core oracle proptest); only
+    /// wall-clock and resident memory move.
+    ///
+    /// Errors if a tier is already attached or the region file cannot be
+    /// created.
+    pub fn enable_persist(&mut self, cfg: &PersistConfig) -> io::Result<()> {
+        if self.persist_enabled() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "persistence tier already enabled",
+            ));
+        }
+        let pager = Pager::open(
+            &cfg.dir,
+            self.schema.attr_count(),
+            self.schema.measure_count(),
+            cfg.resident_segments,
+        )?;
+        self.store.attach_pager(pager);
+        Ok(())
+    }
+
+    /// Whether the persistence tier is attached.
+    pub fn persist_enabled(&self) -> bool {
+        self.store.pager().is_some()
+    }
+
+    /// Paging counters (spills, faults, cache evictions, on-disk bytes,
+    /// residency high-water mark). All zeros without the tier.
+    pub fn persist_stats(&self) -> PersistStats {
+        self.store.pager().map(|p| p.stats()).unwrap_or_default()
+    }
+
+    /// Appends a durable full-state snapshot (codec v2: segment data
+    /// plus all warm state — segment/block score bounds, posting-list
+    /// block directories, the free list) to the journal in the persist
+    /// directory and fsyncs. `&self` on purpose: checkpointing reads
+    /// through the paged view and serialises index lists verbatim, so it
+    /// can run between any two mutations without touching warm state.
+    ///
+    /// Errors if the tier is not enabled.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let pager = self.store.pager().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "checkpoint requires --persist")
+        })?;
+        let mut payload = Vec::new();
+        crate::codec::write_snapshot(self, &mut payload)?;
+        crate::persist::append_journal_record(
+            &pager.dir().join(crate::persist::JOURNAL_FILE),
+            &payload,
+        )
+    }
+
+    /// Warm restart: recovers the last durable [`checkpoint`] from
+    /// `cfg.dir`'s journal (ignoring any torn tail from a crash
+    /// mid-append) and re-attaches the persistence tier. The restored
+    /// database carries every bound, block directory, and free-list
+    /// entry of the checkpointed one, so it evolves bit-identically from
+    /// here — no cold-start recompute.
+    ///
+    /// Errors with [`io::ErrorKind::NotFound`] when the journal holds no
+    /// valid record.
+    ///
+    /// [`checkpoint`]: HiddenDatabase::checkpoint
+    pub fn open_persistent(cfg: &PersistConfig) -> io::Result<Self> {
+        let journal = cfg.dir.join(crate::persist::JOURNAL_FILE);
+        let payload = crate::persist::read_last_journal_record(&journal)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "no durable snapshot in the journal")
+        })?;
+        let mut db = crate::codec::read_snapshot(&mut &payload[..])?;
+        db.enable_persist(cfg)?;
+        Ok(db)
+    }
+
+    /// The store, for the codec's verbatim snapshot walk.
+    pub(crate) fn store_ref(&self) -> &Store {
+        &self.store
+    }
+
+    /// The index, for the codec's verbatim snapshot walk.
+    pub(crate) fn index_ref(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Rebuilds a database from restored snapshot state (codec v2):
+    /// store and index verbatim, fresh version/memo/stats (the memo is
+    /// an epoch cache — a restarted process starts a new epoch; answers
+    /// are unaffected).
+    pub(crate) fn from_restored(
+        schema: Schema,
+        k: usize,
+        scoring: ScoringPolicy,
+        store: Store,
+        index: InvertedIndex,
+    ) -> Self {
+        let mut db = Self::new(schema, k, scoring);
+        db.store = store;
+        db.index = index;
+        db
     }
 
     /// Version bump with a wholesale memo clear — for mutations that can
@@ -883,8 +993,14 @@ fn eval_root(store: &StoreCore, k: usize, config: EvalConfig, stats: &mut EvalSt
             stats.segments_skipped += (order.len() - i) as u64;
             break;
         }
-        for slot in store.alive_slots_in(seg) {
-            topk.offer(store.score_at(slot), slot);
+        // One paged view per segment: with the persistence tier attached
+        // this is a single fault instead of two per slot.
+        let data = store.seg_view(seg);
+        let base = (seg * SEGMENT_SLOTS) as Slot;
+        for (off, (&a, &score)) in data.alive.iter().zip(data.scores.iter()).enumerate() {
+            if a {
+                topk.offer(score, base + off as Slot);
+            }
         }
     }
     topk.finish(store)
@@ -2124,5 +2240,80 @@ mod tests {
                 "{workers}-thread root sum drifted"
             );
         }
+    }
+
+    fn persist_cfg(name: &str, resident: usize) -> crate::persist::PersistConfig {
+        let dir =
+            std::env::temp_dir().join(format!("hidden-db-database-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::persist::PersistConfig::new(dir, resident)
+    }
+
+    /// The warm-restart promise end to end: checkpoint, drop the
+    /// database, `open_persistent` — and the reopened database answers
+    /// and evolves identically, out-of-core the whole way.
+    #[test]
+    fn checkpoint_and_open_persistent_roundtrip() {
+        let cfg = persist_cfg("roundtrip", 2);
+        let n = (crate::store::SEGMENT_SLOTS * 2 + 333) as u64;
+        let mut d = db();
+        d.enable_persist(&cfg).unwrap();
+        assert!(d.persist_enabled());
+        for key in 0..n {
+            d.insert(t(key, (key % 2) as u32, (key % 3) as u32, key as f64)).unwrap();
+        }
+        for key in (0..n).step_by(11) {
+            d.delete(TupleKey(key)).unwrap();
+        }
+        let probe = q(&[(0, 1), (1, 2)]);
+        let before = d.answer(&probe);
+        d.checkpoint().unwrap();
+
+        drop(d);
+        let mut re = HiddenDatabase::open_persistent(&cfg).unwrap();
+        assert!(re.persist_enabled());
+        assert_eq!(re.answer(&probe), before);
+        assert!(
+            re.persist_stats().peak_resident_segments <= 2,
+            "reopen must stay inside the resident budget"
+        );
+        // Post-restart evolution still matches an in-RAM twin of the
+        // same history (slot reuse included).
+        re.insert(t(n + 1, 1, 2, -5.0)).unwrap();
+        let out = re.answer(&probe);
+        assert!(out.tuples().iter().any(|v| v.key() == TupleKey(n + 1)));
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    /// Checkpoints are cumulative journal records: reopening always
+    /// resumes from the *last* durable one.
+    #[test]
+    fn reopen_resumes_from_latest_checkpoint() {
+        let cfg = persist_cfg("latest", 4);
+        let mut d = db();
+        d.enable_persist(&cfg).unwrap();
+        d.insert(t(1, 0, 0, 1.0)).unwrap();
+        d.checkpoint().unwrap();
+        d.insert(t(2, 1, 1, 2.0)).unwrap();
+        d.checkpoint().unwrap();
+        drop(d);
+        let re = HiddenDatabase::open_persistent(&cfg).unwrap();
+        assert_eq!(re.len(), 2);
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn persist_misuse_is_rejected() {
+        let cfg = persist_cfg("misuse", 2);
+        let mut d = db();
+        assert!(d.checkpoint().is_err(), "checkpoint without a tier must fail");
+        assert_eq!(d.persist_stats(), crate::stats::PersistStats::default());
+        d.enable_persist(&cfg).unwrap();
+        assert!(d.enable_persist(&cfg).is_err(), "double enable must fail");
+        // A fresh dir with no journal has nothing to open.
+        let empty = persist_cfg("misuse-empty", 2);
+        assert!(HiddenDatabase::open_persistent(&empty).is_err());
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+        let _ = std::fs::remove_dir_all(&empty.dir);
     }
 }

@@ -91,18 +91,18 @@ impl SeenSlots {
 }
 
 #[derive(Debug, Clone, Default)]
-struct PostingList {
+pub(crate) struct PostingList {
     /// Slots that at some point carried the value. May contain tombstones.
-    slots: Vec<Slot>,
+    pub(crate) slots: Vec<Slot>,
     /// Upper bound on tombstones in `slots`.
-    dead: usize,
+    pub(crate) dead: usize,
     /// Whether `slots` is sorted ascending (duplicates adjacent). Appends
     /// in ascending order preserve it; slot-reuse appends clear it.
-    sorted: bool,
+    pub(crate) sorted: bool,
     /// Segment runs over `slots`, valid only while `sorted`: one
     /// `(segment, start offset)` per store segment with ≥ 1 posting; the
     /// run ends where the next one starts (or at `slots.len()`).
-    runs: Vec<(u32, u32)>,
+    pub(crate) runs: Vec<(u32, u32)>,
     /// Block-max directory: one `(global block, score upper bound)` per
     /// store block with ≥ 1 posting, ascending by block id. Unlike
     /// `runs` this stays valid even while the list is dirty — bounds
@@ -110,7 +110,7 @@ struct PostingList {
     /// remove members (a bound over a superset still bounds the
     /// subset). [`PostingList::compact`] rebuilds the bounds exactly
     /// from the surviving (revalidated) postings.
-    blocks: Vec<(u32, u64)>,
+    pub(crate) blocks: Vec<(u32, u64)>,
 }
 
 impl PostingList {
@@ -530,6 +530,37 @@ impl InvertedIndex {
                 f(s);
             }
         }
+    }
+
+    /// Every posting list that differs from the default empty state, as
+    /// `(attr index, value index, list)` in deterministic `(attr, value)`
+    /// order — the codec's snapshot walk. Lists are persisted *verbatim*
+    /// (tombstones, dirty flags, directories and all) so a restored
+    /// index is byte-equivalent to the snapshotted one and evolves
+    /// identically from there.
+    pub(crate) fn lists_for_snapshot(
+        &self,
+    ) -> impl Iterator<Item = (usize, usize, &PostingList)> + '_ {
+        self.lists.iter().enumerate().flat_map(|(a, attr_lists)| {
+            attr_lists.iter().enumerate().filter_map(move |(v, list)| {
+                let nontrivial = !list.slots.is_empty()
+                    || list.dead > 0
+                    || !list.runs.is_empty()
+                    || !list.blocks.is_empty();
+                nontrivial.then_some((a, v, &**list))
+            })
+        })
+    }
+
+    /// Rebuilds an index from restored snapshot lists (codec v2). Lists
+    /// not named keep the shared default-empty state, exactly as
+    /// [`InvertedIndex::new`] makes them.
+    pub(crate) fn from_restored(schema: &Schema, lists: Vec<(usize, usize, PostingList)>) -> Self {
+        let mut idx = Self::new(schema);
+        for (a, v, list) in lists {
+            idx.lists[a][v] = Arc::new(list);
+        }
+        idx
     }
 
     /// Fully rebuilds the index from the store (used by tests and after

@@ -61,6 +61,7 @@ pub mod fault;
 pub mod index;
 pub mod interface;
 mod memo;
+pub mod persist;
 pub mod query;
 pub mod ranking;
 pub mod schema;
@@ -85,12 +86,15 @@ pub use fault::{
 pub use index::IndexMaintenance;
 pub use interface::{OutcomeClass, QueryOutcome};
 pub use memo::{InvalidationPolicy, DEFAULT_MEMO_CAPACITY};
+pub use persist::PersistConfig;
 pub use query::{ConjunctiveQuery, Predicate};
 pub use ranking::ScoringPolicy;
 pub use schema::{AttributeDef, MeasureDef, Schema};
 pub use service::{AutoMaintain, DbService, DbSnapshot, ServiceSession, ServiceStats};
 pub use session::{SearchBackend, SearchSession};
-pub use stats::{EvalStats, InterfaceStats, MaintenanceStats, MemoStats, SharedMemoStats};
+pub use stats::{
+    EvalStats, InterfaceStats, MaintenanceStats, MemoStats, PersistStats, SharedMemoStats,
+};
 pub use store::{block_of, segment_of, BLOCKS_PER_SEGMENT, BLOCK_SLOTS, SEGMENT_SLOTS};
 pub use tuple::{Tuple, TupleView};
 pub use updates::{UpdateBatch, UpdateFootprint, UpdateSummary};

@@ -49,6 +49,7 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 use crate::errors::DbError;
+use crate::persist::Pager;
 use crate::tuple::{Tuple, TupleView};
 use crate::value::{TupleKey, ValueId};
 
@@ -116,16 +117,16 @@ fn locate(slot: Slot) -> (usize, usize) {
 
 /// Per-segment summary maintained incrementally by the store.
 #[derive(Debug, Clone, Copy, Default)]
-struct SegmentMeta {
+pub(crate) struct SegmentMeta {
     /// Alive tuples in the segment.
-    alive: u32,
+    pub(crate) alive: u32,
     /// Upper bound on the hidden score of any alive occupant. May
     /// overestimate after deletes/score-drops; never underestimates.
-    max_score: u64,
+    pub(crate) max_score: u64,
     /// Mutations since `max_score` was last known exact (deletes and
     /// in-place score drops — the two operations that can leave the
     /// bound standing above the true maximum). `0` means exact.
-    stale_ops: u32,
+    pub(crate) stale_ops: u32,
     /// Per-block score upper bounds (block `b` covers local slots
     /// `b * BLOCK_SLOTS .. (b+1) * BLOCK_SLOTS`). Same soundness
     /// contract as `max_score` — never understates — but looseness is
@@ -133,39 +134,59 @@ struct SegmentMeta {
     /// an exact *segment* bound (a score raise snaps it back without a
     /// sweep), while block bounds are guaranteed exact only right after
     /// [`Store::recompute_segment_bound`] rebuilds them.
-    block_max: [u64; BLOCKS_PER_SEGMENT],
+    pub(crate) block_max: [u64; BLOCKS_PER_SEGMENT],
+    /// CLOCK reference bit for the persistence tier's writer-side
+    /// eviction sweep: set on every writer touch, cleared as the hand
+    /// passes. Meaningless (and harmlessly carried) without a pager.
+    pub(crate) ref_bit: bool,
 }
 
 /// One segment's column data: up to [`SEGMENT_SLOTS`] rows, grown lazily
 /// as slots are allocated. Shared between the writer and any published
 /// snapshots via [`Arc`]; mutated only through [`Arc::make_mut`].
+///
+/// With the persistence tier attached, a segment may instead be
+/// **evicted**: its slot in `StoreCore::segs` holds the pager's shared
+/// empty tombstone (`evicted == true`) and the real rows live in the
+/// region file until a read faults them back or the writer reclaims
+/// them for mutation.
 #[derive(Debug, Clone)]
-struct SegmentData {
+pub(crate) struct SegmentData {
     /// `columns[a][off]` = value code of attribute `a` for local slot `off`.
-    columns: Vec<Vec<u32>>,
+    pub(crate) columns: Vec<Vec<u32>>,
     /// `measures[m][off]` = measure value.
-    measures: Vec<Vec<f64>>,
+    pub(crate) measures: Vec<Vec<f64>>,
     /// `keys[off]` = external key of the occupant (stale if dead).
-    keys: Vec<u64>,
+    pub(crate) keys: Vec<u64>,
     /// `scores[off]` = hidden ranking score of the occupant.
-    scores: Vec<u64>,
+    pub(crate) scores: Vec<u64>,
     /// Liveness per local slot.
-    alive: Vec<bool>,
+    pub(crate) alive: Vec<bool>,
+    /// Whether this is an eviction tombstone (rows on disk, not here).
+    /// Always `false` for real data; the pager's shared tombstone is the
+    /// only instance with `true`.
+    pub(crate) evicted: bool,
 }
 
 impl SegmentData {
-    fn empty(attr_count: usize, measure_count: usize) -> Self {
+    pub(crate) fn empty(attr_count: usize, measure_count: usize) -> Self {
         Self {
             columns: vec![Vec::new(); attr_count],
             measures: vec![Vec::new(); measure_count],
             keys: Vec::new(),
             scores: Vec::new(),
             alive: Vec::new(),
+            evicted: false,
         }
     }
 
+    /// The shared placeholder installed in place of evicted segments.
+    pub(crate) fn tombstone() -> Self {
+        Self { evicted: true, ..Self::empty(0, 0) }
+    }
+
     /// Appends a row at the next local offset (caller tracks allocation).
-    fn push_row(&mut self, values: &[ValueId], measures: &[f64], key: u64, score: u64) {
+    pub(crate) fn push_row(&mut self, values: &[ValueId], measures: &[f64], key: u64, score: u64) {
         for (a, col) in self.columns.iter_mut().enumerate() {
             col.push(values[a].0);
         }
@@ -178,7 +199,7 @@ impl SegmentData {
     }
 
     /// Overwrites the row at local offset `off` (slot reuse).
-    fn write_row(
+    pub(crate) fn write_row(
         &mut self,
         off: usize,
         values: &[ValueId],
@@ -198,18 +219,51 @@ impl SegmentData {
     }
 }
 
+/// A borrowed-or-faulted view of one segment's data: the uniform read
+/// path over resident and evicted segments. Resident segments come back
+/// as a plain borrow (`Ram`, the all-RAM fast path — one predicted
+/// branch over the previous direct indexing); evicted segments fault
+/// through the pager's bounded read cache (`Hot`). `Deref` makes the
+/// two cases indistinguishable to accessors.
+#[derive(Debug)]
+pub(crate) enum SegView<'a> {
+    /// Segment is resident in the store.
+    Ram(&'a SegmentData),
+    /// Segment was faulted in from the persistence tier.
+    Hot(Arc<SegmentData>),
+}
+
+impl Deref for SegView<'_> {
+    type Target = SegmentData;
+
+    #[inline]
+    fn deref(&self) -> &SegmentData {
+        match self {
+            SegView::Ram(d) => d,
+            SegView::Hot(a) => a,
+        }
+    }
+}
+
 /// The read side of the store: `Arc`-shared segment data blocks plus the
 /// per-segment summaries. Everything query evaluation, ground truth, and
 /// the memo need lives here; cloning is cheap (reference-count bumps plus
 /// the summary vector), which is what makes publishing an immutable
 /// snapshot per epoch affordable. [`Store`] derefs to this, so owner-side
 /// code reads through the same API.
-#[derive(Debug, Clone)]
+///
+/// Cloning a core that has a persistence tier attached **materialises**
+/// it: evicted segments are read back from disk and the clone is fully
+/// resident with no pager — snapshots are self-contained and never
+/// compete for the resident budget (the documented trade: publishing a
+/// snapshot of an out-of-core database pins the whole pool in RAM).
+#[derive(Debug)]
 pub struct StoreCore {
     attr_count: usize,
     measure_count: usize,
     /// Segment data blocks; segment `s` covers slots
-    /// `s * SEGMENT_SLOTS .. (s+1) * SEGMENT_SLOTS`.
+    /// `s * SEGMENT_SLOTS .. (s+1) * SEGMENT_SLOTS`. With a pager
+    /// attached, entries may be the shared eviction tombstone.
     segs: Vec<Arc<SegmentData>>,
     /// Per-segment alive counts and score upper bounds, in lockstep with
     /// `segs`.
@@ -218,6 +272,45 @@ pub struct StoreCore {
     /// ascending order, so only the last segment is partially grown.
     allocated: usize,
     alive_count: usize,
+    /// The persistence tier, when attached (writer side only; clones
+    /// materialise and drop it).
+    pager: Option<Arc<Pager>>,
+    /// Segments currently resident (`!evicted`). Equals `segs.len()`
+    /// without a pager.
+    resident: usize,
+}
+
+impl Clone for StoreCore {
+    fn clone(&self) -> Self {
+        let segs = match &self.pager {
+            // No tier: the original cheap path — reference-count bumps.
+            None => self.segs.clone(),
+            Some(pager) => self
+                .segs
+                .iter()
+                .enumerate()
+                .map(
+                    |(s, data)| {
+                        if data.evicted {
+                            pager.read_detached(s)
+                        } else {
+                            Arc::clone(data)
+                        }
+                    },
+                )
+                .collect(),
+        };
+        Self {
+            attr_count: self.attr_count,
+            measure_count: self.measure_count,
+            resident: segs.len(),
+            segs,
+            meta: self.meta.clone(),
+            allocated: self.allocated,
+            alive_count: self.alive_count,
+            pager: None,
+        }
+    }
 }
 
 /// Columnar storage for tuples plus the per-tuple hidden ranking score.
@@ -231,6 +324,9 @@ pub struct Store {
     free: Vec<Slot>,
     /// Alive key → slot.
     key_to_slot: HashMap<u64, Slot>,
+    /// CLOCK hand of the writer-side eviction sweep (persistence tier
+    /// only; idle without a pager).
+    clock_hand: usize,
 }
 
 impl Deref for Store {
@@ -259,11 +355,36 @@ impl StoreCore {
         self.allocated as Slot
     }
 
+    /// The uniform read path over one segment's data: a plain borrow for
+    /// resident segments, a pager fault for evicted ones. Hot-path
+    /// accessors and the evaluation engine route every data read through
+    /// here so paging stays invisible above this line.
+    #[inline]
+    pub(crate) fn seg_view(&self, seg: usize) -> SegView<'_> {
+        let data = &self.segs[seg];
+        if !data.evicted {
+            SegView::Ram(data)
+        } else {
+            let pager = self.pager.as_ref().expect("evicted segment without a pager");
+            SegView::Hot(pager.fault(seg))
+        }
+    }
+
+    /// The persistence tier, if one is attached.
+    pub(crate) fn pager(&self) -> Option<&Arc<Pager>> {
+        self.pager.as_ref()
+    }
+
+    /// Per-segment summaries, in lockstep with the segments.
+    pub(crate) fn metas(&self) -> &[SegmentMeta] {
+        &self.meta
+    }
+
     /// Whether `slot` currently holds an alive tuple.
     #[inline]
     pub fn is_alive(&self, slot: Slot) -> bool {
         let (seg, off) = locate(slot);
-        self.segs[seg].alive[off]
+        self.seg_view(seg).alive[off]
     }
 
     /// Value code of attribute `attr_idx` at `slot` (caller guarantees the
@@ -271,28 +392,28 @@ impl StoreCore {
     #[inline]
     pub fn value_at(&self, attr_idx: usize, slot: Slot) -> u32 {
         let (seg, off) = locate(slot);
-        self.segs[seg].columns[attr_idx][off]
+        self.seg_view(seg).columns[attr_idx][off]
     }
 
     /// Measure value at `slot`.
     #[inline]
     pub fn measure_at(&self, measure_idx: usize, slot: Slot) -> f64 {
         let (seg, off) = locate(slot);
-        self.segs[seg].measures[measure_idx][off]
+        self.seg_view(seg).measures[measure_idx][off]
     }
 
     /// Hidden ranking score at `slot`.
     #[inline]
     pub fn score_at(&self, slot: Slot) -> u64 {
         let (seg, off) = locate(slot);
-        self.segs[seg].scores[off]
+        self.seg_view(seg).scores[off]
     }
 
     /// External key at `slot`.
     #[inline]
     pub fn key_at(&self, slot: Slot) -> TupleKey {
         let (seg, off) = locate(slot);
-        TupleKey(self.segs[seg].keys[off])
+        TupleKey(self.seg_view(seg).keys[off])
     }
 
     // ----- segment summaries ---------------------------------------------
@@ -425,7 +546,7 @@ impl StoreCore {
     /// Materialises a read-only view of the tuple at `slot`.
     pub fn view(&self, slot: Slot) -> TupleView {
         let (seg, off) = locate(slot);
-        let data = &self.segs[seg];
+        let data = self.seg_view(seg);
         let values: Box<[ValueId]> = data.columns.iter().map(|col| ValueId(col[off])).collect();
         let measures: Box<[f64]> = data.measures.iter().map(|col| col[off]).collect();
         TupleView::new(TupleKey(data.keys[off]), values, measures)
@@ -433,13 +554,11 @@ impl StoreCore {
 
     /// Iterates over the slots of all alive tuples.
     pub fn alive_slots(&self) -> impl Iterator<Item = Slot> + '_ {
-        self.segs.iter().enumerate().flat_map(|(seg, data)| {
+        (0..self.segs.len()).flat_map(move |seg| {
             let base = (seg * SEGMENT_SLOTS) as Slot;
-            data.alive
-                .iter()
-                .enumerate()
-                .filter(|(_, &a)| a)
-                .map(move |(off, _)| base + off as Slot)
+            let data = self.seg_view(seg);
+            (0..data.alive.len())
+                .filter_map(move |off| data.alive[off].then_some(base + off as Slot))
         })
     }
 
@@ -448,17 +567,13 @@ impl StoreCore {
     /// [`StoreCore::segment_alive`] first).
     pub fn alive_slots_in(&self, seg: usize) -> impl Iterator<Item = Slot> + '_ {
         let base = (seg * SEGMENT_SLOTS) as Slot;
-        self.segs[seg]
-            .alive
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a)
-            .map(move |(off, _)| base + off as Slot)
+        let data = self.seg_view(seg);
+        (0..data.alive.len()).filter_map(move |off| data.alive[off].then_some(base + off as Slot))
     }
 
     /// Exact maximum score over alive occupants of `seg` (one sweep).
     fn exact_segment_max(&self, seg: usize) -> u64 {
-        let data = &self.segs[seg];
+        let data = self.seg_view(seg);
         data.alive
             .iter()
             .zip(data.scores.iter())
@@ -471,7 +586,7 @@ impl StoreCore {
     /// Exact per-block maximum scores over alive occupants of `seg`
     /// (one sweep; empty blocks come back as `0`).
     fn exact_block_maxes(&self, seg: usize) -> [u64; BLOCKS_PER_SEGMENT] {
-        let data = &self.segs[seg];
+        let data = self.seg_view(seg);
         let mut maxes = [0u64; BLOCKS_PER_SEGMENT];
         for (off, (&a, &score)) in data.alive.iter().zip(data.scores.iter()).enumerate() {
             if a {
@@ -495,15 +610,156 @@ impl Store {
                 meta: Vec::new(),
                 allocated: 0,
                 alive_count: 0,
+                pager: None,
+                resident: 0,
             },
             free: Vec::new(),
             key_to_slot: HashMap::new(),
+            clock_hand: 0,
         }
+    }
+
+    /// Rebuilds a store from restored snapshot state (codec v2): segment
+    /// data and summaries verbatim, the free list in its original order
+    /// (so future slot reuse replays identically), and the key → slot
+    /// map rebuilt by one scan over alive occupants. Returns `None` if
+    /// two alive slots carry the same key — snapshot bytes that violate
+    /// the store invariant (corruption), not a programming error.
+    pub(crate) fn from_restored(
+        attr_count: usize,
+        measure_count: usize,
+        segs: Vec<SegmentData>,
+        meta: Vec<SegmentMeta>,
+        allocated: usize,
+        alive_count: usize,
+        free: Vec<Slot>,
+    ) -> Option<Self> {
+        let segs: Vec<Arc<SegmentData>> = segs.into_iter().map(Arc::new).collect();
+        let mut key_to_slot = HashMap::with_capacity(alive_count);
+        for (seg, data) in segs.iter().enumerate() {
+            let base = (seg * SEGMENT_SLOTS) as Slot;
+            for (off, &a) in data.alive.iter().enumerate() {
+                if a && key_to_slot.insert(data.keys[off], base + off as Slot).is_some() {
+                    return None;
+                }
+            }
+        }
+        debug_assert_eq!(key_to_slot.len(), alive_count);
+        Some(Self {
+            core: StoreCore {
+                attr_count,
+                measure_count,
+                resident: segs.len(),
+                segs,
+                meta,
+                allocated,
+                alive_count,
+                pager: None,
+            },
+            free,
+            key_to_slot,
+            clock_hand: 0,
+        })
     }
 
     /// The shared read side, cloned cheaply into published snapshots.
     pub fn core(&self) -> &StoreCore {
         &self.core
+    }
+
+    /// Free slots pending reuse, oldest first (snapshot input: restoring
+    /// this list in order is what makes the restored database's future
+    /// slot allocation bit-identical).
+    pub(crate) fn free_slots(&self) -> &[Slot] {
+        &self.free
+    }
+
+    // ----- persistence tier ----------------------------------------------
+
+    /// Attaches the persistence tier: from here on the writer keeps at
+    /// most `pager.writer_budget()` segments in core (CLOCK eviction with
+    /// write-back) and evicted segments fault back transparently through
+    /// [`StoreCore::seg_view`]. Immediately spills down to budget, so a
+    /// store larger than the budget pages out its cold majority here.
+    pub(crate) fn attach_pager(&mut self, pager: Arc<Pager>) {
+        assert!(self.core.pager.is_none(), "persistence tier already attached");
+        pager.ensure_segments(self.core.segs.len());
+        self.core.resident = self.core.segs.iter().filter(|s| !s.evicted).count();
+        pager.set_in_core(self.core.resident);
+        self.core.pager = Some(pager);
+        self.enforce_budget(usize::MAX);
+        // Residency before the tier attached was the loader's footprint;
+        // the bounded-memory promise starts now.
+        self.core.pager.as_ref().unwrap().reset_peak();
+    }
+
+    /// Ensures `seg`'s data is in core for mutation, reclaiming it from
+    /// the pager (cache or disk) if evicted.
+    fn make_resident(&mut self, seg: usize) {
+        if !self.core.segs[seg].evicted {
+            return;
+        }
+        let pager = self.core.pager.as_ref().expect("evicted segment without a pager");
+        let data = pager.take_for_write(seg).expect("persist: write-path fault failed");
+        debug_assert!(!data.evicted);
+        self.core.segs[seg] = data;
+        self.core.resident += 1;
+        let pager = self.core.pager.as_ref().unwrap();
+        pager.set_in_core(self.core.resident);
+    }
+
+    /// The single writer-side mutation gate: faults the segment in if
+    /// needed, marks it dirty for write-back, touches its CLOCK bit, and
+    /// hands out the COW-exclusive data. Callers must follow the
+    /// mutation with [`Store::enforce_budget`].
+    fn seg_mut(&mut self, seg: usize) -> &mut SegmentData {
+        self.make_resident(seg);
+        if let Some(pager) = &self.core.pager {
+            pager.mark_dirty(seg);
+            self.core.meta[seg].ref_bit = true;
+        }
+        Arc::make_mut(&mut self.core.segs[seg])
+    }
+
+    /// Writes `seg` back to its region (skipped if clean and already on
+    /// disk) and replaces the in-core data with the shared tombstone.
+    fn spill_segment(&mut self, pager: &Pager, seg: usize) {
+        pager.spill(seg, &self.core.segs[seg]).expect("persist: segment write-back failed");
+        self.core.segs[seg] = pager.tombstone();
+        self.core.resident -= 1;
+        pager.set_in_core(self.core.resident);
+    }
+
+    /// Spills segments until the writer is back under its in-core budget,
+    /// choosing victims with a CLOCK sweep (referenced segments get a
+    /// second chance; `protect` — normally the segment just mutated — is
+    /// never evicted). No-op without a pager.
+    fn enforce_budget(&mut self, protect: usize) {
+        let Some(pager) = self.core.pager.clone() else { return };
+        let limit = pager.writer_budget();
+        let n = self.core.segs.len();
+        while self.core.resident > limit {
+            let mut victim = None;
+            // Two full revolutions always suffice: the first clears every
+            // reference bit on the path, the second must find a victim
+            // (resident > limit >= 1 means at least one evictable,
+            // unprotected segment exists).
+            for _ in 0..2 * n {
+                let s = self.clock_hand;
+                self.clock_hand = (self.clock_hand + 1) % n;
+                if self.core.segs[s].evicted || s == protect {
+                    continue;
+                }
+                if self.core.meta[s].ref_bit {
+                    self.core.meta[s].ref_bit = false;
+                    continue;
+                }
+                victim = Some(s);
+                break;
+            }
+            let Some(v) = victim else { break };
+            self.spill_segment(&pager, v);
+        }
     }
 
     /// Slot of an alive tuple by key.
@@ -595,8 +851,8 @@ impl Store {
         let slot = match self.free.pop() {
             Some(s) => {
                 let (seg, off) = locate(s);
-                Arc::make_mut(&mut self.core.segs[seg])
-                    .write_row(off, &values, &measures, key.0, score);
+                self.seg_mut(seg).write_row(off, &values, &measures, key.0, score);
+                self.enforce_budget(seg);
                 s
             }
             None => {
@@ -606,9 +862,15 @@ impl Store {
                     let (attrs, ms) = (self.core.attr_count, self.core.measure_count);
                     self.core.segs.push(Arc::new(SegmentData::empty(attrs, ms)));
                     self.core.meta.push(SegmentMeta::default());
+                    self.core.resident += 1;
+                    if let Some(pager) = &self.core.pager {
+                        pager.ensure_segments(self.core.segs.len());
+                        pager.set_in_core(self.core.resident);
+                    }
                 }
-                Arc::make_mut(&mut self.core.segs[seg]).push_row(&values, &measures, key.0, score);
+                self.seg_mut(seg).push_row(&values, &measures, key.0, score);
                 self.core.allocated += 1;
+                self.enforce_budget(seg);
                 s
             }
         };
@@ -622,10 +884,11 @@ impl Store {
     pub fn delete(&mut self, key: TupleKey) -> Result<Slot, DbError> {
         let slot = self.key_to_slot.remove(&key.0).ok_or(DbError::UnknownKey(key))?;
         let (seg, off) = locate(slot);
-        Arc::make_mut(&mut self.core.segs[seg]).alive[off] = false;
+        self.seg_mut(seg).alive[off] = false;
         self.free.push(slot);
         self.core.alive_count -= 1;
         self.note_delete(slot);
+        self.enforce_budget(seg);
         Ok(slot)
     }
 
@@ -634,10 +897,11 @@ impl Store {
     pub fn update_measures(&mut self, key: TupleKey, measures: &[f64]) -> Result<Slot, DbError> {
         let slot = self.slot_of(key).ok_or(DbError::UnknownKey(key))?;
         let (seg, off) = locate(slot);
-        let data = Arc::make_mut(&mut self.core.segs[seg]);
+        let data = self.seg_mut(seg);
         for (m, col) in data.measures.iter_mut().enumerate() {
             col[off] = measures[m];
         }
+        self.enforce_budget(seg);
         Ok(slot)
     }
 
@@ -647,7 +911,8 @@ impl Store {
     /// valid upper bound) and marks the bound stale for maintenance.
     pub fn set_score(&mut self, slot: Slot, score: u64) {
         let (seg, off) = locate(slot);
-        Arc::make_mut(&mut self.core.segs[seg]).scores[off] = score;
+        self.seg_mut(seg).scores[off] = score;
+        self.enforce_budget(seg);
         let meta = &mut self.core.meta[seg];
         let blk = off >> BLOCK_SHIFT;
         // A raise must propagate to the slot's block bound immediately —
@@ -920,5 +1185,101 @@ mod tests {
         assert_eq!(s.key_at(3), TupleKey(100));
         assert_eq!(s.segment_max_score(0), 500);
         assert!(!Arc::ptr_eq(&snap.segs[0], &s.core.segs[0]), "writer copied on write");
+    }
+
+    fn pager_dir(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hidden-db-store-{}-{name}", std::process::id()))
+    }
+
+    fn paged(name: &str, attr_count: usize, measure_count: usize, budget: usize) -> Store {
+        let dir = pager_dir(name);
+        let pager = crate::persist::Pager::open(&dir, attr_count, measure_count, budget)
+            .expect("pager open");
+        let mut s = Store::new(attr_count, measure_count);
+        s.attach_pager(pager);
+        s
+    }
+
+    /// The paging oracle at store granularity: a budget-2 paged store
+    /// over 3 segments answers every read identically to the plain
+    /// in-RAM store across inserts, deletes, reuse, measure updates and
+    /// score raises — while actually spilling and faulting.
+    #[test]
+    fn paged_store_matches_plain_store_bit_for_bit() {
+        let n = (SEGMENT_SLOTS * 2 + 100) as u64; // 3 segments
+        let mut plain = Store::new(1, 1);
+        let mut disk = paged("oracle", 1, 1, 2);
+        for s in [&mut plain, &mut disk] {
+            for key in 0..n {
+                s.insert(t(key, &[0], &[key as f64]), key % 997).unwrap();
+            }
+            // Churn across all three segments: deletes (slot reuse),
+            // measure updates, score raises.
+            for key in (0..n).step_by(513) {
+                s.delete(TupleKey(key)).unwrap();
+            }
+            for key in (1..n).step_by(771) {
+                s.update_measures(TupleKey(key), &[-1.0]).unwrap();
+            }
+            for key in (2..n).step_by(997) {
+                let slot = s.slot_of(TupleKey(key)).unwrap();
+                s.set_score(slot, 50_000 + key);
+            }
+            for key in 0..64u64 {
+                s.insert(t(n + key, &[0], &[0.0]), 40_000 + key).unwrap();
+            }
+        }
+
+        assert_eq!(disk.len(), plain.len());
+        assert_eq!(disk.slot_bound(), plain.slot_bound());
+        assert_eq!(disk.alive_slots().collect::<Vec<_>>(), plain.alive_slots().collect::<Vec<_>>());
+        for slot in plain.alive_slots().collect::<Vec<_>>() {
+            assert_eq!(disk.key_at(slot), plain.key_at(slot));
+            assert_eq!(disk.score_at(slot), plain.score_at(slot));
+            assert_eq!(disk.value_at(0, slot), plain.value_at(0, slot));
+            assert_eq!(disk.measure_at(0, slot), plain.measure_at(0, slot));
+        }
+        for seg in 0..plain.segment_count() {
+            assert_eq!(disk.segment_max_score(seg), plain.segment_max_score(seg));
+            assert_eq!(disk.segment_bound_staleness(seg), plain.segment_bound_staleness(seg));
+        }
+        for blk in 0..plain.segment_count() * BLOCKS_PER_SEGMENT {
+            assert_eq!(disk.block_max_score(blk), plain.block_max_score(blk));
+        }
+
+        let pager = disk.core().pager().expect("pager attached").clone();
+        let stats = pager.stats();
+        assert!(stats.segments_spilled > 0, "budget 2 over 3 segments must spill");
+        assert!(stats.segments_faulted > 0, "churn across segments must fault");
+        assert!(
+            stats.peak_resident_segments <= pager.total_budget() as u64,
+            "peak residency {} exceeded the budget {}",
+            stats.peak_resident_segments,
+            pager.total_budget()
+        );
+    }
+
+    /// Cloning a paged core materialises every evicted segment and
+    /// detaches from the pager: the snapshot is fully in-RAM, immune to
+    /// later evictions, and identical to the paged view.
+    #[test]
+    fn paged_core_clone_materializes_and_detaches() {
+        let n = (SEGMENT_SLOTS * 2 + 10) as u64;
+        let mut s = paged("clone", 1, 0, 2);
+        for key in 0..n {
+            s.insert(t(key, &[0], &[]), key).unwrap();
+        }
+        assert!(
+            s.core().segs.iter().any(|d| d.evicted),
+            "3 segments at budget 2 must leave one evicted"
+        );
+        let snap = s.core().clone();
+        assert!(snap.pager().is_none(), "clone must not depend on the pager");
+        assert!(snap.segs.iter().all(|d| !d.evicted), "clone materialises everything");
+        assert_eq!(snap.len(), s.len());
+        assert_eq!(snap.alive_slots().count(), n as usize);
+        // Writer keeps moving; the snapshot is frozen.
+        s.delete(TupleKey(0)).unwrap();
+        assert!(snap.is_alive(0));
     }
 }
