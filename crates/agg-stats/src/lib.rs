@@ -10,7 +10,11 @@
 //!   (Theorem 4.2 / Corollary 4.2);
 //! * [`allocation`] — optimal query-budget distribution across drill-down
 //!   age groups (Corollaries 4.1 and 4.3), solved by water-filling;
-//! * [`bootstrap`] — pilot drill-down summaries (`g_x`, `α_x`);
+//! * [`pilot`] — pilot drill-down summaries (`g_x`, `α_x`; the paper's
+//!   "bootstrapping" phase, which is not a statistical bootstrap);
+//! * [`resample`] — the statistical bootstrap: n-out-of-n, m-out-of-n and
+//!   moving-block resampling with percentile confidence intervals,
+//!   deterministically parallel across replicates;
 //! * [`error`] — relative error, MSE decomposition, and trial series
 //!   summaries for the experiment harness.
 
@@ -18,15 +22,25 @@
 #![warn(rust_2018_idioms)]
 
 pub mod allocation;
-pub mod bootstrap;
 pub mod error;
 pub mod moments;
+pub mod pilot;
 pub mod quantiles;
+pub mod resample;
 pub mod weighted;
 
+/// Deprecated alias for [`pilot`]: the module held the paper's §4.2–4.3
+/// *pilot-sample* accumulator, not a statistical bootstrap. The name now
+/// belongs to the resampling engine in [`resample`].
+#[deprecated(note = "renamed to `pilot`; the statistical bootstrap lives in `resample`")]
+pub mod bootstrap {
+    pub use crate::pilot::PilotGroup;
+}
+
 pub use allocation::{allocate, combined_variance, corollary_4_1, GroupParams};
-pub use bootstrap::PilotGroup;
 pub use error::{mse_decomposition, relative_error, MseDecomposition, SeriesSummary};
 pub use moments::RunningMoments;
-pub use quantiles::P2Quantile;
+pub use pilot::PilotGroup;
+pub use quantiles::{nearest_rank_index, P2Quantile};
+pub use resample::{Bootstrap, ConfidenceInterval, Replicates, Variant};
 pub use weighted::{combine, optimal_two_weight, Combined, Component};

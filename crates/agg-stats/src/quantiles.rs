@@ -6,6 +6,26 @@
 //! also reports medians/p90 — computed by this accumulator without
 //! buffering the observations.
 
+/// Zero-based index of the nearest-rank `p`-quantile of a sorted sample
+/// of `len` elements.
+///
+/// Convention (the inverse empirical CDF, "type 1" in the Hyndman–Fan
+/// taxonomy): the `p`-quantile is the `⌈p·len⌉`-th order statistic
+/// (1-based), clamped into `[1, len]` so that `p = 0.0` maps to the
+/// minimum (index 0) and `p = 1.0` to the maximum (index `len − 1`).
+/// Single-element samples always map to index 0. Used both by the P²
+/// seed-phase fallback and by the bootstrap percentile CI in
+/// [`resample`](crate::resample), which must agree on the convention.
+///
+/// # Panics
+/// If `len == 0` (an empty sample has no quantiles) or `p` is NaN or
+/// outside `[0, 1]`.
+pub fn nearest_rank_index(p: f64, len: usize) -> usize {
+    assert!(len > 0, "nearest_rank_index: empty sample");
+    assert!((0.0..=1.0).contains(&p), "nearest_rank_index: p={p} outside [0,1]");
+    ((p * len as f64).ceil() as usize).clamp(1, len) - 1
+}
+
 /// P² estimator for a single quantile `p ∈ (0, 1)`.
 #[derive(Debug, Clone)]
 pub struct P2Quantile {
@@ -122,8 +142,7 @@ impl P2Quantile {
         if self.seed.len() < 5 {
             let mut s = self.seed.clone();
             s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let idx = ((self.p * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
-            return Some(s[idx]);
+            return Some(s[nearest_rank_index(self.p, s.len())]);
         }
         Some(self.q[2])
     }
@@ -194,5 +213,39 @@ mod tests {
     #[should_panic(expected = "quantile must be in (0,1)")]
     fn invalid_quantile_rejected() {
         let _ = P2Quantile::new(1.0);
+    }
+
+    /// Pins the nearest-rank convention at the edges the bootstrap
+    /// percentile CI exercises: p = 0 → minimum, p = 1 → maximum,
+    /// single-element samples → the element, and no off-by-one at exact
+    /// rank boundaries.
+    #[test]
+    fn nearest_rank_edges() {
+        assert_eq!(nearest_rank_index(0.0, 1), 0);
+        assert_eq!(nearest_rank_index(1.0, 1), 0);
+        assert_eq!(nearest_rank_index(0.5, 1), 0);
+        assert_eq!(nearest_rank_index(0.0, 10), 0);
+        assert_eq!(nearest_rank_index(1.0, 10), 9);
+        // ⌈0.5·10⌉ = 5 → index 4 (the lower middle element).
+        assert_eq!(nearest_rank_index(0.5, 10), 4);
+        // Just past an exact boundary rounds up to the next rank.
+        assert_eq!(nearest_rank_index(0.51, 10), 5);
+        // ⌈0.025·1000⌉ = 25 → index 24; ⌈0.975·1000⌉ = 975 → index 974.
+        assert_eq!(nearest_rank_index(0.025, 1000), 24);
+        assert_eq!(nearest_rank_index(0.975, 1000), 974);
+        // Tiny p still lands on the minimum, not below it.
+        assert_eq!(nearest_rank_index(1e-12, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn nearest_rank_rejects_empty() {
+        let _ = nearest_rank_index(0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn nearest_rank_rejects_out_of_range() {
+        let _ = nearest_rank_index(1.5, 10);
     }
 }

@@ -1,0 +1,544 @@
+//! The statistical bootstrap: resample the observed records, re-evaluate
+//! the statistic on each replicate, and read percentile confidence
+//! intervals off the replicate distribution.
+//!
+//! Three resampling variants:
+//!
+//! * [`Variant::NOutOfN`] — the classic bootstrap: draw `n` indices with
+//!   replacement from `n` records. Right when records are exchangeable
+//!   (e.g. independent seeded trials of one experiment point).
+//! * [`Variant::MOutOfN`] — draw `m < n` indices with replacement; the
+//!   subsampling bootstrap that stays consistent for non-smooth
+//!   statistics and heavy tails (HT drill-down estimates are exactly
+//!   that shape).
+//! * [`Variant::Block`] — the moving-block bootstrap: draw contiguous
+//!   runs of `block_len` records until `n` indices are collected.
+//!   Per-round records of one trial are serially dependent (REISSUE
+//!   reuses its drill-down pool across rounds), so i.i.d. resampling
+//!   would understate the variance; keeping runs intact preserves the
+//!   trans-round dependence inside each block.
+//!
+//! Determinism is the same discipline as everywhere in this workspace:
+//! replicate `r` draws from an RNG stream seeded purely by `(seed, r)`,
+//! replicates are fanned out over [`aggtrack_parallel`] and merged in
+//! replicate order — so the result is bit-identical at any thread count.
+//!
+//! ```
+//! use agg_stats::resample::{Bootstrap, Variant};
+//!
+//! let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+//! let reps = Bootstrap::new(data.len(), |idx: &[usize]| {
+//!     Some(idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64)
+//! })
+//! .variant(Variant::NOutOfN)
+//! .replicates(500)
+//! .seed(7)
+//! .run();
+//! let ci = reps.percentile_ci(0.95).unwrap();
+//! assert!(ci.contains(24.5), "CI {ci:?} should cover the sample mean");
+//! ```
+
+use crate::moments::RunningMoments;
+use crate::quantiles::nearest_rank_index;
+use aggtrack_parallel::{par_map_indexed_chunked, Threads};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How each replicate resamples the `n` observed records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Draw `n` indices with replacement (the classic bootstrap).
+    NOutOfN,
+    /// Draw `m` indices with replacement (subsampling bootstrap).
+    MOutOfN {
+        /// Resample size; must be ≥ 1.
+        m: usize,
+    },
+    /// Moving-block bootstrap: draw contiguous runs of `block_len`
+    /// records (uniform start in `0..=n − block_len`) until `n` indices
+    /// are collected, truncating the last block.
+    Block {
+        /// Block length; must be in `1..=n`. `1` degenerates to
+        /// [`Variant::NOutOfN`]'s distribution. See [`default_block_len`].
+        block_len: usize,
+    },
+}
+
+/// A two-sided confidence interval at a nominal coverage `level`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Nominal coverage probability in `(0, 1)`, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Builds an interval; swaps the bounds if given in reverse order.
+    pub fn new(lo: f64, hi: f64, level: f64) -> Self {
+        assert!(level > 0.0 && level < 1.0, "coverage level must be in (0,1)");
+        if lo <= hi {
+            Self { lo, hi, level }
+        } else {
+            Self { lo: hi, hi: lo, level }
+        }
+    }
+
+    /// Whether `x` lies inside the (closed) interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Rule-of-thumb block length for [`Variant::Block`]: `⌈n^{1/3}⌉`, the
+/// standard rate at which moving-block bootstraps balance bias (blocks
+/// too short break dependence) against variance (blocks too long leave
+/// too few distinct blocks). Always ≥ 1 and ≤ `n`.
+pub fn default_block_len(n: usize) -> usize {
+    ((n as f64).cbrt().ceil() as usize).clamp(1, n.max(1))
+}
+
+/// Builder-style bootstrap over `data_len` records.
+///
+/// The statistic is a closure over *indices into the caller's data* —
+/// the engine never copies the records, only index vectors — returning
+/// `None` when the statistic is undefined on that replicate (e.g. an
+/// empty stratum). Evaluation fans out over a thread pool with results
+/// merged in replicate order, so output is independent of thread count.
+pub struct Bootstrap<F> {
+    data_len: usize,
+    statistic: F,
+    variant: Variant,
+    replicates: usize,
+    seed: u64,
+    threads: Threads,
+}
+
+impl<F> Bootstrap<F>
+where
+    F: Fn(&[usize]) -> Option<f64> + Sync,
+{
+    /// A bootstrap of `statistic` over `data_len` records with defaults:
+    /// [`Variant::NOutOfN`], 1000 replicates, seed 0, sequential.
+    ///
+    /// # Panics
+    /// If `data_len == 0`.
+    pub fn new(data_len: usize, statistic: F) -> Self {
+        assert!(data_len > 0, "cannot bootstrap an empty sample");
+        Self {
+            data_len,
+            statistic,
+            variant: Variant::NOutOfN,
+            replicates: 1000,
+            seed: 0,
+            threads: Threads::sequential(),
+        }
+    }
+
+    /// Sets the resampling variant (validated in [`run`](Self::run)).
+    pub fn variant(mut self, v: Variant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Sets the number of replicates (must be ≥ 1).
+    pub fn replicates(mut self, b: usize) -> Self {
+        assert!(b >= 1, "need at least one replicate");
+        self.replicates = b;
+        self
+    }
+
+    /// Sets the base seed; replicate `r`'s stream depends only on
+    /// `(seed, r)`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the thread policy for replicate evaluation. The result is
+    /// bit-identical for every choice.
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Draws and evaluates all replicates.
+    ///
+    /// # Panics
+    /// If the variant is invalid for `data_len` (`m == 0`, or
+    /// `block_len` outside `1..=data_len`).
+    pub fn run(&self) -> Replicates {
+        let n = self.data_len;
+        match self.variant {
+            Variant::NOutOfN => {}
+            Variant::MOutOfN { m } => assert!(m >= 1, "m-out-of-n needs m ≥ 1"),
+            Variant::Block { block_len } => {
+                assert!((1..=n).contains(&block_len), "block_len {block_len} outside 1..={n}")
+            }
+        }
+        let sample_len = match self.variant {
+            Variant::MOutOfN { m } => m,
+            _ => n,
+        };
+
+        // One atomic claim per 32 replicates: replicate evaluation is
+        // often microseconds, far below per-index handout cost.
+        let raw = par_map_indexed_chunked(self.replicates, 32, self.threads, |r| {
+            let mut rng = StdRng::seed_from_u64(replicate_seed(self.seed, r as u64));
+            let mut idx = Vec::with_capacity(sample_len);
+            match self.variant {
+                Variant::NOutOfN | Variant::MOutOfN { .. } => {
+                    for _ in 0..sample_len {
+                        idx.push(rng.random_range(0..n));
+                    }
+                }
+                Variant::Block { block_len } => {
+                    while idx.len() < sample_len {
+                        let start = rng.random_range(0..=(n - block_len));
+                        let take = block_len.min(sample_len - idx.len());
+                        idx.extend(start..start + take);
+                    }
+                }
+            }
+            (self.statistic)(&idx)
+        });
+
+        let mut values = Vec::with_capacity(raw.len());
+        let mut non_finite = 0u64;
+        let mut skipped = 0u64;
+        for v in raw {
+            match v {
+                Some(x) if x.is_finite() => values.push(x),
+                Some(_) => non_finite += 1,
+                None => skipped += 1,
+            }
+        }
+        Replicates { values, requested: self.replicates, non_finite, skipped }
+    }
+}
+
+/// SplitMix64 finaliser over `(seed, replicate index)`: decorrelates
+/// consecutive replicate streams while keeping each a pure function of
+/// its index — the bit-identical parallel merge relies on exactly this.
+fn replicate_seed(seed: u64, r: u64) -> u64 {
+    let mut z = seed ^ r.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The evaluated replicate distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replicates {
+    values: Vec<f64>,
+    requested: usize,
+    non_finite: u64,
+    skipped: u64,
+}
+
+impl Replicates {
+    /// Finite replicate statistics, in replicate order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of finite replicate values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no replicate produced a finite value.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Replicates requested (= `len() + non_finite() + skipped()`).
+    pub fn requested(&self) -> usize {
+        self.requested
+    }
+
+    /// Replicates whose statistic came back NaN or ±∞ (excluded from the
+    /// distribution, same discipline as
+    /// [`SeriesSummary`](crate::error::SeriesSummary)).
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Replicates where the statistic was undefined (returned `None`).
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Mean of the replicate distribution; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        RunningMoments::from_slice(&self.values).mean()
+    }
+
+    /// Bootstrap standard error: sample standard deviation of the
+    /// replicate distribution. `None` with fewer than two values.
+    pub fn std_error(&self) -> Option<f64> {
+        RunningMoments::from_slice(&self.values).sample_variance().map(f64::sqrt)
+    }
+
+    /// Two-sided percentile interval at nominal coverage `level` (e.g.
+    /// `0.95` → the 2.5th and 97.5th percentiles of the replicate
+    /// distribution, nearest-rank convention). `None` if no replicate
+    /// produced a finite value.
+    ///
+    /// # Panics
+    /// If `level` is not in `(0, 1)`.
+    pub fn percentile_ci(&self, level: f64) -> Option<ConfidenceInterval> {
+        assert!(level > 0.0 && level < 1.0, "coverage level must be in (0,1)");
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+        let tail = (1.0 - level) / 2.0;
+        let lo = sorted[nearest_rank_index(tail, sorted.len())];
+        let hi = sorted[nearest_rank_index(1.0 - tail, sorted.len())];
+        Some(ConfidenceInterval::new(lo, hi, level))
+    }
+}
+
+/// Percentile CI for the mean of exchangeable observations (n-out-of-n
+/// over the finite values of `data`). `None` with fewer than two finite
+/// observations.
+pub fn mean_ci(
+    data: &[f64],
+    replicates: usize,
+    seed: u64,
+    level: f64,
+) -> Option<ConfidenceInterval> {
+    let finite: Vec<f64> = data.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.len() < 2 {
+        return None;
+    }
+    Bootstrap::new(finite.len(), |idx: &[usize]| {
+        Some(idx.iter().map(|&i| finite[i]).sum::<f64>() / idx.len() as f64)
+    })
+    .replicates(replicates)
+    .seed(seed)
+    .run()
+    .percentile_ci(level)
+}
+
+/// Percentile CI for the mean of a *serially dependent* series
+/// (moving-block bootstrap over the finite values, order preserved).
+/// Pass `block_len = 0` to use [`default_block_len`]. `None` with fewer
+/// than two finite observations.
+pub fn series_mean_ci(
+    series: &[f64],
+    block_len: usize,
+    replicates: usize,
+    seed: u64,
+    level: f64,
+) -> Option<ConfidenceInterval> {
+    let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.len() < 2 {
+        return None;
+    }
+    let b = if block_len == 0 { default_block_len(finite.len()) } else { block_len };
+    Bootstrap::new(finite.len(), |idx: &[usize]| {
+        Some(idx.iter().map(|&i| finite[i]).sum::<f64>() / idx.len() as f64)
+    })
+    .variant(Variant::Block { block_len: b.min(finite.len()) })
+    .replicates(replicates)
+    .seed(seed)
+    .run()
+    .percentile_ci(level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_stat(data: &[f64]) -> impl Fn(&[usize]) -> Option<f64> + Sync + '_ {
+        move |idx: &[usize]| Some(idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        let run =
+            |seed| Bootstrap::new(data.len(), mean_stat(&data)).replicates(200).seed(seed).run();
+        assert_eq!(run(1).values(), run(1).values());
+        assert_ne!(run(1).values(), run(2).values());
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let data: Vec<f64> = (0..64).map(|i| (i * i % 37) as f64).collect();
+        for variant in
+            [Variant::NOutOfN, Variant::MOutOfN { m: 17 }, Variant::Block { block_len: 4 }]
+        {
+            let at = |threads| {
+                Bootstrap::new(data.len(), mean_stat(&data))
+                    .variant(variant)
+                    .replicates(999)
+                    .seed(42)
+                    .threads(threads)
+                    .run()
+            };
+            let seq = at(Threads::sequential());
+            for t in [2, 4, 8] {
+                let par = at(Threads::fixed(t));
+                assert_eq!(seq.values(), par.values(), "{variant:?} at {t} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_ci_covers_the_sample_mean() {
+        // Mean of 0..100 is 49.5; the bootstrap CI of the mean must cover
+        // it and be roughly ±2·SE/√n wide.
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let reps = Bootstrap::new(data.len(), mean_stat(&data)).replicates(2000).seed(3).run();
+        let ci = reps.percentile_ci(0.95).unwrap();
+        assert!(ci.contains(49.5), "{ci:?}");
+        assert!(ci.width() > 5.0 && ci.width() < 20.0, "width {}", ci.width());
+        assert!(reps.std_error().unwrap() > 0.0);
+        assert_eq!(reps.requested(), 2000);
+        assert_eq!(reps.len(), 2000);
+    }
+
+    #[test]
+    fn m_out_of_n_draws_m_indices() {
+        let reps = Bootstrap::new(50, |idx: &[usize]| {
+            assert_eq!(idx.len(), 7);
+            assert!(idx.iter().all(|&i| i < 50));
+            Some(idx.len() as f64)
+        })
+        .variant(Variant::MOutOfN { m: 7 })
+        .replicates(50)
+        .run();
+        assert_eq!(reps.len(), 50);
+    }
+
+    #[test]
+    fn block_variant_draws_contiguous_runs() {
+        let n = 30;
+        let b = 5;
+        let reps = Bootstrap::new(n, |idx: &[usize]| {
+            assert_eq!(idx.len(), n);
+            for chunk in idx.chunks(b) {
+                for w in chunk.windows(2) {
+                    assert_eq!(w[1], w[0] + 1, "block broken: {chunk:?}");
+                }
+                assert!(chunk[0] + b <= n, "block start out of range");
+            }
+            Some(0.0)
+        })
+        .variant(Variant::Block { block_len: b })
+        .replicates(100)
+        .run();
+        assert_eq!(reps.len(), 100);
+    }
+
+    #[test]
+    fn block_truncates_when_n_not_multiple_of_block_len() {
+        let n = 13;
+        let b = 5;
+        let reps = Bootstrap::new(n, |idx: &[usize]| {
+            assert_eq!(idx.len(), n, "resample size is n even when b ∤ n");
+            Some(1.0)
+        })
+        .variant(Variant::Block { block_len: b })
+        .replicates(20)
+        .run();
+        assert_eq!(reps.len(), 20);
+    }
+
+    #[test]
+    fn undefined_and_non_finite_replicates_are_counted() {
+        // Statistic: undefined when index 0 is drawn, ∞ when index 1 is
+        // drawn (checked in that order), finite otherwise.
+        let reps = Bootstrap::new(6, |idx: &[usize]| {
+            if idx.contains(&0) {
+                None
+            } else if idx.contains(&1) {
+                Some(f64::INFINITY)
+            } else {
+                Some(1.0)
+            }
+        })
+        .replicates(400)
+        .seed(9)
+        .run();
+        assert!(reps.skipped() > 0, "index 0 should appear in some replicate");
+        assert!(reps.non_finite() > 0, "index 1 should appear in some replicate");
+        assert_eq!(reps.len() as u64 + reps.skipped() + reps.non_finite(), 400);
+        // CI still defined from the surviving replicates.
+        assert_eq!(reps.percentile_ci(0.9).map(|c| (c.lo, c.hi)), Some((1.0, 1.0)));
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let ci = ConfidenceInterval::new(2.0, 1.0, 0.5);
+        assert_eq!((ci.lo, ci.hi), (1.0, 2.0), "bounds are normalised");
+        assert!(ci.contains(1.0) && ci.contains(2.0) && !ci.contains(2.1));
+        assert_eq!(ci.width(), 1.0);
+    }
+
+    #[test]
+    fn default_block_len_follows_cube_root() {
+        assert_eq!(default_block_len(1), 1);
+        assert_eq!(default_block_len(8), 2);
+        assert_eq!(default_block_len(20), 3);
+        assert_eq!(default_block_len(1000), 10);
+        assert_eq!(default_block_len(0), 1, "degenerate input stays usable");
+    }
+
+    #[test]
+    fn mean_ci_skips_non_finite_input() {
+        let mut data: Vec<f64> = (0..60).map(|i| (i % 10) as f64).collect();
+        data.push(f64::INFINITY);
+        data.push(f64::NAN);
+        let ci = mean_ci(&data, 800, 11, 0.95).unwrap();
+        assert!(ci.contains(4.5), "{ci:?} should cover the finite mean");
+        assert!(ci.lo.is_finite() && ci.hi.is_finite());
+        assert!(mean_ci(&[1.0, f64::NAN], 100, 0, 0.95).is_none());
+    }
+
+    #[test]
+    fn series_mean_ci_uses_block_bootstrap() {
+        // AR(1)-ish dependent series: x_t = 0.8 x_{t-1} + noise.
+        let mut x = 0.0;
+        let series: Vec<f64> = (0..200)
+            .map(|i| {
+                x = 0.8 * x + ((i * 2654435761u64 as usize % 1000) as f64 / 1000.0 - 0.5);
+                x
+            })
+            .collect();
+        let blocked = series_mean_ci(&series, 0, 1000, 5, 0.95).unwrap();
+        let iid = mean_ci(&series, 1000, 5, 0.95).unwrap();
+        // Positive serial dependence ⇒ the honest (block) interval is wider.
+        assert!(
+            blocked.width() > iid.width(),
+            "block {b:?} should be wider than iid {i:?}",
+            b = blocked.width(),
+            i = iid.width()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_data_rejected() {
+        let _ = Bootstrap::new(0, |_: &[usize]| Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "block_len")]
+    fn oversized_block_rejected() {
+        let _ = Bootstrap::new(4, |_: &[usize]| Some(0.0))
+            .variant(Variant::Block { block_len: 5 })
+            .run();
+    }
+}

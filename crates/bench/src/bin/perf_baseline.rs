@@ -1,7 +1,7 @@
 //! perf_baseline — the standard, committed performance workload.
 //!
 //! Runs fixed workloads and writes a machine-readable report (default
-//! `BENCH_PR8.json`, see `--out`) so future PRs have a perf trajectory
+//! `BENCH_PR10.json`, see `--out`) so future PRs have a perf trajectory
 //! to beat:
 //!
 //! 1. **Interface microbench** — query throughput of the hidden-database
@@ -85,18 +85,31 @@
 //!     times a checkpoint + warm restart (`open_persistent`) whose
 //!     reopened fingerprint folds into the identity flag.
 //!
+//! 14. **Bootstrap resampling** (PR 10) — the `agg_stats::resample`
+//!     engine: replicate-throughput sweep (100/1 000/10 000 replicates
+//!     of a mean statistic over a fixed 4 096-point sample), parallel
+//!     replicate fan-out at 1/2/4/8 threads with a bitwise identity
+//!     check of every replicate vector across thread counts and all
+//!     three variants (`bootstrap_parallel_identical`), and a seeded
+//!     coverage experiment — per-trial block-bootstrap 95 % intervals
+//!     of the REISSUE estimate/truth ratio on a churning pool must
+//!     cover the ground-truth ratio 1.0 at roughly the nominal rate
+//!     (`bootstrap_coverage_ok`).
+//!
 //! The workloads are fixed on purpose — do not "tune" them in later
 //! PRs; add new sections instead, so the numbers stay comparable.
 //!
-//! Flags: `--out PATH` (default `BENCH_PR9.json`), `--threads N`
+//! Flags: `--out PATH` (default `BENCH_PR10.json`), `--threads N`
 //! (thread pool for the parallel track run; default auto).
 
 use std::time::Instant;
 
+use agg_stats::resample::{default_block_len, Bootstrap, Variant};
 use aggtrack_bench::cli::{BaseCfg, FaultsMode, Scale};
 use aggtrack_bench::json::Json;
 use aggtrack_bench::runner::{
-    count_star_tracked, standard_algos, tail_mean, track_with_threads, TrackOutcome,
+    count_star_tracked, standard_algos, tail_block_ci, tail_mean, track, track_with_threads,
+    trial_cis, AlgoKind, TrackOutcome,
 };
 use aggtrack_core::{ht_sample, AggregateSpec, RsConfig};
 use aggtrack_parallel::Threads;
@@ -114,7 +127,7 @@ use hidden_db::{
 use query_tree::{drill_from_root, enumerate_all, QueryTree};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use workloads::{load_database, AutosGenerator, TupleFactory};
+use workloads::{load_database, AutosGenerator, DeleteSpec, TupleFactory};
 
 fn main() {
     let flags = Flags::parse();
@@ -144,6 +157,8 @@ fn main() {
     let shared = shared_service();
     eprintln!(">>> perf_baseline: out-of-core persistence tier");
     let persistence = persistence_tier();
+    eprintln!(">>> perf_baseline: bootstrap resampling engine");
+    let bootstrap = bootstrap_workload();
     let report = Json::obj()
         .field("schema_version", 1u64)
         .field("report", "perf_baseline")
@@ -185,7 +200,8 @@ fn main() {
         .field("revalidation", revalidation)
         .field("fault_recovery", faults)
         .field("shared_service", shared)
-        .field("persistence", persistence);
+        .field("persistence", persistence)
+        .field("bootstrap", bootstrap);
     std::fs::write(&flags.out, report.pretty())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", flags.out));
     eprintln!(">>> perf_baseline: wrote {}", flags.out);
@@ -200,7 +216,7 @@ struct Flags {
 
 impl Flags {
     fn parse() -> Self {
-        let mut flags = Flags { out: "BENCH_PR9.json".to_string(), threads: None };
+        let mut flags = Flags { out: "BENCH_PR10.json".to_string(), threads: None };
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
             let mut value =
@@ -213,7 +229,7 @@ impl Flags {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --out PATH (default BENCH_PR9.json)  --threads N (default auto)"
+                        "flags: --out PATH (default BENCH_PR10.json)  --threads N (default auto)"
                     );
                     std::process::exit(0);
                 }
@@ -1490,6 +1506,176 @@ fn persistence_tier() -> Json {
     }
     let _ = std::fs::remove_dir_all(&scratch);
     report.field("persistence_identical", identical).field("resident_memory_bounded", bounded)
+}
+
+/// PR 10: the `agg_stats::resample` bootstrap engine.
+///
+/// Three sub-experiments:
+/// 1. **Replicate sweep** — sequential replicate throughput of a mean
+///    statistic over a fixed 4 096-point sample at 100/1 000/10 000
+///    replicates, with the percentile-CI width per count (the width
+///    should stabilise as B grows; the cost is linear in B).
+/// 2. **Parallel scaling** — the same statistic at 20 000 replicates
+///    fanned out over 1/2/4/8 workers for every variant (n-out-of-n,
+///    m-out-of-n, block). Per-replicate RNG streams are derived from
+///    the replicate index alone, so every replicate *vector* must be
+///    bitwise equal to the sequential one
+///    (`bootstrap_parallel_identical`).
+/// 3. **Coverage** — 20 independent seeded experiments, each 12
+///    REISSUE trials on a churning pool. Two interval families are
+///    checked against the ground-truth ratio 1.0 (REISSUE is
+///    unbiased): per experiment, the block-bootstrap 95 % interval of
+///    the mean tail ratio (blocks are whole per-trial tail windows, so
+///    trans-round dependence survives resampling), and per round, the
+///    n-out-of-n 95 % interval of the across-trial mean. A trial's
+///    *own* round series is useless here — REISSUE freezes its drill
+///    pool at round 1, so within-trial resampling brackets that
+///    trial's plateau, not the truth; coverage has to come from
+///    resampling across trials. Percentile intervals undercover at
+///    these block counts (12 per interval), so the floors sit below
+///    the nominal 0.95: observed rates are ≈0.80 (block tail) and
+///    ≈0.92 (per round), both deterministic under the fixed seeds
+///    (`bootstrap_coverage_ok`).
+fn bootstrap_workload() -> Json {
+    const N: usize = 4_096;
+    const SWEEP: [usize; 3] = [100, 1_000, 10_000];
+    const SCALE_REPLICATES: usize = 20_000;
+
+    // Fixed seeded sample with some spread (lognormal-ish tail).
+    let mut rng = StdRng::seed_from_u64(0xB007_5717);
+    let data: Vec<f64> = (0..N).map(|_| rng.random_range(0.0..1.0f64).powi(3) * 100.0).collect();
+    let mean_stat = |idx: &[usize]| {
+        let sum: f64 = idx.iter().map(|&i| data[i]).sum();
+        Some(sum / idx.len() as f64)
+    };
+
+    // 1. Sequential replicate-count sweep.
+    let mut sweep = Json::obj();
+    for b in SWEEP {
+        let boot =
+            Bootstrap::new(N, &mean_stat).replicates(b).seed(7).threads(Threads::sequential());
+        let t0 = Instant::now();
+        let reps = boot.run();
+        let wall = t0.elapsed();
+        let ci = reps.percentile_ci(0.95).expect("mean statistic is always defined");
+        sweep = sweep.field(
+            &b.to_string(),
+            Json::obj()
+                .field("wall_s", wall.as_secs_f64())
+                .field("replicates_per_sec", b as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE))
+                .field("ci_width", ci.width()),
+        );
+    }
+
+    // 2. Parallel scaling + bit-identity across thread counts.
+    let variants = [
+        ("n_out_of_n", Variant::NOutOfN),
+        ("m_out_of_n", Variant::MOutOfN { m: N / 2 }),
+        ("block", Variant::Block { block_len: default_block_len(N) }),
+    ];
+    let mut identical = true;
+    let mut scaling = Json::obj();
+    for (name, variant) in variants {
+        let base = |threads| {
+            Bootstrap::new(N, &mean_stat)
+                .variant(variant)
+                .replicates(SCALE_REPLICATES)
+                .seed(11)
+                .threads(threads)
+        };
+        let seq = base(Threads::sequential()).run();
+        let seq_bits: Vec<u64> = seq.values().iter().map(|v| v.to_bits()).collect();
+        let mut per_threads = Json::obj();
+        let mut one_wall = 0.0;
+        for workers in [1usize, 2, 4, 8] {
+            let boot = base(Threads::fixed(workers));
+            let t0 = Instant::now();
+            let reps = boot.run();
+            let wall = t0.elapsed().as_secs_f64();
+            if workers == 1 {
+                one_wall = wall;
+            }
+            identical &= reps.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>() == seq_bits;
+            per_threads = per_threads.field(
+                &workers.to_string(),
+                Json::obj()
+                    .field("wall_s", wall)
+                    .field("speedup_vs_1", one_wall / wall.max(f64::MIN_POSITIVE)),
+            );
+        }
+        scaling = scaling.field(name, per_threads);
+    }
+
+    // 3. Seeded coverage experiment on a churning REISSUE pool.
+    const EXPERIMENTS: usize = 20;
+    const TAIL_W: usize = 5;
+    const COVERAGE_REPLICATES: usize = 400;
+    const TAIL_FLOOR: f64 = 0.70;
+    const PER_ROUND_FLOOR: f64 = 0.85;
+    let mut cfg = BaseCfg::for_scale(Scale::Quick);
+    cfg.initial = 2_000;
+    cfg.rounds = 10;
+    cfg.trials = 12;
+    cfg.inserts = 40;
+    cfg.delete = DeleteSpec::Fraction(0.01);
+    let t0 = Instant::now();
+    let mut tail_covered = 0usize;
+    let mut round_covered = 0usize;
+    let mut round_judged = 0usize;
+    for e in 0..EXPERIMENTS {
+        let mut cfg = cfg.clone();
+        cfg.seed = 0xC0FE + (e as u64) * 1_000;
+        let out = track(&cfg, &[AlgoKind::Reissue], RsConfig::default(), &count_star_tracked);
+        let rows = &out.algos[0].ratio_trials;
+        let ci = tail_block_ci(rows, TAIL_W, COVERAGE_REPLICATES, cfg.seed, 0.95)
+            .expect("tail window has finite records");
+        if ci.contains(1.0) {
+            tail_covered += 1;
+        }
+        let (lo, hi) = trial_cis(rows, cfg.rounds, COVERAGE_REPLICATES, cfg.seed, 0.95);
+        for r in 0..cfg.rounds {
+            if lo[r].is_finite() && hi[r].is_finite() {
+                round_judged += 1;
+                if lo[r] <= 1.0 && 1.0 <= hi[r] {
+                    round_covered += 1;
+                }
+            }
+        }
+    }
+    let wall = t0.elapsed();
+    let tail_coverage = tail_covered as f64 / EXPERIMENTS as f64;
+    let round_coverage = round_covered as f64 / round_judged.max(1) as f64;
+
+    Json::obj()
+        .field("sample_len", N)
+        .field("replicate_sweep", sweep)
+        .field("scale_replicates", SCALE_REPLICATES)
+        .field("parallel_scaling", scaling)
+        .field("bootstrap_parallel_identical", identical)
+        .field(
+            "coverage",
+            Json::obj()
+                .field("experiments", EXPERIMENTS)
+                .field("trials_per_experiment", cfg.trials)
+                .field("rounds", cfg.rounds)
+                .field("initial", cfg.initial)
+                .field("inserts_per_round", cfg.inserts)
+                .field("tail_window", TAIL_W)
+                .field("replicates", COVERAGE_REPLICATES)
+                .field("nominal_level", 0.95)
+                .field("tail_covered", tail_covered)
+                .field("tail_coverage", tail_coverage)
+                .field("tail_floor", TAIL_FLOOR)
+                .field("per_round_judged", round_judged)
+                .field("per_round_covered", round_covered)
+                .field("per_round_coverage", round_coverage)
+                .field("per_round_floor", PER_ROUND_FLOOR)
+                .field("wall_s", wall.as_secs_f64()),
+        )
+        .field(
+            "bootstrap_coverage_ok",
+            tail_coverage >= TAIL_FLOOR && round_coverage >= PER_ROUND_FLOOR,
+        )
 }
 
 fn outcomes_bit_identical(a: &TrackOutcome, b: &TrackOutcome) -> bool {

@@ -27,6 +27,10 @@
 //!   under `<dir>` (one subdirectory per trial) with at most `N`
 //!   segments resident in memory. Outcome-invariant by construction —
 //!   paging never changes an answer bit.
+//! * `--bootstrap off|N` — bootstrap percentile CIs in the figure output:
+//!   `N` replicates per interval (default 1000), `off` drops the CI
+//!   columns entirely. The point estimates are untouched either way —
+//!   resampling happens after the experiment, never inside it.
 
 use hidden_db::{AutoMaintain, InvalidationPolicy, PersistConfig};
 use workloads::DeleteSpec;
@@ -83,6 +87,9 @@ pub struct Cli {
     pub auto_maintain: Option<AutoMaintain>,
     /// Out-of-core persistence tier for trial databases.
     pub persist: Option<PersistConfig>,
+    /// Bootstrap CI override (`Some(None)` = explicit `off`,
+    /// `Some(Some(n))` = `n` replicates per interval).
+    pub bootstrap: Option<Option<usize>>,
 }
 
 impl Cli {
@@ -149,13 +156,24 @@ impl Cli {
                         PersistConfig::parse(&value("--persist")).unwrap_or_else(|e| panic!("{e}")),
                     )
                 }
+                "--bootstrap" => {
+                    cli.bootstrap = Some(match value("--bootstrap").as_str() {
+                        "off" => None,
+                        n => Some(
+                            n.parse()
+                                .ok()
+                                .filter(|&b: &usize| b >= 1)
+                                .expect("--bootstrap takes `off` or a replicate count ≥ 1"),
+                        ),
+                    })
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale quick|default|paper  --trials N  --rounds N  \
                          --budget N  --seed N  --memo incremental|wholesale|disabled  \
                          --maintain off|N  --faults off|seeded:<rate>  \
                          --auto-maintain off|pressure:<t>  \
-                         --persist <dir>,resident:<N>"
+                         --persist <dir>,resident:<N>  --bootstrap off|N"
                     );
                     std::process::exit(0);
                 }
@@ -209,6 +227,11 @@ pub struct BaseCfg {
     /// subdirectory of `dir`, holding at most `resident_segments` in
     /// memory. Outcome-invariant like the other knobs.
     pub persist: Option<PersistConfig>,
+    /// Bootstrap replicates for the figure pipeline's percentile CIs
+    /// (PR 10); `None` drops the CI columns. Resampling runs on the
+    /// already-collected records, so point estimates and all other
+    /// columns are bit-identical either way.
+    pub bootstrap_replicates: Option<usize>,
 }
 
 impl BaseCfg {
@@ -230,6 +253,7 @@ impl BaseCfg {
                 faults: FaultsMode::Off,
                 auto_maintain: AutoMaintain::Off,
                 persist: None,
+                bootstrap_replicates: Some(1_000),
             },
             Scale::Default => Self {
                 initial: 30_000,
@@ -247,6 +271,7 @@ impl BaseCfg {
                 faults: FaultsMode::Off,
                 auto_maintain: AutoMaintain::Off,
                 persist: None,
+                bootstrap_replicates: Some(1_000),
             },
             Scale::Paper => Self {
                 initial: 170_000,
@@ -263,6 +288,7 @@ impl BaseCfg {
                 faults: FaultsMode::Off,
                 auto_maintain: AutoMaintain::Off,
                 persist: None,
+                bootstrap_replicates: Some(1_000),
             },
         }
     }
@@ -295,6 +321,9 @@ impl BaseCfg {
         }
         if let Some(p) = &cli.persist {
             self.persist = Some(p.clone());
+        }
+        if let Some(b) = cli.bootstrap {
+            self.bootstrap_replicates = b;
         }
         self
     }
@@ -355,6 +384,27 @@ mod tests {
     #[should_panic(expected = "unknown memo policy")]
     fn unknown_memo_policy_panics() {
         parse(&["--memo", "sometimes"]);
+    }
+
+    #[test]
+    fn bootstrap_flag_parses_and_applies() {
+        assert_eq!(
+            BaseCfg::from_cli(&parse(&[])).bootstrap_replicates,
+            Some(1_000),
+            "CIs on by default"
+        );
+        let cli = parse(&["--bootstrap", "250"]);
+        assert_eq!(cli.bootstrap, Some(Some(250)));
+        assert_eq!(BaseCfg::from_cli(&cli).bootstrap_replicates, Some(250));
+        let off = parse(&["--bootstrap", "off"]);
+        assert_eq!(off.bootstrap, Some(None));
+        assert_eq!(BaseCfg::from_cli(&off).bootstrap_replicates, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--bootstrap takes")]
+    fn zero_bootstrap_replicates_panics() {
+        parse(&["--bootstrap", "0"]);
     }
 
     #[test]

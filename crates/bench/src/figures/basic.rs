@@ -6,7 +6,7 @@ use workloads::DeleteSpec;
 
 use crate::cli::{BaseCfg, Cli};
 use crate::runner::{
-    count_star_tracked, print_csv, round_labels, standard_algos, track, TrackOutcome,
+    count_star_tracked, print_csv, round_labels, standard_algos, track, trial_cis, TrackOutcome,
 };
 
 fn print_rel_err(title: &str, out: &TrackOutcome, rounds: usize) {
@@ -26,7 +26,9 @@ pub fn fig02(cli: &Cli) {
     );
 }
 
-/// Fig 3: error bars — mean estimate/truth ratio ± std per round.
+/// Fig 3: error bars — mean estimate/truth ratio ± std per round, plus
+/// (unless `--bootstrap off`) the bootstrap percentile CI of the
+/// across-trial mean next to the analytic spread.
 pub fn fig03(cli: &Cli) {
     let cfg = BaseCfg::from_cli(cli);
     let out = track(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked);
@@ -34,11 +36,16 @@ pub fn fig03(cli: &Cli) {
     for a in &out.algos {
         columns.push((format!("{}_ratio", a.name), a.ratio.means()));
         columns.push((format!("{}_std", a.name), a.ratio.stds()));
+        if let Some(b) = cfg.bootstrap_replicates {
+            let (lo, hi) = trial_cis(&a.ratio_trials, cfg.rounds, b, cfg.seed ^ 0xB007, 0.95);
+            columns.push((format!("{}_ci_lo", a.name), lo));
+            columns.push((format!("{}_ci_hi", a.name), hi));
+        }
     }
     let named: Vec<(&str, Vec<f64>)> =
         columns.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
     print_csv(
-        "Fig 3: estimate/truth ratio with across-trial std (error bars)",
+        "Fig 3: estimate/truth ratio with across-trial std and bootstrap 95% CI (error bars)",
         "round",
         &round_labels(cfg.rounds),
         &named,

@@ -5,11 +5,18 @@ use aggtrack_core::RsConfig;
 
 use crate::cli::{BaseCfg, Cli, Scale};
 use crate::runner::{
-    count_star_tracked, print_csv, round_labels, standard_algos, tail_mean, track,
+    count_star_tracked, print_csv, round_labels, standard_algos, tail_block_ci, tail_mean, track,
 };
+
+/// Tail window (rounds) for the fig18 error scalar and its bootstrap CI.
+const FIG18_TAIL: usize = 5;
 
 /// Fig 18: minimum per-round budget at which each algorithm reaches a
 /// target relative error (0.15 / 0.2 / 0.3) by the end of the horizon.
+/// Unless `--bootstrap off`, a companion block also reports the tail
+/// error per budget with its block-bootstrap percentile CI — the
+/// per-round records inside a trial's tail window are serially
+/// dependent, so the blocks keep whole windows intact.
 pub fn fig18(cli: &Cli) {
     let mut base = BaseCfg::from_cli(cli);
     if cli.rounds.is_none() {
@@ -24,13 +31,25 @@ pub fn fig18(cli: &Cli) {
         _ => &[25, 50, 75, 100, 150, 200, 300, 400, 600],
     };
     let algos = standard_algos();
-    // errs[gi][ai] = tail error of algorithm ai at budget grid[gi].
+    // errs[gi][ai] = tail error of algorithm ai at budget grid[gi];
+    // cis[gi][ai] = its block-bootstrap CI, when enabled.
     let mut errs: Vec<Vec<f64>> = Vec::new();
+    let mut cis: Vec<Vec<Option<agg_stats::resample::ConfidenceInterval>>> = Vec::new();
     for &g in grid {
         let mut cfg = base.clone();
         cfg.g = g;
         let out = track(&cfg, &algos, RsConfig::default(), &count_star_tracked);
-        errs.push(out.algos.iter().map(|a| tail_mean(&a.rel_err, 5)).collect());
+        errs.push(out.algos.iter().map(|a| tail_mean(&a.rel_err, FIG18_TAIL)).collect());
+        cis.push(
+            out.algos
+                .iter()
+                .map(|a| {
+                    base.bootstrap_replicates.and_then(|b| {
+                        tail_block_ci(&a.rel_err_trials, FIG18_TAIL, b, cfg.seed ^ g, 0.95)
+                    })
+                })
+                .collect(),
+        );
     }
     let targets = [0.15f64, 0.2, 0.3];
     let mut columns: Vec<(&'static str, Vec<f64>)> =
@@ -54,6 +73,28 @@ pub fn fig18(cli: &Cli) {
         &xs,
         &columns,
     );
+    if base.bootstrap_replicates.is_some() {
+        let mut ci_columns: Vec<(String, Vec<f64>)> = Vec::new();
+        for (ai, a) in algos.iter().enumerate() {
+            ci_columns.push((format!("{}_err", a.name()), errs.iter().map(|e| e[ai]).collect()));
+            ci_columns.push((
+                format!("{}_ci_lo", a.name()),
+                cis.iter().map(|c| c[ai].map_or(f64::NAN, |ci| ci.lo)).collect(),
+            ));
+            ci_columns.push((
+                format!("{}_ci_hi", a.name()),
+                cis.iter().map(|c| c[ai].map_or(f64::NAN, |ci| ci.hi)).collect(),
+            ));
+        }
+        let named: Vec<(&str, Vec<f64>)> =
+            ci_columns.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        print_csv(
+            "Fig 18 (companion): tail relative error per budget with block-bootstrap 95% CI",
+            "budget_g",
+            &grid.iter().map(|g| g.to_string()).collect::<Vec<_>>(),
+            &named,
+        );
+    }
 }
 
 /// Fig 19: cumulative drill-downs performed vs cumulative query cost over

@@ -115,6 +115,12 @@ pub struct SeriesSet {
     /// Relative error of the *running average* of the primary estimate
     /// over the last 2/3/4 rounds (Fig 14), computed per trial.
     pub running_avg_err: [SeriesSummary; 3],
+    /// Raw estimate/truth ratios, one row per merged trial (`NaN` where a
+    /// round went unrecorded) — the figure pipeline's bootstrap resamples
+    /// these instead of the already-collapsed moments.
+    pub ratio_trials: Vec<Vec<f64>>,
+    /// Raw relative errors, one row per merged trial.
+    pub rel_err_trials: Vec<Vec<f64>>,
 }
 
 /// Windows used by [`SeriesSet::running_avg_err`], matching Fig 14.
@@ -135,6 +141,8 @@ impl SeriesSet {
                 SeriesSummary::new(rounds),
                 SeriesSummary::new(rounds),
             ],
+            ratio_trials: Vec::new(),
+            rel_err_trials: Vec::new(),
         }
     }
 }
@@ -171,6 +179,11 @@ impl TrialSeries {
             }
         }
     }
+
+    /// This trial as a dense row (`NaN` where nothing was recorded).
+    fn row(&self) -> Vec<f64> {
+        self.0.iter().map(|v| v.unwrap_or(f64::NAN)).collect()
+    }
 }
 
 /// Per-trial mirror of [`SeriesSet`].
@@ -202,6 +215,8 @@ impl TrialSeriesSet {
     }
 
     fn merge_into(&self, set: &mut SeriesSet) {
+        set.ratio_trials.push(self.ratio.row());
+        set.rel_err_trials.push(self.rel_err.row());
         self.rel_err.merge_into(&mut set.rel_err);
         self.ratio.merge_into(&mut set.ratio);
         self.change_rel_err.merge_into(&mut set.change_rel_err);
@@ -501,6 +516,55 @@ pub fn tail_mean(series: &SeriesSummary, w: usize) -> f64 {
     }
 }
 
+/// Per-round bootstrap percentile CIs across trials: at each round, the
+/// trial values are exchangeable (independent seeded trials), so an
+/// n-out-of-n resample of the across-trial mean is honest. Returns
+/// `(lo, hi)` vectors aligned with the round axis, `NaN` where fewer
+/// than two finite trial values exist. Deterministic: round `r` uses the
+/// stream `seed ^ r`.
+pub fn trial_cis(
+    rows: &[Vec<f64>],
+    rounds: usize,
+    replicates: usize,
+    seed: u64,
+    level: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut lo = vec![f64::NAN; rounds];
+    let mut hi = vec![f64::NAN; rounds];
+    for r in 0..rounds {
+        let col: Vec<f64> = rows.iter().filter_map(|row| row.get(r).copied()).collect();
+        if let Some(ci) = agg_stats::resample::mean_ci(&col, replicates, seed ^ r as u64, level) {
+            lo[r] = ci.lo;
+            hi[r] = ci.hi;
+        }
+    }
+    (lo, hi)
+}
+
+/// Block-bootstrap percentile CI for the tail error scalar of a sweep
+/// point (the [`tail_mean`] companion). Each trial contributes its last
+/// `w` finite values in round order; the concatenated series is
+/// resampled in blocks of `w` (capped by the series length), so the
+/// trans-round serial dependence *within* a trial's window survives
+/// resampling while trials still mix. `None` with fewer than two values.
+pub fn tail_block_ci(
+    rows: &[Vec<f64>],
+    w: usize,
+    replicates: usize,
+    seed: u64,
+    level: f64,
+) -> Option<agg_stats::resample::ConfidenceInterval> {
+    let mut series = Vec::new();
+    for row in rows {
+        let mut tail: Vec<f64> =
+            row.iter().rev().copied().filter(|v| v.is_finite()).take(w).collect();
+        tail.reverse(); // back to round order inside the window
+        series.extend(tail);
+    }
+    let block = w.clamp(1, series.len().max(1));
+    agg_stats::resample::series_mean_ci(&series, block, replicates, seed, level)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,6 +662,59 @@ mod tests {
         holey.record(1, 30.0);
         holey.record(3, 4.0);
         assert_eq!(tail_mean(&holey, 2), 17.0);
+    }
+
+    #[test]
+    fn track_retains_raw_trial_rows() {
+        let mut cfg = BaseCfg::for_scale(Scale::Quick);
+        cfg.rounds = 3;
+        cfg.trials = 2;
+        cfg.initial = 1_200;
+        let out = track(&cfg, &standard_algos(), RsConfig::default(), &count_star_tracked);
+        for a in &out.algos {
+            assert_eq!(a.ratio_trials.len(), cfg.trials, "{}", a.name);
+            assert_eq!(a.rel_err_trials.len(), cfg.trials);
+            for row in &a.ratio_trials {
+                assert_eq!(row.len(), cfg.rounds);
+                assert!(row.iter().all(|v| v.is_finite()), "{}: {row:?}", a.name);
+            }
+            // The retained rows must reproduce the collapsed means.
+            for r in 0..cfg.rounds {
+                let mean: f64 =
+                    a.ratio_trials.iter().map(|row| row[r]).sum::<f64>() / cfg.trials as f64;
+                assert!((mean - a.ratio.mean(r)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trial_cis_cover_the_across_trial_mean() {
+        // 24 fake trials of 3 rounds with spread; CI must bracket the mean.
+        let rows: Vec<Vec<f64>> = (0..24)
+            .map(|t| (0..3).map(|r| 1.0 + 0.01 * ((t * 7 + r * 3) % 11) as f64).collect())
+            .collect();
+        let (lo, hi) = trial_cis(&rows, 3, 500, 99, 0.95);
+        for r in 0..3 {
+            let mean: f64 = rows.iter().map(|row| row[r]).sum::<f64>() / rows.len() as f64;
+            assert!(lo[r] <= mean && mean <= hi[r], "round {r}: [{} {}] vs {mean}", lo[r], hi[r]);
+            assert!(lo[r] < hi[r]);
+        }
+        // Determinism.
+        assert_eq!(trial_cis(&rows, 3, 500, 99, 0.95), (lo, hi));
+        // Too few trials → NaN, not a bogus interval.
+        let (lo1, hi1) = trial_cis(&rows[..1], 3, 500, 99, 0.95);
+        assert!(lo1[0].is_nan() && hi1[0].is_nan());
+    }
+
+    #[test]
+    fn tail_block_ci_brackets_the_tail_mean() {
+        let rows: Vec<Vec<f64>> =
+            (0..8).map(|t| (0..10).map(|r| 0.2 + 0.005 * ((t + r) % 7) as f64).collect()).collect();
+        let ci = tail_block_ci(&rows, 5, 800, 3, 0.95).expect("enough data");
+        let all_tail: Vec<f64> = rows.iter().flat_map(|row| row[5..].iter().copied()).collect();
+        let mean = all_tail.iter().sum::<f64>() / all_tail.len() as f64;
+        assert!(ci.contains(mean), "{ci:?} vs {mean}");
+        assert!(tail_block_ci(&[vec![f64::NAN; 4]], 2, 100, 0, 0.95).is_none());
     }
 
     #[test]

@@ -66,10 +66,10 @@ pub(crate) mod testutil;
 
 pub use adhoc::ArchivingTracker;
 pub use aggregate::{ht_sample, AggKind, AggregateSpec, HtSample, TupleFilter, TupleFn};
-pub use estimator::Estimator;
+pub use estimator::{BootstrapSpec, Estimator};
 pub use record::DrillRecord;
 pub use reissue::ReissueEstimator;
-pub use report::{Degraded, EstimateWithVar, RoundReport};
+pub use report::{ConfidenceInterval, Degraded, EstimateWithVar, RoundReport};
 pub use restart::RestartEstimator;
 pub use rs::{RsConfig, RsEstimator, TrackingTarget};
 pub use stratified::StratifiedEstimator;

@@ -22,7 +22,10 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::aggregate::{ht_sample, AggregateSpec};
-use crate::estimator::{base_report, moments_estimate, Estimator, SampleMoments};
+use crate::estimator::{
+    attach_mean_ci, attach_report_cis, base_report, moments_estimate, BootstrapSpec, Estimator,
+    SampleMoments,
+};
 use crate::record::DrillRecord;
 use crate::report::RoundReport;
 use crate::transround::DegradationLog;
@@ -37,6 +40,7 @@ pub struct ReissueEstimator {
     pool: Vec<DrillRecord>,
     round: u32,
     degradation: DegradationLog,
+    bootstrap: Option<BootstrapSpec>,
 }
 
 impl ReissueEstimator {
@@ -63,6 +67,7 @@ impl ReissueEstimator {
             pool: Vec::new(),
             round: 0,
             degradation: DegradationLog::new(),
+            bootstrap: None,
         }
     }
 
@@ -86,11 +91,19 @@ impl Estimator for ReissueEstimator {
         &self.spec
     }
 
+    fn set_bootstrap(&mut self, spec: Option<BootstrapSpec>) {
+        self.bootstrap = spec;
+    }
+
     fn run_round(&mut self, backend: &mut dyn SearchBackend) -> RoundReport {
         self.round += 1;
         let j = self.round;
         self.degradation.begin_round();
-        let mut diffs = SampleMoments::default();
+        let mut diffs = if self.bootstrap.is_some() {
+            SampleMoments::retaining_raw()
+        } else {
+            SampleMoments::default()
+        };
 
         // --- update pass (Algorithm 1, lines 4–10) -----------------------
         // Random order so that, if the budget dies early, the updated
@@ -142,7 +155,11 @@ impl Estimator for ReissueEstimator {
         }
 
         // --- estimation (line 12): all drill-downs current at round j ----
-        let mut samples = SampleMoments::default();
+        let mut samples = if self.bootstrap.is_some() {
+            SampleMoments::retaining_raw()
+        } else {
+            SampleMoments::default()
+        };
         for rec in &self.pool {
             if rec.round == j {
                 samples.push(rec.sample);
@@ -153,6 +170,18 @@ impl Estimator for ReissueEstimator {
         if j > 1 && diffs.n() > 0 {
             report.change_count = Some(moments_estimate(&diffs.count));
             report.change_sum = Some(moments_estimate(&diffs.sum));
+        }
+        if let Some(spec) = &self.bootstrap {
+            attach_report_cis(&mut report, &samples, spec);
+            if let Some(raw) = &diffs.raw {
+                let base = j as u64 * 4;
+                if let Some(est) = &mut report.change_count {
+                    attach_mean_ci(est, &raw.count, spec, base + 2);
+                }
+                if let Some(est) = &mut report.change_sum {
+                    attach_mean_ci(est, &raw.sum, spec, base + 3);
+                }
+            }
         }
         report
     }
@@ -334,6 +363,42 @@ mod tests {
         // The degradation marker is cumulative: it survives clean rounds.
         assert!(r3_a.degraded.is_none());
         assert_eq!(r3_b.degraded, Some(tag));
+    }
+
+    /// Opting into bootstrap CIs must (a) fill `ci` on every usable
+    /// estimate, (b) leave the point estimates and analytic variances
+    /// bit-identical to a bootstrap-free twin, and (c) produce intervals
+    /// that actually bracket the point estimate.
+    #[test]
+    fn bootstrap_opt_in_fills_cis_without_perturbing_estimates() {
+        let mut db_a = hashed_db(100, 16, 21);
+        let mut db_b = db_a.clone();
+        let tree = QueryTree::full(&db_a.schema().clone());
+        let mut plain = ReissueEstimator::new(AggregateSpec::count_star(), tree.clone(), 22);
+        let mut booted = ReissueEstimator::new(AggregateSpec::count_star(), tree, 22);
+        booted.set_bootstrap(Some(crate::estimator::BootstrapSpec::default()));
+        for round in 0..3 {
+            let r_a = {
+                let mut s = SearchSession::new(&mut db_a, 200);
+                plain.run_round(&mut s)
+            };
+            let r_b = {
+                let mut s = SearchSession::new(&mut db_b, 200);
+                booted.run_round(&mut s)
+            };
+            assert_eq!(r_a.count.value, r_b.count.value, "round {round}");
+            assert_eq!(r_a.count.variance, r_b.count.variance);
+            assert_eq!(r_a.sum.value, r_b.sum.value);
+            assert!(r_a.count.ci.is_none(), "plain estimator must not resample");
+            let ci = r_b.count.ci.expect("bootstrap estimator must fill the CI");
+            assert!(ci.contains(r_b.count.value), "{ci:?} vs {}", r_b.count.value);
+            assert_eq!(ci.level, 0.95);
+            if round > 0 {
+                let ch = r_b.change_count.expect("REISSUE reports changes from round 2");
+                let chci = ch.ci.expect("change estimate must carry a CI too");
+                assert!(chci.contains(ch.value));
+            }
+        }
     }
 
     #[test]

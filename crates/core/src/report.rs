@@ -1,27 +1,43 @@
 //! Per-round estimator output.
 
+pub use agg_stats::resample::ConfidenceInterval;
+
 use crate::aggregate::AggKind;
 
 /// An estimate together with the estimator's own variance estimate
 /// (used for error bars, inverse-variance combination, and as the `β` of
-/// future RS rounds).
+/// future RS rounds), plus an optional bootstrap percentile CI.
+///
+/// The analytic `variance` is the plug-in variance-of-mean, honest only
+/// under the estimator's i.i.d. assumptions; `ci` is a resampled interval
+/// filled in when the estimator was configured with a
+/// [`BootstrapSpec`](crate::estimator::BootstrapSpec) (absent otherwise —
+/// the default path does no resampling work).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EstimateWithVar {
     /// The point estimate.
     pub value: f64,
     /// Estimated variance of the estimator (not of the data).
     pub variance: f64,
+    /// Bootstrap percentile confidence interval, when requested.
+    pub ci: Option<ConfidenceInterval>,
 }
 
 impl EstimateWithVar {
-    /// Creates an estimate.
+    /// Creates an estimate (no bootstrap CI).
     pub fn new(value: f64, variance: f64) -> Self {
-        Self { value, variance }
+        Self { value, variance, ci: None }
     }
 
     /// A degenerate "no information" estimate.
     pub fn unknown() -> Self {
-        Self { value: f64::NAN, variance: f64::INFINITY }
+        Self { value: f64::NAN, variance: f64::INFINITY, ci: None }
+    }
+
+    /// Attaches a bootstrap percentile CI.
+    pub fn with_ci(mut self, ci: ConfidenceInterval) -> Self {
+        self.ci = Some(ci);
+        self
     }
 
     /// Whether the estimate carries usable information.

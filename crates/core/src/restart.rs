@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::aggregate::{ht_sample, AggregateSpec};
-use crate::estimator::{base_report, Estimator, SampleMoments};
+use crate::estimator::{attach_report_cis, base_report, BootstrapSpec, Estimator, SampleMoments};
 use crate::report::{EstimateWithVar, RoundReport};
 use crate::transround::DegradationLog;
 
@@ -30,6 +30,7 @@ pub struct RestartEstimator {
     prev_count: Option<EstimateWithVar>,
     prev_sum: Option<EstimateWithVar>,
     degradation: DegradationLog,
+    bootstrap: Option<BootstrapSpec>,
 }
 
 impl RestartEstimator {
@@ -43,6 +44,7 @@ impl RestartEstimator {
             prev_count: None,
             prev_sum: None,
             degradation: DegradationLog::new(),
+            bootstrap: None,
         }
     }
 
@@ -61,10 +63,18 @@ impl Estimator for RestartEstimator {
         &self.spec
     }
 
+    fn set_bootstrap(&mut self, spec: Option<BootstrapSpec>) {
+        self.bootstrap = spec;
+    }
+
     fn run_round(&mut self, backend: &mut dyn SearchBackend) -> RoundReport {
         self.round += 1;
         self.degradation.begin_round();
-        let mut samples = SampleMoments::default();
+        let mut samples = if self.bootstrap.is_some() {
+            SampleMoments::retaining_raw()
+        } else {
+            SampleMoments::default()
+        };
         let mut initiated = 0;
         while backend.remaining() > 0 {
             let sig = Signature::sample(&self.tree, &mut self.rng);
@@ -85,6 +95,9 @@ impl Estimator for RestartEstimator {
         }
         let mut report =
             base_report(self.round, backend, 0, initiated, &samples, self.degradation.tag());
+        if let Some(spec) = &self.bootstrap {
+            attach_report_cis(&mut report, &samples, spec);
+        }
         // Trans-round change: difference of independent estimates.
         if let (Some(pc), Some(ps)) = (self.prev_count, self.prev_sum) {
             if pc.is_usable() && report.count.is_usable() {
